@@ -1,0 +1,50 @@
+package teccl
+
+import (
+	"teccl/internal/baseline"
+)
+
+// TACCLOptions tunes the TACCL-like baseline heuristic.
+type TACCLOptions = baseline.TACCLOptions
+
+// TACCLResult is the outcome of the TACCL-like baseline.
+type TACCLResult = baseline.TACCLResult
+
+// SCCLOptions tunes the SCCL-like baseline synthesizer.
+type SCCLOptions = baseline.SCCLOptions
+
+// SCCLResult is the outcome of the SCCL-like baseline.
+type SCCLResult = baseline.SCCLResult
+
+// SPFResult is the outcome of the shortest-path-first baseline.
+type SPFResult = baseline.SPFResult
+
+// BaselineTACCL runs the TACCL-like two-phase heuristic (routing then
+// list scheduling, randomized; §2.1's characterization of TACCL).
+func BaselineTACCL(t *Topology, d *Demand, opt TACCLOptions) *TACCLResult {
+	return baseline.SolveTACCL(t, d, opt)
+}
+
+// BaselineSCCL runs the SCCL-like synchronous-step synthesizer with
+// least-steps search (§6.1's SCCL comparison).
+func BaselineSCCL(t *Topology, d *Demand, opt SCCLOptions) *SCCLResult {
+	return baseline.SolveSCCL(t, d, opt)
+}
+
+// BaselineSPF runs the shortest-path-first scheduler (reference [31]),
+// which routes each demand unit independently and cannot copy.
+func BaselineSPF(t *Topology, d *Demand, maxEpochs int) *SPFResult {
+	return baseline.SolveSPF(t, d, maxEpochs)
+}
+
+// BaselineRingAllGather generates the classic ring ALLGATHER over the
+// GPUs of t in ID order (they must form a cycle in the topology).
+func BaselineRingAllGather(t *Topology, chunkBytes float64) (*Schedule, error) {
+	return baseline.RingAllGather(t, gpuInts(t), chunkBytes)
+}
+
+// BaselineRingReduceScatter generates a ring REDUCESCATTER communication
+// schedule over the GPUs of t in ID order.
+func BaselineRingReduceScatter(t *Topology, chunkBytes float64) (*Schedule, error) {
+	return baseline.RingReduceScatter(t, gpuInts(t), chunkBytes)
+}

@@ -1,0 +1,53 @@
+package teccl
+
+import (
+	"math/rand"
+	"testing"
+
+	"teccl/internal/lp"
+)
+
+// benchSimplexOnce solves one 20x30 random transportation LP.
+func benchSimplexOnce(b *testing.B) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	const m, n = 20, 30
+	p := lp.NewProblem(lp.Minimize)
+	vars := make([][]lp.VarID, m)
+	supply := make([]float64, m)
+	demand := make([]float64, n)
+	for j := 0; j < n; j++ {
+		demand[j] = float64(1 + rng.Intn(9))
+	}
+	total := 0.0
+	for _, v := range demand {
+		total += v
+	}
+	for i := 0; i < m; i++ {
+		supply[i] = total / m
+	}
+	for i := 0; i < m; i++ {
+		vars[i] = make([]lp.VarID, n)
+		for j := 0; j < n; j++ {
+			vars[i][j] = p.AddVar("", 0, lp.Inf, float64(1+rng.Intn(20)))
+		}
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = lp.Term{Var: vars[i][j], Coeff: 1}
+		}
+		p.AddRow(terms, lp.LE, supply[i])
+	}
+	for j := 0; j < n; j++ {
+		terms := make([]lp.Term, m)
+		for i := 0; i < m; i++ {
+			terms[i] = lp.Term{Var: vars[i][j], Coeff: 1}
+		}
+		p.AddRow(terms, lp.EQ, demand[j])
+	}
+	sol, err := lp.Solve(p, lp.Options{})
+	if err != nil || sol.Status != lp.StatusOptimal {
+		b.Fatalf("simplex bench solve failed: %v %v", err, sol.Status)
+	}
+}

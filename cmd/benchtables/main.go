@@ -1,0 +1,47 @@
+// Command benchtables regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints the rows the paper plots;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchtables            # run everything (slow)
+//	benchtables -short     # trimmed sweeps
+//	benchtables fig4and5   # one experiment
+//	benchtables -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teccl/internal/experiments"
+)
+
+func main() {
+	short := flag.Bool("short", false, "trim sweeps for a quick run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab := experiments.ByID(id, *short)
+		if tab == nil {
+			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

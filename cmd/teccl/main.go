@@ -1,0 +1,219 @@
+// Command teccl solves one collective-communication instance from the
+// command line and prints the schedule, its metrics, and (optionally) an
+// MSCCL-style XML export.
+//
+// Usage:
+//
+//	teccl -topo dgx1 -coll allgather -chunk-bytes 25000
+//	teccl -topo internal2:4 -coll alltoall -solver lp -out sched.xml
+//	teccl -topo-json cluster.json -coll allgather -solver astar
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"teccl"
+)
+
+func main() {
+	var (
+		topoSpec   = flag.String("topo", "dgx1", "topology: dgx1, ndv2:N, ndv2mini:N, dgx2:N, dgx2mini:N, internal1:N, internal2:N, ring:N, mesh:N, star:N")
+		topoJSON   = flag.String("topo-json", "", "load topology from a JSON file instead of -topo")
+		coll       = flag.String("coll", "allgather", "collective: allgather, alltoall, broadcast, scatter, gather, reducescatter")
+		chunks     = flag.Int("chunks", 1, "chunks per GPU (allgather) or per destination (alltoall)")
+		chunkBytes = flag.Float64("chunk-bytes", 25e3, "chunk size in bytes")
+		solver     = flag.String("solver", "auto", "solver: auto, milp, lp, astar, taccl, sccl, spf")
+		epochs     = flag.Int("epochs", 0, "epoch horizon K (0 = estimate)")
+		epochMode  = flag.String("epoch-mode", "fastest", "epoch duration from the fastest or slowest link")
+		gap        = flag.Float64("gap", 0, "MILP early-stop optimality gap (e.g. 0.3)")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "solver time limit")
+		out        = flag.String("out", "", "write MSCCL-style XML to this file")
+		quiet      = flag.Bool("q", false, "metrics only, no per-epoch schedule dump")
+	)
+	flag.Parse()
+
+	t, err := buildTopology(*topoSpec, *topoJSON)
+	if err != nil {
+		fatal(err)
+	}
+	if err := t.Validate(); err != nil {
+		fatal(err)
+	}
+	d, err := buildDemand(t, *coll, *chunks, *chunkBytes)
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := teccl.FastestLink
+	if strings.HasPrefix(*epochMode, "slow") {
+		mode = teccl.SlowestLink
+	}
+	opt := teccl.Options{
+		Epochs: *epochs, EpochMode: mode,
+		GapLimit: *gap, TimeLimit: *timeout,
+	}
+
+	var sched *teccl.Schedule
+	var solveTime time.Duration
+	switch *solver {
+	case "auto", "milp", "lp", "astar":
+		var res *teccl.Result
+		var err error
+		switch *solver {
+		case "auto":
+			res, err = teccl.Solve(t, d, opt)
+		case "milp":
+			res, err = teccl.SolveMILP(t, d, opt)
+		case "lp":
+			res, err = teccl.SolveLP(t, d, opt)
+		case "astar":
+			res, err = teccl.SolveAStar(t, d, opt)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		sched, solveTime = res.Schedule, res.SolveTime
+		fmt.Printf("solver: %s  optimal: %v  gap: %.1f%%  epochs: %d  tau: %.3g s\n",
+			*solver, res.Optimal, 100*res.Gap, res.Epochs, res.Tau)
+	case "taccl":
+		r := teccl.BaselineTACCL(t, d, teccl.TACCLOptions{Seed: 1, Restarts: 100})
+		if !r.Feasible {
+			fatal(fmt.Errorf("taccl baseline found no feasible schedule"))
+		}
+		sched, solveTime = r.Schedule, r.SolveTime
+	case "sccl":
+		r := teccl.BaselineSCCL(t, d, teccl.SCCLOptions{TimeLimit: *timeout})
+		if !r.Feasible {
+			fatal(fmt.Errorf("sccl baseline found no feasible schedule"))
+		}
+		sched, solveTime = r.Schedule, r.SolveTime
+		fmt.Printf("sccl: %d steps, barrier transfer %.2f us\n", r.Steps, r.TransferTime*1e6)
+	case "spf":
+		r := teccl.BaselineSPF(t, d, 0)
+		if !r.Feasible {
+			fatal(fmt.Errorf("spf baseline found no feasible schedule"))
+		}
+		sched, solveTime = r.Schedule, r.SolveTime
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	sim, err := teccl.Simulate(sched)
+	if err != nil {
+		fatal(fmt.Errorf("schedule failed simulation: %w", err))
+	}
+	fmt.Printf("solve time: %v\n", solveTime.Round(time.Millisecond))
+	fmt.Printf("transfer time: %.3f us\n", sim.FinishTime*1e6)
+	fmt.Printf("algorithmic bandwidth: %.3f GB/s\n", sim.AlgoBandwidth/1e9)
+	fmt.Printf("bytes on wire: %.0f (demand %.0f)\n", sim.TotalBytes, d.TotalBytes())
+
+	if !*quiet {
+		fmt.Println("\nschedule:")
+		for epoch := 0; epoch <= sched.FinishEpoch(); epoch++ {
+			for _, snd := range sched.Sends {
+				if snd.Epoch != epoch {
+					continue
+				}
+				l := t.Link(snd.Link)
+				frac := ""
+				if snd.Fraction != 1 {
+					frac = fmt.Sprintf(" (%.0f%%)", 100*snd.Fraction)
+				}
+				fmt.Printf("  epoch %d: %s -> %s chunk(%d,%d)%s\n",
+					epoch, t.Node(l.Src).Name, t.Node(l.Dst).Name, snd.Src, snd.Chunk, frac)
+			}
+		}
+	}
+
+	if *out != "" {
+		xml, err := teccl.ExportMSCCL(sched, *coll)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, xml, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(xml))
+	}
+}
+
+func buildTopology(spec, jsonPath string) (*teccl.Topology, error) {
+	if jsonPath != "" {
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		var t teccl.Topology
+		if err := json.Unmarshal(data, &t); err != nil {
+			return nil, err
+		}
+		return &t, nil
+	}
+	name := spec
+	n := 1
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		v, err := strconv.Atoi(spec[i+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad topology spec %q: %v", spec, err)
+		}
+		n = v
+	}
+	switch name {
+	case "dgx1":
+		return teccl.DGX1(), nil
+	case "ndv2":
+		return teccl.NDv2(n), nil
+	case "ndv2mini":
+		return teccl.NDv2Mini(n), nil
+	case "dgx2":
+		return teccl.DGX2(n), nil
+	case "dgx2mini":
+		return teccl.DGX2Mini(n), nil
+	case "internal1":
+		return teccl.Internal1(n), nil
+	case "internal2":
+		return teccl.Internal2(n), nil
+	case "ring":
+		return teccl.Ring(n, 25e9, 0.7e-6), nil
+	case "mesh":
+		return teccl.FullMesh(n, 25e9, 0.7e-6), nil
+	case "star":
+		return teccl.Star(n, 12.5e9, 1.3e-6), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func buildDemand(t *teccl.Topology, coll string, chunks int, chunkBytes float64) (*teccl.Demand, error) {
+	gpus := t.GPUs()
+	if len(gpus) == 0 {
+		return nil, fmt.Errorf("topology has no GPUs")
+	}
+	root := gpus[0]
+	switch coll {
+	case "allgather":
+		return teccl.AllGather(t, chunks, chunkBytes), nil
+	case "alltoall":
+		return teccl.AllToAll(t, chunks, chunkBytes), nil
+	case "broadcast":
+		return teccl.Broadcast(t, root, chunks, chunkBytes), nil
+	case "scatter":
+		return teccl.Scatter(t, root, chunks, chunkBytes), nil
+	case "gather":
+		return teccl.Gather(t, root, chunks, chunkBytes), nil
+	case "reducescatter":
+		return teccl.ReduceScatter(t, chunkBytes), nil
+	}
+	return nil, fmt.Errorf("unknown collective %q", coll)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "teccl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"teccl"
+)
+
+func TestBuildTopologySpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		gpus int
+	}{
+		{"dgx1", 8},
+		{"ndv2:2", 16},
+		{"ndv2mini:2", 8},
+		{"dgx2:1", 16},
+		{"dgx2mini:2", 8},
+		{"internal1:2", 8},
+		{"internal2:3", 6},
+		{"ring:5", 5},
+		{"mesh:4", 4},
+		{"star:6", 6},
+	}
+	for _, c := range cases {
+		tp, err := buildTopology(c.spec, "")
+		if err != nil {
+			t.Errorf("%s: %v", c.spec, err)
+			continue
+		}
+		if got := len(tp.GPUs()); got != c.gpus {
+			t.Errorf("%s: %d GPUs, want %d", c.spec, got, c.gpus)
+		}
+	}
+}
+
+func TestBuildTopologyErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "ring:x", "unknown:3"} {
+		if _, err := buildTopology(spec, ""); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}
+
+func TestBuildTopologyJSON(t *testing.T) {
+	src := teccl.Ring(3, 1e9, 1e-6)
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := buildTopology("ignored", path)
+	if err != nil {
+		t.Fatalf("load json: %v", err)
+	}
+	if tp.NumLinks() != src.NumLinks() {
+		t.Fatal("json topology shape changed")
+	}
+	if _, err := buildTopology("x", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestBuildDemand(t *testing.T) {
+	tp := teccl.Ring(4, 1e9, 0)
+	cases := []struct {
+		coll  string
+		count int
+	}{
+		{"allgather", 12},     // 4 src x 3 dst
+		{"alltoall", 12},      // 4 src x 3 dst x 1 chunk
+		{"broadcast", 3},      // root to 3
+		{"scatter", 3},        // root to 3 distinct
+		{"gather", 3},         // 3 to root
+		{"reducescatter", 12}, // shard routing
+	}
+	for _, c := range cases {
+		d, err := buildDemand(tp, c.coll, 1, 1e6)
+		if err != nil {
+			t.Errorf("%s: %v", c.coll, err)
+			continue
+		}
+		if got := d.Count(); got != c.count {
+			t.Errorf("%s: count %d, want %d", c.coll, got, c.count)
+		}
+	}
+	if _, err := buildDemand(tp, "nope", 1, 1e6); err == nil {
+		t.Fatal("expected unknown-collective error")
+	}
+}

@@ -1,0 +1,53 @@
+// Command quickstart solves a small ALLGATHER with TE-CCL and prints the
+// schedule and its cost — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teccl"
+)
+
+func main() {
+	// A single DGX1 box: 8 GPUs, 16 NVLinks, no switch.
+	t := teccl.DGX1()
+
+	// Every GPU shares one 25 KB chunk with every other GPU.
+	demand := teccl.AllGather(t, 1, 25e3)
+
+	// Solve lets the library pick the right formulation (the general
+	// MILP here, since ALLGATHER benefits from in-network copy).
+	res, err := teccl.Solve(t, demand, teccl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("solved %s in %v (optimal=%v, gap=%.1f%%)\n",
+		t.Name, res.SolveTime, res.Optimal, 100*res.Gap)
+	fmt.Printf("epochs used: %d of %d horizon, tau=%.2g s\n",
+		res.Schedule.FinishEpoch()+1, res.Epochs, res.Tau)
+
+	// Execute the schedule in continuous time under the alpha-beta model.
+	sim, err := teccl.Simulate(res.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer time: %.2f us\n", sim.FinishTime*1e6)
+	fmt.Printf("algorithmic bandwidth: %.2f GB/s\n", sim.AlgoBandwidth/1e9)
+	fmt.Printf("total bytes on wire: %.0f (demand: %.0f)\n",
+		sim.TotalBytes, demand.TotalBytes())
+
+	// Print the schedule, epoch by epoch.
+	fmt.Println("\nschedule:")
+	for epoch := 0; epoch <= res.Schedule.FinishEpoch(); epoch++ {
+		for _, snd := range res.Schedule.Sends {
+			if snd.Epoch != epoch {
+				continue
+			}
+			l := t.Link(snd.Link)
+			fmt.Printf("  epoch %d: %s -> %s  (chunk %d of gpu%d)\n",
+				epoch, t.Node(l.Src).Name, t.Node(l.Dst).Name, snd.Chunk, snd.Src)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"fmt"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// RingAllGather generates the classic ring ALLGATHER: in step k, every
+// GPU forwards the chunk it received in step k-1 to its ring successor;
+// after n-1 steps everyone holds everything. The GPU order must form a
+// directed cycle in the topology (gpus[i] -> gpus[i+1 mod n]). This is
+// the textbook bandwidth-optimal algorithm NCCL uses on rings, included
+// as a sanity baseline and for the example programs.
+func RingAllGather(t *topo.Topology, gpus []int, chunkBytes float64) (*schedule.Schedule, error) {
+	n := len(gpus)
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: ring needs >= 2 GPUs")
+	}
+	links := make([]topo.LinkID, n)
+	for i := 0; i < n; i++ {
+		l := t.FindLink(topo.NodeID(gpus[i]), topo.NodeID(gpus[(i+1)%n]))
+		if l < 0 {
+			return nil, fmt.Errorf("baseline: no link %d->%d for ring", gpus[i], gpus[(i+1)%n])
+		}
+		links[i] = l
+	}
+	d := collective.AllGather(t.NumNodes(), gpus, 1, chunkBytes)
+
+	tau := chunkBytes / t.MinCapacity()
+	// Epoch must also cover the α of the slowest ring link so one step
+	// fits one epoch.
+	delta := 0
+	for _, l := range links {
+		a := t.Link(l).Alpha
+		if a > 0 {
+			if dl := int(a/tau) + 1; dl > delta {
+				delta = dl
+			}
+		}
+	}
+	step := 1 + delta // epochs per ring step
+
+	var sends []schedule.Send
+	for k := 0; k < n-1; k++ {
+		for i := 0; i < n; i++ {
+			// In step k, gpus[i] forwards the chunk of gpus[(i-k+n)%n].
+			src := gpus[(i-k+n*n)%n]
+			sends = append(sends, schedule.Send{
+				Src: src, Chunk: 0, Link: links[i], Epoch: k * step, Fraction: 1,
+			})
+		}
+	}
+	s := &schedule.Schedule{
+		Topo: t, Demand: d, Tau: tau, NumEpochs: (n-1)*step + 1,
+		Sends: sends, AllowCopy: true,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: ring allgather schedule invalid: %w", err)
+	}
+	return s, nil
+}
+
+// RingReduceScatter generates the communication schedule of a ring
+// REDUCESCATTER without in-network reduction: shard j of every origin
+// travels the ring individually until it reaches gpus[j]. (The schedule
+// model carries data, not partial sums — the same modeling choice TE-CCL
+// makes; with reduction the wire traffic would be lower by the ring
+// pipelining factor.) Hops are greedily list-scheduled on the ring links.
+func RingReduceScatter(t *topo.Topology, gpus []int, chunkBytes float64) (*schedule.Schedule, error) {
+	n := len(gpus)
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: ring needs >= 2 GPUs")
+	}
+	links := make([]topo.LinkID, n)
+	for i := 0; i < n; i++ {
+		l := t.FindLink(topo.NodeID(gpus[i]), topo.NodeID(gpus[(i+1)%n]))
+		if l < 0 {
+			return nil, fmt.Errorf("baseline: no link %d->%d for ring", gpus[i], gpus[(i+1)%n])
+		}
+		links[i] = l
+	}
+	d := collective.ReduceScatter(t.NumNodes(), gpus, chunkBytes)
+	tau := chunkBytes / t.MinCapacity()
+	delta := 0
+	for _, l := range links {
+		a := t.Link(l).Alpha
+		if a > 0 {
+			if dl := int(a/tau) + 1; dl > delta {
+				delta = dl
+			}
+		}
+	}
+	step := 1 + delta
+
+	// Greedy list scheduling of each shard along its ring arc.
+	linkUsed := map[[2]int]bool{} // (ring position, epoch)
+	var sends []schedule.Send
+	for i := 0; i < n; i++ { // origin index
+		for j := 0; j < n; j++ { // destination shard index
+			if i == j {
+				continue
+			}
+			at := 0 // forwardable epoch at the current position
+			for pos := i; pos != j; pos = (pos + 1) % n {
+				k := at
+				for linkUsed[[2]int{pos, k}] {
+					k += step
+				}
+				linkUsed[[2]int{pos, k}] = true
+				sends = append(sends, schedule.Send{
+					Src: gpus[i], Chunk: j, Link: links[pos], Epoch: k, Fraction: 1,
+				})
+				at = k + step
+			}
+		}
+	}
+	numEpochs := 0
+	for _, snd := range sends {
+		if snd.Epoch+1 > numEpochs {
+			numEpochs = snd.Epoch + 1
+		}
+	}
+	s := &schedule.Schedule{
+		Topo: t, Demand: d, Tau: tau, NumEpochs: numEpochs,
+		Sends: sends, AllowCopy: true,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: ring reducescatter schedule invalid: %w", err)
+	}
+	return s, nil
+}

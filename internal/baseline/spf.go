@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"math"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// SPFResult is the outcome of the shortest-path-first scheduler.
+type SPFResult struct {
+	Schedule  *schedule.Schedule
+	SolveTime time.Duration
+	Feasible  bool
+}
+
+// SolveSPF implements the shortest-path-first baseline of Zhao et al.
+// (reference [31] in the paper): every (source, chunk, destination)
+// triple is routed on the static α-plus-transmission shortest path and
+// greedily list-scheduled, with no copy — each destination gets its own
+// transmission even when a multicast would do. §2.1 notes this is the
+// baseline that "fails to leverage copy".
+func SolveSPF(t *topo.Topology, d *collective.Demand, maxEpochs int) *SPFResult {
+	start := time.Now()
+	tau := d.ChunkBytes / t.MaxCapacity()
+	nL := t.NumLinks()
+	delta := make([]int, nL)
+	kappa := make([]int, nL)
+	capChunks := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		lk := t.Link(topo.LinkID(l))
+		if lk.Alpha > 0 {
+			delta[l] = int(math.Ceil(lk.Alpha/tau - 1e-9))
+		}
+		capChunks[l] = lk.Capacity * tau / d.ChunkBytes
+		if capChunks[l] >= 1-1e-9 {
+			kappa[l] = 1
+		} else {
+			kappa[l] = int(math.Ceil(1/capChunks[l] - 1e-9))
+		}
+	}
+	if maxEpochs <= 0 {
+		maxEpochs = 8 * (1 + d.NumChunks()*d.NumNodes())
+		for l := 0; l < nL; l++ {
+			if h := 8 * (delta[l] + kappa[l]); h > maxEpochs {
+				maxEpochs = h
+			}
+		}
+	}
+
+	// Static shortest paths (no congestion feedback, no copy).
+	pathWeight := func(l int) float64 {
+		lk := t.Link(topo.LinkID(l))
+		return lk.Alpha + d.ChunkBytes/lk.Capacity
+	}
+
+	linkUsed := map[[2]int]float64{}
+	windowFree := func(l, k int) bool {
+		used := 0.0
+		for kk := k - kappa[l] + 1; kk <= k; kk++ {
+			if kk >= 0 {
+				used += linkUsed[[2]int{l, kk}]
+			}
+		}
+		return used+1 <= capChunks[l]*float64(kappa[l])+1e-9
+	}
+
+	var sends []schedule.Send
+	res := &SPFResult{}
+	for s := 0; s < d.NumNodes(); s++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			for dst := 0; dst < d.NumNodes(); dst++ {
+				if !d.Wants(s, c, dst) {
+					continue
+				}
+				path := dijkstraPath(t, s, dst, pathWeight)
+				if path == nil {
+					res.SolveTime = time.Since(start)
+					return res
+				}
+				at := 0
+				node := s
+				for _, l := range path {
+					k := at
+					if t.IsSwitch(topo.NodeID(node)) {
+						if !windowFree(l, k) {
+							res.SolveTime = time.Since(start)
+							return res
+						}
+					} else {
+						for !windowFree(l, k) {
+							k++
+							if k > maxEpochs {
+								res.SolveTime = time.Since(start)
+								return res
+							}
+						}
+					}
+					linkUsed[[2]int{l, k}]++
+					sends = append(sends, schedule.Send{
+						Src: s, Chunk: c, Link: topo.LinkID(l), Epoch: k, Fraction: 1,
+					})
+					at = k + delta[l] + kappa[l]
+					node = int(t.Link(topo.LinkID(l)).Dst)
+				}
+			}
+		}
+	}
+
+	numEpochs := 0
+	for _, snd := range sends {
+		if snd.Epoch+1 > numEpochs {
+			numEpochs = snd.Epoch + 1
+		}
+	}
+	epc := make([]int, nL)
+	copy(epc, kappa)
+	anyKappa := false
+	for _, k := range kappa {
+		if k > 1 {
+			anyKappa = true
+		}
+	}
+	if !anyKappa {
+		epc = nil
+	}
+	sch := &schedule.Schedule{
+		Topo: t, Demand: d, Tau: tau, NumEpochs: numEpochs,
+		Sends: sends, AllowCopy: true, EpochsPerChunk: epc,
+	}
+	if err := sch.Validate(); err != nil {
+		res.SolveTime = time.Since(start)
+		return res
+	}
+	res.Schedule = sch
+	res.Feasible = true
+	res.SolveTime = time.Since(start)
+	return res
+}

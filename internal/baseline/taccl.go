@@ -1,0 +1,328 @@
+// Package baseline implements the systems TE-CCL is evaluated against:
+// a TACCL-like two-phase routing/scheduling heuristic, an SCCL-like
+// synchronous-step synthesizer, a shortest-path-first scheduler, and
+// classic ring collectives. None of them co-optimize routing, scheduling,
+// copy, and α-pipelining the way TE-CCL's joint formulation does — that
+// gap is precisely what the paper's evaluation measures.
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// TACCLOptions tunes the TACCL-like heuristic.
+type TACCLOptions struct {
+	// Seed drives the randomized routing order and tie-breaks. The paper
+	// observes TACCL "produces different solutions in each run"; vary the
+	// seed to reproduce that.
+	Seed int64
+	// Restarts is the number of randomized routing/scheduling attempts;
+	// the best schedule wins. Default 100.
+	Restarts int
+	// MaxEpochs bounds the schedule length; beyond it the attempt is
+	// declared infeasible (reproducing the paper's X cases). 0 derives a
+	// generous bound.
+	MaxEpochs int
+	// Tau overrides the epoch duration (0 = fastest-link derivation).
+	Tau float64
+}
+
+// TACCLResult is the outcome of the TACCL-like heuristic.
+type TACCLResult struct {
+	Schedule  *schedule.Schedule
+	SolveTime time.Duration
+	Feasible  bool
+	Attempts  int
+}
+
+// SolveTACCL runs the TACCL-like two-phase heuristic: phase one routes
+// every (source, chunk, destination) triple over a congestion-aware
+// shortest path in randomized order; phase two list-schedules the hops
+// into epochs. Routing never sees scheduling conflicts — the decoupling
+// TACCL's design accepts and §2.1 criticizes — so quality trails the
+// joint optimization, and tight instances can fail outright.
+func SolveTACCL(t *topo.Topology, d *collective.Demand, opt TACCLOptions) *TACCLResult {
+	start := time.Now()
+	restarts := opt.Restarts
+	if restarts <= 0 {
+		restarts = 100
+	}
+	res := &TACCLResult{}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	bestFinish := math.Inf(1)
+	for a := 0; a < restarts; a++ {
+		s := tacclAttempt(t, d, rng, opt)
+		res.Attempts++
+		if s == nil {
+			continue
+		}
+		if ft := s.FinishTime(); ft < bestFinish {
+			bestFinish = ft
+			res.Schedule = s
+			res.Feasible = true
+		}
+	}
+	res.SolveTime = time.Since(start)
+	return res
+}
+
+// triple is one (source, chunk, destination) demand unit.
+type triple struct {
+	src, chunk, dst int
+}
+
+func tacclAttempt(t *topo.Topology, d *collective.Demand, rng *rand.Rand, opt TACCLOptions) *schedule.Schedule {
+	tau := opt.Tau
+	if tau == 0 {
+		tau = d.ChunkBytes / t.MaxCapacity()
+	}
+	nL := t.NumLinks()
+	delta := make([]int, nL)
+	kappa := make([]int, nL)
+	capChunks := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		lk := t.Link(topo.LinkID(l))
+		if lk.Alpha > 0 {
+			delta[l] = int(math.Ceil(lk.Alpha/tau - 1e-9))
+		}
+		capChunks[l] = lk.Capacity * tau / d.ChunkBytes
+		if capChunks[l] >= 1-1e-9 {
+			kappa[l] = 1
+		} else {
+			kappa[l] = int(math.Ceil(1/capChunks[l] - 1e-9))
+		}
+	}
+	maxEpochs := opt.MaxEpochs
+	if maxEpochs == 0 {
+		maxHop := 1
+		for l := 0; l < nL; l++ {
+			if h := delta[l] + kappa[l]; h > maxHop {
+				maxHop = h
+			}
+		}
+		maxEpochs = 4*maxHop + 4*d.NumChunks()*d.NumNodes()
+	}
+
+	// Demand triples in randomized order (TACCL's run-to-run variance).
+	var triples []triple
+	for s := 0; s < d.NumNodes(); s++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			for dst := 0; dst < d.NumNodes(); dst++ {
+				if d.Wants(s, c, dst) {
+					triples = append(triples, triple{s, c, dst})
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+
+	// Phase 1: congestion-aware shortest paths (load feedback, but no
+	// view of timing).
+	load := make([]float64, nL)
+	paths := make([][]int, len(triples)) // link IDs per triple
+	for i, tr := range triples {
+		path := dijkstraPath(t, tr.src, tr.dst, func(l int) float64 {
+			lk := t.Link(topo.LinkID(l))
+			base := lk.Alpha + d.ChunkBytes/lk.Capacity
+			// Congestion penalty plus a small random jitter for
+			// tie-breaking diversity.
+			return base * (1 + load[l]) * (1 + 0.05*rng.Float64())
+		})
+		if path == nil {
+			return nil
+		}
+		for _, l := range path {
+			load[l]++
+		}
+		paths[i] = path
+	}
+
+	// Phase 2: list scheduling. Chunks become available at nodes as hops
+	// complete; shared (chunk, link, epoch) hops are deduplicated, which
+	// gives the heuristic prefix-sharing multicast.
+	type hopKey struct {
+		src, chunk, link int
+	}
+	scheduledHop := map[hopKey]int{} // -> epoch of the existing send
+	linkUsed := map[[2]int]float64{} // (link, epoch) -> chunks
+	var sends []schedule.Send
+
+	windowFree := func(l, k int) bool {
+		used := 0.0
+		for kk := k - kappa[l] + 1; kk <= k; kk++ {
+			if kk >= 0 {
+				used += linkUsed[[2]int{l, kk}]
+			}
+		}
+		return used+1 <= capChunks[l]*float64(kappa[l])+1e-9
+	}
+
+	emit := func(tr triple, l, k int) {
+		linkUsed[[2]int{l, k}]++
+		scheduledHop[hopKey{tr.src, tr.chunk, l}] = k
+		sends = append(sends, schedule.Send{
+			Src: tr.src, Chunk: tr.chunk,
+			Link: topo.LinkID(l), Epoch: k, Fraction: 1,
+		})
+	}
+
+	for i, tr := range triples {
+		at := 0 // chunk forwardable at the path head from epoch 0
+		path := paths[i]
+		for h := 0; h < len(path); {
+			l := path[h]
+			lk := t.Link(topo.LinkID(l))
+			hk := hopKey{tr.src, tr.chunk, l}
+
+			if t.IsSwitch(lk.Dst) {
+				// Switch traversal is scheduled atomically, like TACCL's
+				// hyper-edges: the switch cannot buffer, so the out-hop
+				// must fire the exact epoch the chunk arrives.
+				if h+1 >= len(path) {
+					return nil // path cannot end at a switch
+				}
+				l2 := path[h+1]
+				if t.IsSwitch(t.Link(topo.LinkID(l2)).Dst) {
+					return nil // switch-switch chains unsupported
+				}
+				hk2 := hopKey{tr.src, tr.chunk, l2}
+				advance := func(outEpoch int) {
+					at = outEpoch + delta[l2] + kappa[l2]
+					h += 2
+				}
+				if e2, ok := scheduledHop[hk2]; ok {
+					// This chunk already crosses the switch on this
+					// out-link, with its own valid feed: free ride.
+					advance(e2)
+					continue
+				}
+				if e, ok := scheduledHop[hk]; ok {
+					// The in-hop exists: forward exactly when it lands,
+					// if the out window allows.
+					k2 := e + delta[l] + kappa[l]
+					if windowFree(l2, k2) {
+						emit(tr, l2, k2)
+						advance(k2)
+						continue
+					}
+					// Otherwise fall through and push a second copy in.
+				}
+				k := at
+				for !(windowFree(l, k) && windowFree(l2, k+delta[l]+kappa[l])) {
+					k++
+					if k > maxEpochs {
+						return nil
+					}
+				}
+				emit(tr, l, k)
+				k2 := k + delta[l] + kappa[l]
+				emit(tr, l2, k2)
+				advance(k2)
+				continue
+			}
+
+			// GPU-to-GPU hop.
+			if e, ok := scheduledHop[hk]; ok {
+				// Reuse the existing transmission (shared path prefix).
+				at = e + delta[l] + kappa[l]
+				h++
+				continue
+			}
+			k := at
+			for !windowFree(l, k) {
+				k++
+				if k > maxEpochs {
+					return nil
+				}
+			}
+			emit(tr, l, k)
+			at = k + delta[l] + kappa[l]
+			h++
+		}
+		if at-1 >= maxEpochs {
+			return nil
+		}
+	}
+
+	numEpochs := 0
+	for _, snd := range sends {
+		if snd.Epoch+1 > numEpochs {
+			numEpochs = snd.Epoch + 1
+		}
+	}
+	epc := make([]int, nL)
+	copy(epc, kappa)
+	anyKappa := false
+	for _, k := range kappa {
+		if k > 1 {
+			anyKappa = true
+		}
+	}
+	if !anyKappa {
+		epc = nil
+	}
+	s := &schedule.Schedule{
+		Topo: t, Demand: d, Tau: tau, NumEpochs: numEpochs,
+		Sends: sends, AllowCopy: true, EpochsPerChunk: epc,
+	}
+	if err := s.Validate(); err != nil {
+		return nil
+	}
+	return s
+}
+
+// dijkstraPath returns the link IDs of the cheapest src->dst path under
+// the given per-link weight, or nil if unreachable.
+func dijkstraPath(t *topo.Topology, src, dst int, weight func(l int) float64) []int {
+	n := t.NumNodes()
+	dist := make([]float64, n)
+	from := make([]int, n) // incoming link on the best path
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		from[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				u, best = i, dist[i]
+			}
+		}
+		if u == -1 || u == dst {
+			break
+		}
+		done[u] = true
+		for _, lid := range t.Out(topo.NodeID(u)) {
+			l := int(lid)
+			v := int(t.Link(lid).Dst)
+			if w := dist[u] + weight(l); w < dist[v] {
+				dist[v] = w
+				from[v] = l
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		l := from[v]
+		if l < 0 {
+			return nil
+		}
+		rev = append(rev, l)
+		v = int(t.Link(topo.LinkID(l)).Src)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

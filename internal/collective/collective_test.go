@@ -1,0 +1,266 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllGather(t *testing.T) {
+	gpus := []int{0, 1, 2, 3}
+	d := AllGather(4, gpus, 2, 1024)
+	// Each of 4 sources: 2 chunks x 3 destinations = 24 triples.
+	if got := d.Count(); got != 24 {
+		t.Fatalf("count = %d, want 24", got)
+	}
+	if !d.Wants(0, 1, 3) {
+		t.Fatal("gpu3 should want chunk 1 of gpu0")
+	}
+	if d.Wants(0, 0, 0) {
+		t.Fatal("a node never demands its own chunk")
+	}
+	// Output buffer per GPU: 3 sources x 2 chunks x 1024 bytes.
+	if got := d.OutputBufferBytes(2); got != 6*1024 {
+		t.Fatalf("output buffer = %g, want 6144", got)
+	}
+}
+
+func TestAllToAllDistinctChunks(t *testing.T) {
+	gpus := []int{0, 1, 2}
+	d := AllToAll(3, gpus, 2, 100)
+	// Each chunk of a source is wanted by exactly one destination.
+	for s := 0; s < 3; s++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			count := 0
+			for dst := 0; dst < 3; dst++ {
+				if d.Wants(s, c, dst) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("src %d chunk %d wanted by %d dests, want 1", s, c, count)
+			}
+		}
+	}
+	// 2 chunks to each of 2 other GPUs.
+	if got := d.NumChunks(); got != 4 {
+		t.Fatalf("chunks per source = %d, want 4", got)
+	}
+	if got := d.Count(); got != 12 {
+		t.Fatalf("count = %d, want 12", got)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	d := Broadcast(5, []int{0, 1, 2, 3}, 1, 3, 10)
+	if got := d.Count(); got != 9 { // 3 chunks x 3 other GPUs
+		t.Fatalf("count = %d, want 9", got)
+	}
+	if d.Wants(1, 0, 1) {
+		t.Fatal("root wants nothing")
+	}
+	if !d.Wants(1, 2, 3) {
+		t.Fatal("gpu3 should want root chunk 2")
+	}
+	// Node 4 not participating.
+	if d.Wants(1, 0, 4) {
+		t.Fatal("non-participant should not be a destination")
+	}
+}
+
+func TestScatterGather(t *testing.T) {
+	s := Scatter(4, []int{0, 1, 2, 3}, 0, 1, 10)
+	if got := s.Count(); got != 3 {
+		t.Fatalf("scatter count = %d, want 3", got)
+	}
+	// Each destination gets a unique chunk.
+	seen := map[int]bool{}
+	for dst := 1; dst < 4; dst++ {
+		ch := s.DestWantsFromSource(0, dst)
+		if len(ch) != 1 {
+			t.Fatalf("dst %d wants %d chunks, want 1", dst, len(ch))
+		}
+		if seen[ch[0]] {
+			t.Fatalf("chunk %d assigned twice", ch[0])
+		}
+		seen[ch[0]] = true
+	}
+
+	g := Gather(4, []int{0, 1, 2, 3}, 0, 2, 10)
+	if got := g.Count(); got != 6 {
+		t.Fatalf("gather count = %d, want 6", got)
+	}
+	if !g.Wants(3, 1, 0) {
+		t.Fatal("root should want chunk 1 of gpu3")
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	d := ReduceScatter(3, []int{0, 1, 2}, 10)
+	// Shard i of every source goes to gpu i.
+	if !d.Wants(0, 1, 1) || !d.Wants(2, 0, 0) {
+		t.Fatal("shard routing wrong")
+	}
+	if d.Wants(1, 1, 1) {
+		t.Fatal("self-demand present")
+	}
+	if got := d.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+}
+
+func TestOrMultiTenant(t *testing.T) {
+	a := AllGather(4, []int{0, 1}, 1, 10)
+	b := AllGather(4, []int{2, 3}, 1, 10)
+	a.Or(b)
+	if !a.Wants(0, 0, 1) || !a.Wants(2, 0, 3) {
+		t.Fatal("union missing demands")
+	}
+	if a.Count() != 4 {
+		t.Fatalf("count = %d, want 4", a.Count())
+	}
+}
+
+func TestOrShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := New(3, 1, 10)
+	b := New(4, 1, 10)
+	a.Or(b)
+}
+
+func TestClone(t *testing.T) {
+	a := AllGather(3, []int{0, 1, 2}, 1, 10)
+	b := a.Clone()
+	b.Set(0, 0, 1) // no-op, already set
+	if b.Count() != a.Count() {
+		t.Fatal("clone diverged")
+	}
+	c := New(3, 1, 10)
+	c.Or(a)
+	c.Set(1, 0, 2)
+	if a.Count() != 6 {
+		t.Fatal("clone source mutated")
+	}
+}
+
+func TestSourceHasChunk(t *testing.T) {
+	d := Scatter(4, []int{0, 1, 2, 3}, 0, 1, 10)
+	if !d.SourceHasChunk(0, 0) {
+		t.Fatal("root chunk 0 should exist")
+	}
+	if d.SourceHasChunk(1, 0) {
+		t.Fatal("gpu1 has no demanded chunks in scatter")
+	}
+}
+
+func TestSetSelfIgnored(t *testing.T) {
+	d := New(3, 1, 10)
+	d.Set(1, 0, 1)
+	if d.Count() != 0 {
+		t.Fatal("self demand should be ignored")
+	}
+}
+
+func TestBadDimensionsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 10) },
+		func() { New(1, 0, 10) },
+		func() { New(1, 1, 0) },
+		func() { New(2, 1, 10).Wants(5, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	d := AllGather(3, []int{0, 1, 2}, 2, 100)
+	if got := d.TotalBytes(); got != 1200 {
+		t.Fatalf("total = %g, want 1200", got)
+	}
+	if got := d.MaxOutputBufferBytes(); got != 400 {
+		t.Fatalf("max output buffer = %g, want 400", got)
+	}
+}
+
+// TestQuickAllGatherSymmetry: in an ALLGATHER over any GPU subset, demand
+// is symmetric — dst wants chunk c of src iff src wants chunk c of dst.
+func TestQuickAllGatherSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		gpus := make([]int, n)
+		for i := range gpus {
+			gpus[i] = i
+		}
+		ch := 1 + rng.Intn(3)
+		d := AllGather(n, gpus, ch, 64)
+		for s := 0; s < n; s++ {
+			for dst := 0; dst < n; dst++ {
+				for c := 0; c < ch; c++ {
+					if d.Wants(s, c, dst) != d.Wants(dst, c, s) {
+						return false
+					}
+				}
+			}
+		}
+		// Every node's output buffer equals (n-1)*ch chunks.
+		for dst := 0; dst < n; dst++ {
+			if d.OutputBufferBytes(dst) != float64((n-1)*ch)*64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAllToAllPartition: the chunk sets sent to distinct destinations
+// partition each source's chunk space.
+func TestQuickAllToAllPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		gpus := make([]int, n)
+		for i := range gpus {
+			gpus[i] = i
+		}
+		k := 1 + rng.Intn(3)
+		d := AllToAll(n, gpus, k, 64)
+		for s := 0; s < n; s++ {
+			used := map[int]bool{}
+			total := 0
+			for dst := 0; dst < n; dst++ {
+				if dst == s {
+					continue
+				}
+				for _, c := range d.DestWantsFromSource(s, dst) {
+					if used[c] {
+						return false
+					}
+					used[c] = true
+					total++
+				}
+			}
+			if total != k*(n-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package collective
+
+import (
+	"testing"
+)
+
+func TestExpandPerDestinationAllGather(t *testing.T) {
+	d := AllGather(4, []int{0, 1, 2, 3}, 1, 100)
+	e := d.ExpandPerDestination()
+	// One chunk to 3 destinations becomes 3 distinct chunks.
+	if e.NumChunks() != 3 {
+		t.Fatalf("chunks = %d, want 3", e.NumChunks())
+	}
+	if e.Count() != d.Count() {
+		t.Fatalf("triple count changed: %d -> %d", d.Count(), e.Count())
+	}
+	if e.HasMulticast() {
+		t.Fatal("expanded demand must have no multicast chunks")
+	}
+	// Volumes preserved.
+	for dst := 0; dst < 4; dst++ {
+		if e.OutputBufferBytes(dst) != d.OutputBufferBytes(dst) {
+			t.Fatalf("dst %d volume changed", dst)
+		}
+	}
+	if e.ChunkBytes != d.ChunkBytes {
+		t.Fatal("chunk size changed")
+	}
+}
+
+func TestExpandIdempotentOnUnicast(t *testing.T) {
+	d := AllToAll(3, []int{0, 1, 2}, 2, 50)
+	if d.HasMulticast() {
+		t.Fatal("alltoall should be unicast per chunk")
+	}
+	e := d.ExpandPerDestination()
+	if e.Count() != d.Count() || e.TotalBytes() != d.TotalBytes() {
+		t.Fatal("expansion changed a unicast demand's volume")
+	}
+}
+
+func TestHasMulticast(t *testing.T) {
+	d := New(3, 1, 10)
+	d.Set(0, 0, 1)
+	if d.HasMulticast() {
+		t.Fatal("single destination is not multicast")
+	}
+	d.Set(0, 0, 2)
+	if !d.HasMulticast() {
+		t.Fatal("two destinations is multicast")
+	}
+}
+
+func TestExpandBroadcast(t *testing.T) {
+	d := Broadcast(5, []int{0, 1, 2, 3, 4}, 2, 2, 10)
+	e := d.ExpandPerDestination()
+	// 2 chunks x 4 destinations = 8 distinct commodities from the root.
+	if e.NumChunks() != 8 {
+		t.Fatalf("chunks = %d, want 8", e.NumChunks())
+	}
+	if e.Count() != 8 {
+		t.Fatalf("count = %d, want 8", e.Count())
+	}
+	// Every expanded chunk has exactly one destination.
+	for c := 0; c < e.NumChunks(); c++ {
+		n := 0
+		for dst := 0; dst < 5; dst++ {
+			if e.Wants(2, c, dst) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("chunk %d has %d destinations", c, n)
+		}
+	}
+}

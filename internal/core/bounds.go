@@ -1,0 +1,112 @@
+package core
+
+import (
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// sendsFinishEpoch returns the latest arrival epoch of a send list.
+func sendsFinishEpoch(in *instance, sends []schedule.Send) int {
+	finish := 0
+	for _, snd := range sends {
+		l := int(snd.Link)
+		if ae := snd.Epoch + in.delta[l] + in.kappa[l] - 1; ae > finish {
+			finish = ae
+		}
+	}
+	return finish
+}
+
+// lpGreedyBound computes a feasible no-copy completion epoch by routing
+// every (source, chunk, destination) triple along its hop-shortest path
+// with greedy windowed list scheduling — a quick SPF-style upper bound
+// that tightens the LP horizon far below the analytic estimate. Returns
+// -1 when the greedy fails.
+func lpGreedyBound(in *instance) int {
+	t := in.topo
+	d := in.demand
+	hop := in.hopDistances()
+	_ = hop
+
+	// Next-hop routing toward each destination along δ+κ shortest paths.
+	// Precompute per-destination next-hop link from each node.
+	nN := t.NumNodes()
+	next := make([][]int, nN) // next[dst][node] = link toward dst, -1 none
+	dist := in.hopDistances()
+	for dst := 0; dst < nN; dst++ {
+		next[dst] = make([]int, nN)
+		for n := range next[dst] {
+			next[dst][n] = -1
+		}
+		for n := 0; n < nN; n++ {
+			if n == dst {
+				continue
+			}
+			bestLink, bestCost := -1, 0.0
+			for _, lid := range t.Out(topo.NodeID(n)) {
+				l := int(lid)
+				lk := t.Link(lid)
+				c := float64(in.delta[l]+in.kappa[l]) + dist[lk.Dst][dst]
+				if bestLink == -1 || c < bestCost {
+					bestLink, bestCost = l, c
+				}
+			}
+			if bestCost < float64(10*in.K+1000) {
+				next[dst][n] = bestLink
+			}
+		}
+	}
+
+	linkUsed := map[[2]int]float64{}
+	windowFree := func(l, k int) bool {
+		kap := in.kappa[l]
+		used := 0.0
+		for kk := k - kap + 1; kk <= k; kk++ {
+			if kk >= 0 {
+				used += linkUsed[[2]int{l, kk}]
+			}
+		}
+		return used+1 <= in.capChunks[l]*float64(kap)+1e-9
+	}
+
+	horizon := 16*in.K + 64
+	finish := 0
+	for s := 0; s < d.NumNodes(); s++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			for dst := 0; dst < d.NumNodes(); dst++ {
+				if !d.Wants(s, c, dst) {
+					continue
+				}
+				at := 0
+				node := s
+				for node != dst {
+					l := next[dst][node]
+					if l < 0 {
+						return -1
+					}
+					k := at
+					if t.IsSwitch(topo.NodeID(node)) {
+						if !windowFree(l, k) {
+							return -1
+						}
+					} else {
+						for !windowFree(l, k) {
+							k++
+							if k > horizon {
+								return -1
+							}
+						}
+					}
+					linkUsed[[2]int{l, k}]++
+					arr := k + in.delta[l] + in.kappa[l] - 1
+					if arr > finish {
+						finish = arr
+					}
+					at = arr + 1
+					node = int(t.Link(topo.LinkID(l)).Dst)
+				}
+			}
+		}
+	}
+	return finish
+}

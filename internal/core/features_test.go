@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// TestPriorityFavorsTenant: two tenants contend for one link; the
+// prioritized tenant's chunk must ship first (§5 multi-tenant priority).
+func TestPriorityFavorsTenant(t *testing.T) {
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 2, 1e6)
+	d.Set(0, 0, 1) // tenant A: chunk 0
+	d.Set(0, 1, 1) // tenant B: chunk 1
+
+	solveWithPriority := func(favored int) int {
+		res, err := SolveMILP(tp, d, Options{
+			Epochs:               4,
+			NoIncumbentHeuristic: true,
+			Priority: func(src, chunk, dst int) float64 {
+				if chunk == favored {
+					return 10
+				}
+				return 1
+			},
+		})
+		if err != nil {
+			t.Fatalf("SolveMILP: %v", err)
+		}
+		// Which chunk ships in epoch 0?
+		for _, snd := range res.Schedule.Sends {
+			if snd.Epoch == 0 {
+				return snd.Chunk
+			}
+		}
+		t.Fatal("no epoch-0 send")
+		return -1
+	}
+	if got := solveWithPriority(1); got != 1 {
+		t.Fatalf("favoring chunk 1: epoch-0 send is chunk %d", got)
+	}
+	if got := solveWithPriority(0); got != 0 {
+		t.Fatalf("favoring chunk 0: epoch-0 send is chunk %d", got)
+	}
+}
+
+// TestPriorityInLP: the LP form honors per-pair priority too.
+func TestPriorityInLP(t *testing.T) {
+	// Two sources push through a shared bottleneck to one destination.
+	tp := topo.New("y")
+	a := tp.AddNode("a", false)
+	b := tp.AddNode("b", false)
+	h := tp.AddNode("h", false)
+	dn := tp.AddNode("d", false)
+	tp.AddLink(a, h, 1e9, 0)
+	tp.AddLink(b, h, 1e9, 0)
+	tp.AddLink(h, dn, 1e9, 0) // bottleneck
+	d := collective.New(4, 1, 1e6)
+	d.Set(int(a), 0, int(dn))
+	d.Set(int(b), 0, int(dn))
+
+	finishOf := func(favored int) (fa, fb int) {
+		res, err := SolveLP(tp, d, Options{
+			Epochs: 6,
+			Priority: func(src, chunk, dst int) float64 {
+				if src == favored {
+					return 10
+				}
+				return 1
+			},
+		})
+		if err != nil {
+			t.Fatalf("SolveLP: %v", err)
+		}
+		fa, fb = -1, -1
+		for _, snd := range res.Schedule.Sends {
+			if tp.Link(snd.Link).Dst != dn {
+				continue
+			}
+			ae := res.Schedule.ArrivalEpoch(snd)
+			if snd.Src == int(a) && (fa < 0 || ae > fa) {
+				fa = ae
+			}
+			if snd.Src == int(b) && (fb < 0 || ae > fb) {
+				fb = ae
+			}
+		}
+		return fa, fb
+	}
+	fa, fb := finishOf(int(a))
+	if fa > fb {
+		t.Fatalf("favored source a finished at %d after b at %d", fa, fb)
+	}
+	fa, fb = finishOf(int(b))
+	if fb > fa {
+		t.Fatalf("favored source b finished at %d after a at %d", fb, fa)
+	}
+}
+
+// TestVariableBandwidthDelays: halving a link's capacity in early epochs
+// (variable bandwidth, §5) must delay the transfer accordingly.
+func TestVariableBandwidthDelays(t *testing.T) {
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 2, 1e6)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+
+	base, err := SolveMILP(tp, d, Options{Epochs: 8, NoIncumbentHeuristic: true})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	// Link dead for the first two epochs.
+	throttled, err := SolveMILP(tp, d, Options{
+		Epochs: 8, NoIncumbentHeuristic: true,
+		LinkCapacity: func(l topo.LinkID, epoch int) float64 {
+			if epoch < 2 {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatalf("throttled: %v", err)
+	}
+	bf, tf := base.Schedule.FinishEpoch(), throttled.Schedule.FinishEpoch()
+	if tf != bf+2 {
+		t.Fatalf("throttling 2 epochs moved finish %d -> %d, want +2", bf, tf)
+	}
+	// No send may use the dead epochs.
+	for _, snd := range throttled.Schedule.Sends {
+		if snd.Epoch < 2 {
+			t.Fatalf("send scheduled in a zero-capacity epoch: %+v", snd)
+		}
+	}
+}
+
+// TestVariableBandwidthLP: the LP form honors the capacity schedule.
+func TestVariableBandwidthLP(t *testing.T) {
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 1, 1e6)
+	d.Set(0, 0, 1)
+	res, err := SolveLP(tp, d, Options{
+		Epochs: 6,
+		LinkCapacity: func(l topo.LinkID, epoch int) float64 {
+			if epoch == 0 {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatalf("SolveLP: %v", err)
+	}
+	for _, snd := range res.Schedule.Sends {
+		if snd.Epoch == 0 && snd.Fraction > 1e-9 {
+			t.Fatalf("LP used a zero-capacity epoch: %+v", snd)
+		}
+	}
+	if fe := res.Schedule.FinishEpoch(); fe != 1 {
+		t.Fatalf("finish epoch = %d, want 1", fe)
+	}
+}
+
+// TestNeutralHooksMatchDefault: nil and identity hooks give identical
+// schedules.
+func TestNeutralHooksMatchDefault(t *testing.T) {
+	tp := topo.Ring(4, 1e9, 0)
+	gpus := []int{0, 1, 2, 3}
+	d := collective.AllGather(4, gpus, 1, 1e6)
+	a, err := SolveMILP(tp, d, Options{Epochs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveMILP(tp, d, Options{
+		Epochs:       3,
+		Priority:     func(int, int, int) float64 { return 1 },
+		LinkCapacity: func(topo.LinkID, int) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.FinishEpoch() != b.Schedule.FinishEpoch() {
+		t.Fatal("neutral hooks changed the schedule quality")
+	}
+}
+
+// TestMinimizeMakespan: the reward-sum objective may trade the last
+// arrival for earlier intermediate ones; MinimizeMakespan pins the true
+// minimum finish epoch (the paper's binary search on epochs).
+func TestMinimizeMakespanNotWorse(t *testing.T) {
+	tp := topo.Internal2(2)
+	gpus := []int{1, 2, 3, 4}
+	d := collective.AllGather(tp.NumNodes(), gpus, 1, 250e3)
+	plain, err := SolveMILP(tp, d, Options{EpochMode: FastestLink})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	tight, err := SolveMILP(tp, d, Options{EpochMode: FastestLink, MinimizeMakespan: true})
+	if err != nil {
+		t.Fatalf("tight: %v", err)
+	}
+	if tight.Schedule.FinishEpoch() > plain.Schedule.FinishEpoch() {
+		t.Fatalf("makespan mode worsened finish: %d > %d",
+			tight.Schedule.FinishEpoch(), plain.Schedule.FinishEpoch())
+	}
+	if tight.Tau != plain.Tau {
+		t.Fatal("makespan refinement changed tau")
+	}
+}
+
+// TestMinimizeMakespanLP mirrors the check for the LP form.
+func TestMinimizeMakespanLP(t *testing.T) {
+	tp := topo.Internal2(2)
+	gpus := []int{1, 2, 3, 4}
+	d := collective.AllToAll(tp.NumNodes(), gpus, 1, 250e3)
+	plain, err := SolveLP(tp, d, Options{EpochMode: FastestLink})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	tight, err := SolveLP(tp, d, Options{EpochMode: FastestLink, MinimizeMakespan: true})
+	if err != nil {
+		t.Fatalf("tight: %v", err)
+	}
+	if tight.Schedule.FinishEpoch() > plain.Schedule.FinishEpoch() {
+		t.Fatalf("makespan mode worsened finish: %d > %d",
+			tight.Schedule.FinishEpoch(), plain.Schedule.FinishEpoch())
+	}
+}

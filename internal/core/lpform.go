@@ -1,0 +1,616 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/lp"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// lpModel holds the per-source variable indexing of the LP form (§4.1):
+// copy support removed, chunk indexes dropped, everything continuous.
+type lpModel struct {
+	in      *instance
+	p       *lp.Problem
+	sources []int
+	// dem[si][d]: chunks destination d wants from source si.
+	dem [][]float64
+	// earliest[si][n]: epoch windows per source.
+	earliest [][]int
+	// fvar[si][l][k], bvar[si][n][k] (k in 0..K), rvar[si][d][k].
+	fvar [][][]int32
+	bvar [][][]int32
+	rvar [][][]int32
+}
+
+// landEpoch is the epoch by whose end a send at epoch e on link l is
+// resident at the destination.
+func (in *instance) landEpoch(l, e int) int { return e + in.delta[l] + in.kappa[l] - 1 }
+
+// buildLP constructs the linear program of §4.1 with the Appendix A
+// initialization and termination handling.
+func buildLP(in *instance) *lpModel {
+	t := in.topo
+	d := in.demand
+	K := in.K
+	nL := t.NumLinks()
+	nN := t.NumNodes()
+
+	m := &lpModel{in: in, p: lp.NewProblem(lp.Maximize)}
+	p := m.p
+
+	// Sources and per-destination demand counts.
+	srcIdx := make([]int, nN)
+	for n := range srcIdx {
+		srcIdx[n] = -1
+	}
+	for s := 0; s < nN; s++ {
+		var row []float64
+		total := 0.0
+		for dst := 0; dst < nN; dst++ {
+			cnt := float64(len(d.DestWantsFromSource(s, dst)))
+			if row == nil && cnt > 0 {
+				row = make([]float64, nN)
+			}
+			if cnt > 0 {
+				row[dst] = cnt
+				total += cnt
+			}
+		}
+		if total > 0 {
+			srcIdx[s] = len(m.sources)
+			m.sources = append(m.sources, s)
+			m.dem = append(m.dem, row)
+		}
+	}
+
+	// Reachability windows per source.
+	hop := in.hopDistances()
+	m.earliest = make([][]int, len(m.sources))
+	for si, s := range m.sources {
+		e := make([]int, nN)
+		for n := range e {
+			if math.IsInf(hop[s][n], 1) {
+				e[n] = K + 1
+			} else {
+				e[n] = int(hop[s][n])
+			}
+		}
+		m.earliest[si] = e
+	}
+
+	isBuffered := func(si, n int) bool {
+		if t.IsSwitch(topo.NodeID(n)) {
+			return false
+		}
+		if n == m.sources[si] {
+			return true
+		}
+		if in.opt.NoBuffers && m.dem[si][n] == 0 {
+			return false
+		}
+		return true
+	}
+
+	// Flow variables.
+	m.fvar = make([][][]int32, len(m.sources))
+	for si, s := range m.sources {
+		m.fvar[si] = make([][]int32, nL)
+		for l := 0; l < nL; l++ {
+			col := make([]int32, K)
+			for k := range col {
+				col[k] = noVar
+			}
+			m.fvar[si][l] = col
+			lk := t.Link(topo.LinkID(l))
+			for k := 0; k < K; k++ {
+				if m.earliest[si][lk.Src] > k {
+					continue
+				}
+				if in.landEpoch(l, k) > K-1 {
+					continue
+				}
+				if int(lk.Dst) == s {
+					continue
+				}
+				col[k] = int32(p.AddVar(fmt.Sprintf("f[s%d,l%d,k%d]", s, l, k), 0, lp.Inf, 0))
+			}
+		}
+	}
+
+	// Buffer variables (inventory semantics: what remains to forward).
+	m.bvar = make([][][]int32, len(m.sources))
+	for si, s := range m.sources {
+		m.bvar[si] = make([][]int32, nN)
+		for n := 0; n < nN; n++ {
+			col := make([]int32, K+1)
+			for k := range col {
+				col[k] = noVar
+			}
+			m.bvar[si][n] = col
+			if !isBuffered(si, n) {
+				continue
+			}
+			lo := m.earliest[si][n]
+			if n == s {
+				lo = 0
+			}
+			for k := lo; k <= K; k++ {
+				col[k] = int32(p.AddVar(fmt.Sprintf("b[s%d,n%d,k%d]", s, n, k), 0, lp.Inf, 0))
+			}
+		}
+	}
+
+	// Read variables with time-discounted rewards. The paper's objective
+	// sums cumulative reads weighted 1/(k+1); consuming at epoch k earns
+	// the tail weight sum_{j>=k} 1/(j+1).
+	tail := make([]float64, K+1)
+	for k := K - 1; k >= 0; k-- {
+		tail[k] = tail[k+1] + 1/float64(k+1)
+	}
+	m.rvar = make([][][]int32, len(m.sources))
+	for si, s := range m.sources {
+		m.rvar[si] = make([][]int32, nN)
+		for dst := 0; dst < nN; dst++ {
+			col := make([]int32, K)
+			for k := range col {
+				col[k] = noVar
+			}
+			m.rvar[si][dst] = col
+			if m.dem[si][dst] == 0 {
+				continue
+			}
+			// Consumption may happen the epoch an arrival lands, one
+			// epoch before the chunk becomes forwardable.
+			lo := m.earliest[si][dst] - 1
+			if lo < 0 {
+				lo = 0
+			}
+			prio := 1.0
+			if in.opt.Priority != nil {
+				// The LP aggregates chunks per (source, destination); use
+				// the first demanded chunk's priority for the pair.
+				if cs := in.demand.DestWantsFromSource(s, dst); len(cs) > 0 {
+					prio = in.opt.priorityOf(s, cs[0], dst)
+				}
+			}
+			for k := lo; k < K; k++ {
+				col[k] = int32(p.AddVar(fmt.Sprintf("r[s%d,d%d,k%d]", s, dst, k), 0, m.dem[si][dst], prio*tail[k]))
+			}
+		}
+	}
+
+	fAt := func(si, l, k int) int32 {
+		if k < 0 || k >= K {
+			return noVar
+		}
+		return m.fvar[si][l][k]
+	}
+
+	// Initialization (Appendix A): the source's inventory plus its
+	// epoch-0 sends equal its total supply.
+	for si, s := range m.sources {
+		supply := 0.0
+		for dst := 0; dst < nN; dst++ {
+			supply += m.dem[si][dst]
+		}
+		terms := []lp.Term{{Var: lp.VarID(m.bvar[si][s][0]), Coeff: 1}}
+		for _, lid := range t.Out(topo.NodeID(s)) {
+			if f := m.fvar[si][int(lid)][0]; f != noVar {
+				terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: 1})
+			}
+		}
+		p.AddRow(terms, lp.EQ, supply)
+	}
+
+	// Conservation for buffered nodes:
+	//   B_k + in(k) = B_{k+1} + R_k + out(k+1)
+	// where in(k) are sends landing during epoch k (sent at k-δ-κ+1) and
+	// out(k+1) are sends departing at epoch k+1.
+	for si := range m.sources {
+		for n := 0; n < nN; n++ {
+			if !isBuffered(si, n) {
+				continue
+			}
+			for k := 0; k < K; k++ {
+				var terms []lp.Term
+				if b := m.bvar[si][n][k]; b != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(b), Coeff: 1})
+				}
+				for _, lid := range t.In(topo.NodeID(n)) {
+					l := int(lid)
+					if f := fAt(si, l, k-in.delta[l]-in.kappa[l]+1); f != noVar {
+						terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+				if b := m.bvar[si][n][k+1]; b != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(b), Coeff: -1})
+				}
+				if r := m.rvar[si][n][k]; r != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(r), Coeff: -1})
+				}
+				if k+1 < K {
+					for _, lid := range t.Out(topo.NodeID(n)) {
+						if f := m.fvar[si][int(lid)][k+1]; f != noVar {
+							terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: -1})
+						}
+					}
+				}
+				if len(terms) == 0 {
+					continue
+				}
+				p.AddRow(terms, lp.EQ, 0)
+			}
+		}
+	}
+
+	// Bufferless nodes (switches and, under NoBuffers, pass-through
+	// GPUs): outgoing flow at k is limited by arrivals forwardable
+	// exactly at k (landed during k-1).
+	for si := range m.sources {
+		for n := 0; n < nN; n++ {
+			if isBuffered(si, n) {
+				continue
+			}
+			for k := 0; k < K; k++ {
+				var out []lp.Term
+				for _, lid := range t.Out(topo.NodeID(n)) {
+					if f := m.fvar[si][int(lid)][k]; f != noVar {
+						out = append(out, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+				var inb []lp.Term
+				for _, lid := range t.In(topo.NodeID(n)) {
+					l := int(lid)
+					if f := fAt(si, l, k-in.delta[l]-in.kappa[l]); f != noVar {
+						inb = append(inb, lp.Term{Var: lp.VarID(f), Coeff: -1})
+					}
+				}
+				// Demanders always keep buffers for their own demand, so
+				// bufferless nodes here never consume — only relay.
+				if len(out) == 0 {
+					continue
+				}
+				if len(inb) == 0 {
+					for _, tm := range out {
+						p.SetBounds(tm.Var, 0, 0)
+					}
+					continue
+				}
+				p.AddRow(append(out, inb...), lp.LE, 0)
+			}
+		}
+	}
+
+	// Destination totals: each demander consumes exactly its demand.
+	for si := range m.sources {
+		for dst := 0; dst < nN; dst++ {
+			if m.dem[si][dst] == 0 {
+				continue
+			}
+			var terms []lp.Term
+			for k := 0; k < K; k++ {
+				if r := m.rvar[si][dst][k]; r != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(r), Coeff: 1})
+				}
+			}
+			p.AddRow(terms, lp.EQ, m.dem[si][dst])
+		}
+	}
+
+	// Capacity, windowed per Appendix F, with per-epoch variable
+	// bandwidth (§5).
+	for l := 0; l < nL; l++ {
+		kap := in.kappa[l]
+		for k := 0; k < K; k++ {
+			var row []lp.Term
+			budget := 0.0
+			for kk := k - kap + 1; kk <= k; kk++ {
+				// The window budget is κ·T·τ even when truncated at the
+				// horizon start; clamp the bandwidth-scale epoch.
+				se := kk
+				if se < 0 {
+					se = 0
+				}
+				budget += in.capChunks[l] * in.opt.capScale(topo.LinkID(l), se)
+				if kk < 0 {
+					continue
+				}
+				for si := range m.sources {
+					if f := fAt(si, l, kk); f != noVar {
+						row = append(row, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+			}
+			if len(row) == 0 {
+				continue
+			}
+			p.AddRow(row, lp.LE, budget)
+		}
+	}
+
+	// Buffer limits (Appendix B): the LP only needs an upper bound on
+	// buffered inventory, excluding the source's own supply.
+	if in.opt.BufferLimitChunks > 0 {
+		for n := 0; n < nN; n++ {
+			if t.IsSwitch(topo.NodeID(n)) {
+				continue
+			}
+			for k := 1; k <= K; k++ {
+				var row []lp.Term
+				for si, s := range m.sources {
+					if s == n {
+						continue
+					}
+					if b := m.bvar[si][n][k]; b != noVar {
+						row = append(row, lp.Term{Var: lp.VarID(b), Coeff: 1})
+					}
+				}
+				if len(row) == 0 {
+					continue
+				}
+				p.AddRow(row, lp.LE, float64(in.opt.BufferLimitChunks))
+			}
+		}
+	}
+
+	return m
+}
+
+// SolveLP solves the linear-program form (§4.1): optimal for demands that
+// do not benefit from copy (ALLTOALL-like), and far more scalable than
+// the MILP. The resulting rate allocation is decomposed into per-chunk
+// fractional paths to produce an executable schedule.
+func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	start := time.Now()
+	// Without copy, a chunk wanted by several destinations is physically
+	// several transfers; give each its own commodity so schedules stay
+	// expressible (the result's Schedule.Demand is the expanded form).
+	if d.HasMulticast() {
+		d = d.ExpandPerDestination()
+	}
+	in := newInstance(t, d, opt)
+	if len(in.comms) == 0 {
+		r := emptyResult(in, start)
+		r.Schedule.AllowCopy = false
+		return r, nil
+	}
+	// Tighten an auto-estimated horizon with a quick greedy upper bound:
+	// the LP optimum finishes no later than the greedy schedule.
+	if opt.Epochs == 0 {
+		if bound := lpGreedyBound(in); bound >= 0 && bound+1 < in.K {
+			opt2 := opt
+			opt2.Epochs = bound + 1
+			in = newInstance(t, d, opt2)
+		}
+	}
+	m := buildLP(in)
+	var lpOpt lp.Options
+	if opt.TimeLimit > 0 {
+		lpOpt.Deadline = start.Add(opt.TimeLimit)
+	}
+	sol, err := lp.Solve(m.p, lpOpt)
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.StatusOptimal:
+	case lp.StatusInfeasible:
+		return nil, fmt.Errorf("core: LP infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
+	case lp.StatusIterLimit:
+		return nil, fmt.Errorf("core: LP hit its time/iteration budget with K=%d (tau=%g); raise TimeLimit or EpochMultiplier", in.K, in.tau)
+	default:
+		return nil, fmt.Errorf("core: LP solve failed: %v", sol.Status)
+	}
+
+	s, err := m.decompose(sol.X)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Schedule:  s,
+		Objective: sol.Objective,
+		Optimal:   true,
+		SolveTime: time.Since(start),
+		Epochs:    in.K,
+		Tau:       in.tau,
+	}
+	if opt.MinimizeMakespan {
+		for {
+			fe := res.Schedule.FinishEpoch()
+			if fe < 1 {
+				break
+			}
+			opt2 := opt
+			opt2.MinimizeMakespan = false
+			opt2.Epochs = fe
+			opt2.Tau = in.tau
+			tighter, err := SolveLP(t, d, opt2)
+			if err != nil {
+				break
+			}
+			if tighter.Schedule.FinishEpoch() >= fe {
+				break
+			}
+			tighter.SolveTime = time.Since(start)
+			res = tighter
+		}
+	}
+	return res, nil
+}
+
+const flowTol = 1e-7
+
+// decompose peels the LP's rate allocation into per-chunk fractional
+// paths — the DFS-like translation from rates to chunk schedules that
+// §4.1 describes.
+func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
+	in := m.in
+	t := in.topo
+	K := in.K
+
+	// Residual flows.
+	res := make([][][]float64, len(m.sources))
+	for si := range m.sources {
+		res[si] = make([][]float64, t.NumLinks())
+		for l := 0; l < t.NumLinks(); l++ {
+			res[si][l] = make([]float64, K)
+			for k := 0; k < K; k++ {
+				if f := m.fvar[si][l][k]; f != noVar {
+					res[si][l][k] = x[f]
+				}
+			}
+		}
+	}
+
+	type hop struct {
+		link  int
+		epoch int
+	}
+
+	// peel finds a backward path from (dst, consumed-by epoch k) to the
+	// source through positive residuals and returns the path (forward
+	// order) and its bottleneck fraction.
+	var peel func(si, node, landBy int, exact bool, want float64) ([]hop, float64)
+	peel = func(si, node, landBy int, exact bool, want float64) ([]hop, float64) {
+		s := m.sources[si]
+		if node == s {
+			return []hop{}, want
+		}
+		// Candidate incoming sends, preferring the latest landing.
+		type cand struct {
+			l, e, land int
+		}
+		var best *cand
+		for _, lid := range t.In(topo.NodeID(node)) {
+			l := int(lid)
+			for e := K - 1; e >= 0; e-- {
+				if res[si][l][e] <= flowTol {
+					continue
+				}
+				land := in.landEpoch(l, e)
+				if exact {
+					if land != landBy {
+						continue
+					}
+				} else if land > landBy {
+					continue
+				}
+				if best == nil || land > best.land {
+					best = &cand{l, e, land}
+				}
+				break // epochs scanned descending; first hit is latest
+			}
+		}
+		if best == nil {
+			return nil, 0
+		}
+		frac := math.Min(want, res[si][best.l][best.e])
+		up := int(t.Link(topo.LinkID(best.l)).Src)
+		upExact := t.IsSwitch(topo.NodeID(up)) ||
+			(in.opt.NoBuffers && up != s && m.dem[si][up] == 0)
+		// The upstream node must hold the fraction when the send departs:
+		// forwardable at best.e means landed by best.e-1.
+		path, got := peel(si, up, best.e-1, upExact, frac)
+		if path == nil {
+			// Temporarily exclude this candidate and retry.
+			saved := res[si][best.l][best.e]
+			res[si][best.l][best.e] = 0
+			path2, got2 := peel(si, node, landBy, exact, want)
+			res[si][best.l][best.e] = saved
+			return path2, got2
+		}
+		return append(path, hop{best.l, best.e}), got
+	}
+
+	var sends []schedule.Send
+	d := in.demand
+	for si, s := range m.sources {
+		for dst := 0; dst < d.NumNodes(); dst++ {
+			if m.dem[si][dst] == 0 {
+				continue
+			}
+			chunks := d.DestWantsFromSource(s, dst)
+			remaining := make([]float64, len(chunks))
+			for i := range remaining {
+				remaining[i] = 1
+			}
+			cursor := 0
+			for k := 0; k < K; k++ {
+				r := m.rvar[si][dst][k]
+				if r == noVar {
+					continue
+				}
+				need := x[r]
+				for need > flowTol {
+					path, got := peel(si, dst, k, false, need)
+					if path == nil || got <= flowTol {
+						return nil, fmt.Errorf("core: flow decomposition stuck for source %d dst %d epoch %d (%.6g undelivered)",
+							s, dst, k, need)
+					}
+					for _, h := range path {
+						res[si][h.link][h.epoch] -= got
+					}
+					need -= got
+					// Assign the peeled fraction to chunk IDs in order,
+					// splitting across chunk boundaries.
+					left := got
+					for left > flowTol && cursor < len(chunks) {
+						take := math.Min(left, remaining[cursor])
+						for _, h := range path {
+							sends = append(sends, schedule.Send{
+								Src: s, Chunk: chunks[cursor],
+								Link: topo.LinkID(h.link), Epoch: h.epoch,
+								Fraction: take,
+							})
+						}
+						remaining[cursor] -= take
+						left -= take
+						if remaining[cursor] <= flowTol {
+							cursor++
+						}
+					}
+				}
+			}
+			for i, rem := range remaining {
+				if rem > 1e-5 {
+					return nil, fmt.Errorf("core: chunk %d of source %d not fully routed to %d (%.6g left)",
+						chunks[i], s, dst, rem)
+				}
+			}
+		}
+	}
+
+	// Merge identical sends.
+	merged := map[[4]int]float64{}
+	for _, snd := range sends {
+		merged[[4]int{snd.Src, snd.Chunk, int(snd.Link), snd.Epoch}] += snd.Fraction
+	}
+	out := make([]schedule.Send, 0, len(merged))
+	for kf, frac := range merged {
+		if frac > 1 {
+			frac = 1 // clamp accumulated rounding
+		}
+		out = append(out, schedule.Send{
+			Src: kf[0], Chunk: kf[1], Link: topo.LinkID(kf[2]), Epoch: kf[3], Fraction: frac,
+		})
+	}
+
+	sch := &schedule.Schedule{
+		Topo:           t,
+		Demand:         d,
+		Tau:            in.tau,
+		NumEpochs:      K,
+		Sends:          out,
+		AllowCopy:      false,
+		EpochsPerChunk: in.epochsPerChunk(),
+	}
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("core: LP decomposition produced invalid schedule: %w", err)
+	}
+	return sch, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests run the -short variants of the cheaper experiments and
+// assert on the paper's qualitative claims (the "shape" the reproduction
+// targets), not exact numbers.
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2ErrorShrinksWithSize(t *testing.T) {
+	tab := Fig2(true)
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	first := parseFloat(t, tab.Rows[0][3])              // smallest transfer
+	last := parseFloat(t, tab.Rows[len(tab.Rows)-1][3]) // largest transfer
+	if first <= last {
+		t.Fatalf("alpha-blind error should shrink with size: %.3f -> %.3f", first, last)
+	}
+	if first <= 0 {
+		t.Fatalf("small transfers must show positive error, got %.3f", first)
+	}
+}
+
+func TestFig6LPBeatsOrMatchesTACCL(t *testing.T) {
+	tab := Fig6(true)
+	for _, row := range tab.Rows {
+		if row[3] == "X" {
+			continue
+		}
+		if gain := parseFloat(t, row[3]); gain < -5 {
+			t.Fatalf("TE-CCL LP should not lose to TACCL on AtoA: %v", row)
+		}
+	}
+}
+
+func TestAStarVsOptShape(t *testing.T) {
+	tab := AStarVsOpt(true)
+	for _, row := range tab.Rows {
+		if row[2] == "X" || row[3] == "X" {
+			t.Fatalf("solves failed: %v", row)
+		}
+		// A* can never beat the optimum.
+		if gap := parseFloat(t, row[4]); gap < -1 {
+			t.Fatalf("A* beat OPT, impossible: %v", row)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "n",
+	}
+	s := tab.String()
+	for _, want := range []string{"== x: t ==", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		// Existence only; running all would be slow. fig2 runs in the
+		// dedicated test above.
+		if id == "" {
+			t.Fatal("empty id")
+		}
+	}
+	if ByID("nope", true) != nil {
+		t.Fatal("unknown id should return nil")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if us(1e-6) != "1.00" {
+		t.Fatalf("us: %s", us(1e-6))
+	}
+	if sizeLabel(2e9) != "2GB" || sizeLabel(5e6) != "5MB" ||
+		sizeLabel(64e3) != "64KB" || sizeLabel(100) != "100B" {
+		t.Fatal("size labels wrong")
+	}
+	if pct(12.34) != "+12.3%" {
+		t.Fatalf("pct: %s", pct(12.34))
+	}
+	if gbps(2.5e9) != "2.500" {
+		t.Fatalf("gbps: %s", gbps(2.5e9))
+	}
+}

@@ -1,0 +1,491 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/sim"
+	"teccl/internal/topo"
+)
+
+// esGap is the early-stop optimality gap the paper uses with Gurobi for
+// ALLGATHER solves (§6.1: "an aggressive optimality gap threshold of 30%").
+const esGap = 0.3
+
+// solveLimit caps individual MILP solves in the experiment harness; the
+// paper's equivalent is its 2-hour Gurobi timeout.
+const solveLimit = 90 * time.Second
+
+// Fig2 reproduces Figure 2: the relative error in the algorithmic-
+// bandwidth estimate of a schedule that does not model α, versus one that
+// does, as a function of transfer size. Small transfers are α-dominated,
+// so the α-blind estimate overshoots badly.
+func Fig2(short bool) *Table {
+	t := topo.Internal2(2) // 2 chassis of the Internal style (§2's setup)
+	t0 := topo.ZeroAlpha(t)
+	sizes := []float64{10e3, 40e3, 160e3, 640e3, 2.56e6, 10.24e6}
+	if short {
+		sizes = []float64{10e3, 640e3, 10.24e6}
+	}
+	tab := &Table{
+		ID:     "fig2",
+		Title:  "relative error of the α-blind algorithmic-bandwidth estimate",
+		Header: []string{"transfer", "est_bw(GB/s)", "real_bw(GB/s)", "rel_error"},
+		Notes:  "Internal2(2) stand-in; error shrinks as transfers grow, as in Figure 2",
+	}
+	for _, size := range sizes {
+		gpus := gpuInts(t)
+		chunk := size / float64(len(gpus))
+		d := collective.AllGather(t.NumNodes(), gpus, 1, chunk)
+		// Solve without modeling α (on the α-zero topology)...
+		res, err := core.SolveMILP(t0, d, core.Options{GapLimit: esGap, TimeLimit: solveLimit})
+		if err != nil {
+			tab.Rows = append(tab.Rows, []string{sizeLabel(size), "X", "X", "X"})
+			continue
+		}
+		// ...estimate its bandwidth α-blind, then execute with real α.
+		est, err1 := sim.Run(res.Schedule)
+		real, err2 := sim.RunOn(res.Schedule, t)
+		if err1 != nil || err2 != nil {
+			tab.Rows = append(tab.Rows, []string{sizeLabel(size), "X", "X", "X"})
+			continue
+		}
+		relErr := (est.AlgoBandwidth - real.AlgoBandwidth) / real.AlgoBandwidth
+		tab.Rows = append(tab.Rows, []string{
+			sizeLabel(size),
+			gbps(est.AlgoBandwidth), gbps(real.AlgoBandwidth),
+			fmt.Sprintf("%.2fx", relErr),
+		})
+	}
+	return tab
+}
+
+// Table3 reproduces Table 3: SCCL least-steps versus TE-CCL transfer time
+// on a DGX1 with 25 KB chunks. TE-CCL pipelines α across chunks, so it
+// wins once there is more than one chunk; SCCL's barrier wins the
+// single-chunk case.
+func Table3(short bool) *Table {
+	t := topo.DGX1()
+	const chunk = 25e3
+	maxChunks := 3
+	if short {
+		maxChunks = 2
+	}
+	tab := &Table{
+		ID:     "table3",
+		Title:  "SCCL least-steps vs TE-CCL transfer time (DGX1, 25 KB chunks)",
+		Header: []string{"collective", "chunks", "SCCL(us)", "TE-CCL(us)"},
+		Notes:  "paper: SCCL 3.4/5.1/8 us vs TE-CCL 4/5/6.1 us for AG 1-3 chunks",
+	}
+	gpus := gpuInts(t)
+	for ch := 1; ch <= maxChunks; ch++ {
+		d := collective.AllGather(t.NumNodes(), gpus, ch, chunk)
+		sccl := scclTime(t, d)
+		opt := core.Options{TimeLimit: solveLimit}
+		if ch > 1 {
+			// Larger chunk counts need the early stop and coarser epochs
+			// to stay within the laptop budget (DESIGN.md #3).
+			opt.GapLimit = esGap
+			opt.EpochMode = core.SlowestLink
+			opt.TimeLimit = 45 * time.Second
+		}
+		tec, _ := run(func() (*core.Result, error) {
+			return core.SolveMILP(t, d, opt)
+		})
+		tab.Rows = append(tab.Rows, []string{"ALLGATHER", fmt.Sprint(ch), us(sccl), us(tec)})
+	}
+	// ALLTOALL, 1 chunk per destination.
+	d := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
+	sccl := scclTime(t, d)
+	tec, _ := run(func() (*core.Result, error) {
+		return core.SolveLP(t, d, core.Options{})
+	})
+	tab.Rows = append(tab.Rows, []string{"ALLTOALL", "1", us(sccl), us(tec)})
+	return tab
+}
+
+func scclTime(t *topo.Topology, d *collective.Demand) float64 {
+	r := scclSolve(t, d)
+	if r == nil || !r.Feasible {
+		return math.Inf(1)
+	}
+	return r.TransferTime
+}
+
+// agSolve solves an ALLGATHER cell with the strongest affordable solver:
+// the exact MILP (with the paper's 30% early stop) when the instance fits
+// the substrate, otherwise the A* rounds of §4.2. The epoch mode follows
+// the α regime: fine fastest-link epochs normally, slowest-link epochs
+// when α dwarfs the fine epoch (where quantization is harmless and the
+// fine-grained model explodes).
+func agSolve(t *topo.Topology, d *collective.Demand) (float64, time.Duration) {
+	mode := core.FastestLink
+	if tauF := core.DeriveTau(t, d.ChunkBytes, core.FastestLink, 0); t.MaxAlpha() > 4*tauF {
+		mode = core.SlowestLink
+	}
+	if len(t.GPUs()) <= 6 {
+		return run(func() (*core.Result, error) {
+			return core.SolveMILP(t, d, core.Options{
+				EpochMode: mode, GapLimit: esGap, TimeLimit: solveLimit,
+				MinimizeMakespan: true})
+		})
+	}
+	return run(func() (*core.Result, error) {
+		return core.SolveAStar(t, d, core.Options{
+			EpochMode: mode, GapLimit: 0.15, TimeLimit: solveLimit})
+	})
+}
+
+// Fig4and5 reproduces Figures 4 and 5: algorithmic bandwidth and solver
+// time of TE-CCL versus the TACCL-like baseline across topologies,
+// demands, and output-buffer sizes.
+func Fig4and5(short bool) *Table {
+	type inst struct {
+		name string
+		topo *topo.Topology
+	}
+	insts := []inst{
+		{"ndv2mini-2c", topo.NDv2Mini(2)},
+		{"dgx2mini-2c", topo.DGX2Mini(2)},
+		{"internal1-2c", topo.Internal1(2)},
+		{"internal2-2c", topo.Internal2(2)},
+	}
+	sizes := []float64{16e6, 4e6, 1e6, 256e3, 64e3}
+	if short {
+		insts = insts[2:]
+		sizes = []float64{1e6, 64e3}
+	}
+	tab := &Table{
+		ID:    "fig4and5",
+		Title: "TE-CCL vs TACCL: algorithmic bandwidth (Fig 4) and solver time (Fig 5)",
+		Header: []string{"topology", "demand", "buffer",
+			"TECCL_CT(us)", "TACCL_CT(us)", "bw_gain", "TECCL_ST", "TACCL_ST"},
+		Notes: "bw_gain = 100*(TECCL_bw - TACCL_bw)/TACCL_bw; X marks infeasible runs",
+	}
+	for _, in := range insts {
+		gpus := gpuInts(in.topo)
+		for _, size := range sizes {
+			chunk := size / float64(len(gpus))
+			// ALLGATHER via the strongest affordable copy-capable solver.
+			ag := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
+			tecCT, tecST := agSolve(in.topo, ag)
+			tacCT, tacST := tacclRun(in.topo, ag, 1, 60)
+			tab.Rows = append(tab.Rows, fig4Row(in.name, "AG", size, ag, tecCT, tacCT, tecST, tacST))
+
+			// ALLTOALL via the LP.
+			atoa := collective.AllToAll(in.topo.NumNodes(), gpus, 1, chunk)
+			lpMode := core.FastestLink
+			if tauF := core.DeriveTau(in.topo, atoa.ChunkBytes, core.FastestLink, 0); in.topo.MaxAlpha() > 4*tauF {
+				lpMode = core.SlowestLink
+			}
+			tecCT, tecST = run(func() (*core.Result, error) {
+				return core.SolveLP(in.topo, atoa, core.Options{
+					EpochMode: lpMode, TimeLimit: solveLimit, MinimizeMakespan: true})
+			})
+			tacCT, tacST = tacclRun(in.topo, atoa, 1, 60)
+			tab.Rows = append(tab.Rows, fig4Row(in.name, "AtoA", size, atoa, tecCT, tacCT, tecST, tacST))
+		}
+	}
+	return tab
+}
+
+func fig4Row(name, dem string, size float64, d *collective.Demand,
+	tecCT, tacCT float64, tecST, tacST time.Duration) []string {
+	gain := math.Inf(1)
+	if !math.IsInf(tacCT, 1) && !math.IsInf(tecCT, 1) {
+		gain = 100 * (algoBW(d, tecCT) - algoBW(d, tacCT)) / algoBW(d, tacCT)
+	}
+	return []string{
+		name, dem, sizeLabel(size),
+		us(tecCT), us(tacCT), pct(gain),
+		tecST.Round(time.Millisecond).String(), tacST.Round(time.Millisecond).String(),
+	}
+}
+
+// Fig6 reproduces Figure 6: Internal-2 ALLTOALL at growing chassis
+// counts — TE-CCL's LP versus TACCL on both solver time and quality.
+func Fig6(short bool) *Table {
+	chassis := []int{2, 3, 4}
+	if short {
+		chassis = []int{2}
+	}
+	tab := &Table{
+		ID:     "fig6",
+		Title:  "Internal-2 ALLTOALL chassis sweep: TE-CCL LP vs TACCL",
+		Header: []string{"chassis", "TECCL_CT(us)", "TACCL_CT(us)", "bw_gain", "TECCL_ST", "TACCL_ST"},
+		Notes:  "paper sweeps 2-32 chassis; scale reduced per DESIGN.md substitution #3",
+	}
+	const size = 4e6
+	for _, c := range chassis {
+		t := topo.Internal2(c)
+		gpus := gpuInts(t)
+		chunk := size / float64(len(gpus))
+		d := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
+		tecCT, tecST := run(func() (*core.Result, error) {
+			return core.SolveLP(t, d, core.Options{
+				EpochMode: core.FastestLink, MinimizeMakespan: true})
+		})
+		tacCT, tacST := tacclRun(t, d, 1, 60)
+		gain := math.Inf(1)
+		if !math.IsInf(tacCT, 1) && !math.IsInf(tecCT, 1) {
+			gain = 100 * (algoBW(d, tecCT) - algoBW(d, tacCT)) / algoBW(d, tacCT)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(c), us(tecCT), us(tacCT), pct(gain),
+			tecST.Round(time.Millisecond).String(), tacST.Round(time.Millisecond).String(),
+		})
+	}
+	return tab
+}
+
+// Table4 reproduces Table 4: solver times at the largest scales the
+// substrate reaches — ALLGATHER via A*, ALLTOALL via the LP, with the
+// epoch multiplier (EM) trading granularity for tractability.
+func Table4(short bool) *Table {
+	tab := &Table{
+		ID:     "table4",
+		Title:  "large-topology solver times (AG via A*, AtoA via LP)",
+		Header: []string{"topology", "collective", "GPUs", "EM", "solver_time", "CT(us)"},
+		Notes:  "paper reaches 64-256 GPUs with Gurobi on 80 cores; scale per DESIGN.md #3",
+	}
+	type inst struct {
+		t    *topo.Topology
+		coll string
+		em   float64
+	}
+	insts := []inst{
+		{topo.Internal1(2), "AG (A*)", 1},
+		{topo.Internal2(4), "AG (A*)", 1},
+		{topo.Internal2(6), "AG (A*)", 2},
+		{topo.Internal1(2), "AtoA", 1},
+		{topo.Internal1(3), "AtoA", 2},
+		{topo.Internal2(4), "AtoA", 1},
+		{topo.Internal2(6), "AtoA", 2},
+	}
+	if short {
+		insts = []inst{
+			{topo.Internal2(4), "AG (A*)", 1},
+			{topo.Internal2(4), "AtoA", 1},
+		}
+	}
+	const size = 16e6
+	for _, in := range insts {
+		gpus := gpuInts(in.t)
+		chunk := size / float64(len(gpus))
+		opt := core.Options{EpochMode: core.SlowestLink, EpochMultiplier: in.em,
+			GapLimit: esGap, TimeLimit: solveLimit}
+		var ct float64
+		var st time.Duration
+		if in.coll == "AtoA" {
+			d := collective.AllToAll(in.t.NumNodes(), gpus, 1, chunk)
+			ct, st = run(func() (*core.Result, error) { return core.SolveLP(in.t, d, opt) })
+		} else {
+			d := collective.AllGather(in.t.NumNodes(), gpus, 1, chunk)
+			ct, st = run(func() (*core.Result, error) { return core.SolveAStar(in.t, d, opt) })
+		}
+		tab.Rows = append(tab.Rows, []string{
+			in.t.Name, in.coll, fmt.Sprint(len(gpus)), fmt.Sprintf("%.0f", math.Max(in.em, 1)),
+			st.Round(time.Millisecond).String(), us(ct),
+		})
+	}
+	return tab
+}
+
+// Fig7 reproduces Figure 7: the benefit of in-network copy. The copy
+// solver is the general MILP; the no-copy comparator is the LP form on
+// the same ALLGATHER demand (which must then ship one copy per
+// destination). Copy wins on large transfers where capacity is scarce.
+func Fig7(short bool) *Table {
+	type inst struct {
+		name string
+		topo *topo.Topology
+	}
+	insts := []inst{
+		{"dgx1", topo.DGX1()},
+		{"internal1-2c(a=0)", topo.Internal1NoAlpha(2)},
+		{"internal1-2c", topo.Internal1(2)},
+		{"internal2-2c", topo.Internal2(2)},
+	}
+	sizes := []float64{64e3, 1e6, 16e6}
+	if short {
+		insts = insts[3:]
+		sizes = []float64{64e3, 16e6}
+	}
+	tab := &Table{
+		ID:     "fig7",
+		Title:  "copy benefit: MILP (copy) vs LP (no copy) ALLGATHER finish time",
+		Header: []string{"topology", "transfer", "copy_CT(us)", "nocopy_CT(us)", "saving"},
+		Notes:  "paper: copy cuts large transfers up to 50%; no help on small ones",
+	}
+	for _, in := range insts {
+		gpus := gpuInts(in.topo)
+		for _, size := range sizes {
+			chunk := size / float64(len(gpus))
+			d := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
+			opt := core.Options{EpochMode: core.SlowestLink, GapLimit: esGap, TimeLimit: solveLimit}
+			copySolve := func() (*core.Result, error) { return core.SolveMILP(in.topo, d, opt) }
+			if len(gpus) > 6 && len(in.topo.Switches()) > 0 {
+				// Switched multi-chassis: the MILP does not fit; A* keeps
+				// copy support (DESIGN.md substitution #3).
+				copySolve = func() (*core.Result, error) { return core.SolveAStar(in.topo, d, opt) }
+			}
+			withCopy, _ := run(copySolve)
+			noCopy, _ := run(func() (*core.Result, error) { return core.SolveLP(in.topo, d, opt) })
+			saving := math.Inf(1)
+			if !math.IsInf(noCopy, 1) && !math.IsInf(withCopy, 1) {
+				saving = 100 * (noCopy - withCopy) / noCopy
+			}
+			tab.Rows = append(tab.Rows, []string{
+				in.name, sizeLabel(size), us(withCopy), us(noCopy), pct(saving),
+			})
+		}
+	}
+	return tab
+}
+
+// Fig8 reproduces Figure 8: small (fastest-link) versus large
+// (slowest-link) epoch durations — large epochs solve faster, small
+// epochs schedule better on heterogeneous links.
+func Fig8(short bool) *Table {
+	type inst struct {
+		name string
+		topo *topo.Topology
+	}
+	insts := []inst{
+		{"internal1-2c", topo.Internal1(2)},
+		{"ndv2mini-2c", topo.NDv2Mini(2)},
+		{"dgx2mini-2c", topo.DGX2Mini(2)},
+	}
+	if short {
+		insts = insts[:1]
+	}
+	tab := &Table{
+		ID:     "fig8",
+		Title:  "small vs large epochs: solver time and transfer time",
+		Header: []string{"topology", "demand", "small_CT(us)", "large_CT(us)", "CT_diff", "small_ST", "large_ST"},
+		Notes:  "large epochs are faster to solve; small epochs win on heterogeneous links (NDv2/DGX2)",
+	}
+	const size = 1e6
+	for _, in := range insts {
+		gpus := gpuInts(in.topo)
+		chunk := size / float64(len(gpus))
+		ag := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
+		smallCT, smallST := run(func() (*core.Result, error) {
+			return core.SolveAStar(in.topo, ag, core.Options{
+				EpochMode: core.FastestLink, GapLimit: 0.15, TimeLimit: solveLimit})
+		})
+		largeCT, largeST := run(func() (*core.Result, error) {
+			return core.SolveAStar(in.topo, ag, core.Options{
+				EpochMode: core.SlowestLink, GapLimit: 0.15, TimeLimit: solveLimit})
+		})
+		tab.Rows = append(tab.Rows, fig8Row(in.name, "AG", smallCT, largeCT, smallST, largeST))
+
+		atoa := collective.AllToAll(in.topo.NumNodes(), gpus, 1, chunk)
+		smallCT, smallST = run(func() (*core.Result, error) {
+			return core.SolveLP(in.topo, atoa, core.Options{EpochMode: core.FastestLink})
+		})
+		largeCT, largeST = run(func() (*core.Result, error) {
+			return core.SolveLP(in.topo, atoa, core.Options{EpochMode: core.SlowestLink})
+		})
+		tab.Rows = append(tab.Rows, fig8Row(in.name, "AtoA", smallCT, largeCT, smallST, largeST))
+	}
+	return tab
+}
+
+func fig8Row(name, dem string, smallCT, largeCT float64, smallST, largeST time.Duration) []string {
+	diff := math.Inf(1)
+	if !math.IsInf(smallCT, 1) && !math.IsInf(largeCT, 1) && largeCT > 0 {
+		diff = 100 * (smallCT - largeCT) / largeCT
+	}
+	return []string{name, dem, us(smallCT), us(largeCT), pct(diff),
+		smallST.Round(time.Millisecond).String(), largeST.Round(time.Millisecond).String()}
+}
+
+// Fig9 reproduces Figure 9: store-and-forward buffers affect solver time,
+// not solution quality, on ALLGATHER-style demands.
+func Fig9(short bool) *Table {
+	type inst struct {
+		name string
+		topo *topo.Topology
+	}
+	insts := []inst{
+		{"internal2-2c(a=0)", topo.ZeroAlpha(topo.Internal2(2))},
+		{"internal2-2c", topo.Internal2(2)},
+		{"dgx1", topo.DGX1()},
+	}
+	if short {
+		insts = insts[1:2]
+	}
+	tab := &Table{
+		ID:     "fig9",
+		Title:  "buffers on vs off: solver time and transfer time",
+		Header: []string{"topology", "buf_CT(us)", "nobuf_CT(us)", "CT_diff", "buf_ST", "nobuf_ST"},
+		Notes:  "quality should match (copy compensates); only solver time moves",
+	}
+	const size = 1e6
+	for _, in := range insts {
+		gpus := gpuInts(in.topo)
+		chunk := size / float64(len(gpus))
+		d := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
+		opt := core.Options{EpochMode: core.SlowestLink, GapLimit: esGap, TimeLimit: solveLimit}
+		bufCT, bufST := run(func() (*core.Result, error) { return core.SolveMILP(in.topo, d, opt) })
+		noOpt := opt
+		noOpt.NoBuffers = true
+		noCT, noST := run(func() (*core.Result, error) { return core.SolveMILP(in.topo, d, noOpt) })
+		diff := math.Inf(1)
+		if !math.IsInf(bufCT, 1) && !math.IsInf(noCT, 1) && noCT > 0 {
+			diff = 100 * (bufCT - noCT) / noCT
+		}
+		tab.Rows = append(tab.Rows, []string{
+			in.name, us(bufCT), us(noCT), pct(diff),
+			bufST.Round(time.Millisecond).String(), noST.Round(time.Millisecond).String(),
+		})
+	}
+	return tab
+}
+
+// AStarVsOpt reproduces the §6.3 microbenchmark: A* versus the optimal
+// MILP — solve time drops, quality stays within a modest factor.
+func AStarVsOpt(short bool) *Table {
+	type inst struct {
+		alpha  bool
+		chunks int
+	}
+	insts := []inst{{false, 1}, {true, 1}, {false, 2}, {true, 2}}
+	if short {
+		insts = insts[:2]
+	}
+	tab := &Table{
+		ID:     "astar",
+		Title:  "A* vs OPT on Internal-2 ALLGATHER",
+		Header: []string{"alpha", "chunks", "OPT_CT(us)", "A*_CT(us)", "quality_gap", "OPT_ST", "A*_ST"},
+		Notes:  "paper: OPT 10-20% better, A* 2.5-4x faster (16-chassis); scale reduced",
+	}
+	for _, in := range insts {
+		var t *topo.Topology
+		name := "a=0"
+		if in.alpha {
+			t = topo.Internal2(2)
+			name = "a>0"
+		} else {
+			t = topo.ZeroAlpha(topo.Internal2(2))
+		}
+		gpus := gpuInts(t)
+		d := collective.AllGather(t.NumNodes(), gpus, in.chunks, 1e6)
+		opt := core.Options{EpochMode: core.SlowestLink, TimeLimit: solveLimit}
+		optCT, optST := run(func() (*core.Result, error) { return core.SolveMILP(t, d, opt) })
+		astCT, astST := run(func() (*core.Result, error) { return core.SolveAStar(t, d, opt) })
+		gap := math.Inf(1)
+		if !math.IsInf(optCT, 1) && !math.IsInf(astCT, 1) && optCT > 0 {
+			gap = 100 * (astCT - optCT) / optCT
+		}
+		tab.Rows = append(tab.Rows, []string{
+			name, fmt.Sprint(in.chunks), us(optCT), us(astCT), pct(gap),
+			optST.Round(time.Millisecond).String(), astST.Round(time.Millisecond).String(),
+		})
+	}
+	return tab
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"teccl/internal/baseline"
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/topo"
+)
+
+// scclSolve wraps the SCCL-like baseline with experiment defaults.
+func scclSolve(t *topo.Topology, d *collective.Demand) *baseline.SCCLResult {
+	return baseline.SolveSCCL(t, d, baseline.SCCLOptions{
+		MaxSteps: 4, MaxRounds: 3, TimeLimit: solveLimit,
+	})
+}
+
+// Table7 reproduces Table 7: solver-time comparison between SCCL's
+// instance mode (steps and rounds pinned) and TE-CCL, with α = 0 as in
+// the paper's apples-to-apples setup.
+func Table7(short bool) *Table {
+	t := topo.ZeroAlpha(topo.DGX1())
+	const chunk = 25e3
+	type inst struct {
+		coll          string
+		chunks, steps int
+	}
+	insts := []inst{
+		{"ALLGATHER", 1, 2},
+		{"ALLGATHER", 2, 3},
+		{"ALLTOALL", 1, 3},
+	}
+	if !short {
+		insts = append(insts[:2],
+			inst{"ALLGATHER", 3, 4},
+			inst{"ALLTOALL", 1, 3},
+			inst{"ALLTOALL", 2, 6},
+		)
+	}
+	tab := &Table{
+		ID:     "table7",
+		Title:  "SCCL instance mode vs TE-CCL solver time (DGX1, alpha=0, 25 KB chunks)",
+		Header: []string{"collective", "chunks", "steps", "SCCL_ST", "TECCL_ST", "CT_diff"},
+		Notes:  "CT_diff = 100*(SCCL_CT - TECCL_CT)/SCCL_CT under barrier execution for SCCL",
+	}
+	gpus := gpuInts(t)
+	for _, in := range insts {
+		var d *collective.Demand
+		if in.coll == "ALLGATHER" {
+			d = collective.AllGather(t.NumNodes(), gpus, in.chunks, chunk)
+		} else {
+			d = collective.AllToAll(t.NumNodes(), gpus, in.chunks, chunk)
+		}
+		sres := baseline.SolveSCCL(t, d, baseline.SCCLOptions{
+			Steps: in.steps, Rounds: maxInt(1, in.chunks), TimeLimit: solveLimit,
+		})
+		scclCT := math.Inf(1)
+		scclST := sres.SolveTime
+		if sres.Feasible {
+			scclCT = sres.TransferTime
+		}
+		var tecCT float64
+		var tecST time.Duration
+		gap := 0.0
+		if in.chunks > 1 {
+			gap = esGap
+		}
+		if in.coll == "ALLGATHER" {
+			tecCT, tecST = run(func() (*core.Result, error) {
+				return core.SolveMILP(t, d, core.Options{GapLimit: gap, TimeLimit: solveLimit})
+			})
+		} else {
+			tecCT, tecST = run(func() (*core.Result, error) {
+				return core.SolveLP(t, d, core.Options{})
+			})
+		}
+		diff := math.Inf(1)
+		if !math.IsInf(scclCT, 1) && !math.IsInf(tecCT, 1) && scclCT > 0 {
+			diff = 100 * (scclCT - tecCT) / scclCT
+		}
+		tab.Rows = append(tab.Rows, []string{
+			in.coll, fmt.Sprint(in.chunks), fmt.Sprint(in.steps),
+			scclST.Round(time.Millisecond).String(),
+			tecST.Round(time.Millisecond).String(), pct(diff),
+		})
+	}
+	return tab
+}
+
+// Table8 reproduces Table 8: the full metric table on the NDv2-style
+// 2-chassis topology — epoch duration, collective finish time, solver
+// time, and algorithmic bandwidth for TE-CCL variants against TACCL.
+func Table8(short bool) *Table {
+	t := topo.NDv2Mini(2)
+	sizes := []float64{16e6, 1e6, 64e3}
+	if short {
+		sizes = []float64{1e6}
+	}
+	tab := &Table{
+		ID:    "table8",
+		Title: "NDv2-style 2-chassis metric table (TE-CCL variants vs TACCL)",
+		Header: []string{"buffer", "variant", "ED(us)", "CT(us)", "ST",
+			"AB(GB/s)", "TACCL_CT(us)", "TACCL_AB", "improve"},
+		Notes: "variants: AtoA opt-ED (LP, fastest link), AtoA max-ED (LP, slowest link), AG A* (round-partitioned, early stop)",
+	}
+	gpus := gpuInts(t)
+	for _, size := range sizes {
+		chunk := size / float64(len(gpus))
+
+		atoa := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
+		tacCT, _ := tacclRun(t, atoa, 1, 60)
+		// ALLTOALL at optimal (fastest-link) epoch duration.
+		addT8Row(tab, t, atoa, size, "AtoA opt-ED", core.Options{
+			EpochMode: core.FastestLink, MinimizeMakespan: true, TimeLimit: solveLimit}, tacCT, chunk, true)
+		// ALLTOALL at max (slowest-link) epoch duration.
+		addT8Row(tab, t, atoa, size, "AtoA max-ED", core.Options{
+			EpochMode: core.SlowestLink, MinimizeMakespan: true, TimeLimit: solveLimit}, tacCT, chunk, true)
+
+		ag := collective.AllGather(t.NumNodes(), gpus, 1, chunk)
+		tacCT, _ = tacclRun(t, ag, 1, 60)
+		addT8Row(tab, t, ag, size, "AG A*", core.Options{
+			EpochMode: core.SlowestLink, GapLimit: 0.15, TimeLimit: solveLimit}, tacCT, chunk, false)
+	}
+	return tab
+}
+
+func addT8Row(tab *Table, t *topo.Topology, d *collective.Demand, size float64,
+	variant string, opt core.Options, tacCT, chunk float64, isLP bool) {
+	var ct float64
+	var st time.Duration
+	var tau float64
+	solve := func() (*core.Result, error) {
+		var r *core.Result
+		var err error
+		if isLP {
+			r, err = core.SolveLP(t, d, opt)
+		} else {
+			r, err = core.SolveAStar(t, d, opt)
+		}
+		if err == nil {
+			tau = r.Tau
+		}
+		return r, err
+	}
+	ct, st = run(solve)
+	improve := math.Inf(1)
+	if !math.IsInf(ct, 1) && !math.IsInf(tacCT, 1) {
+		improve = 100 * (algoBW(d, ct) - algoBW(d, tacCT)) / algoBW(d, tacCT)
+	}
+	tab.Rows = append(tab.Rows, []string{
+		sizeLabel(size), variant, fmt.Sprintf("%.3f", tau*1e6), us(ct),
+		st.Round(time.Millisecond).String(), gbps(algoBW(d, ct)),
+		us(tacCT), gbps(algoBW(d, tacCT)), pct(improve),
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

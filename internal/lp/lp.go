@@ -1,0 +1,220 @@
+// Package lp implements a bounded-variable revised simplex solver for
+// linear programs. It is the solver substrate for TE-CCL: the paper uses
+// Gurobi, which has no Go port, so this package provides an exact
+// replacement built on the standard library only.
+//
+// Problems are stated as
+//
+//	maximize (or minimize)  c'x
+//	subject to              A x  {<=, =, >=}  b
+//	                        l <= x <= u
+//
+// with a sparse A. Solve uses a two-phase bounded-variable revised simplex
+// with a dense product-form basis inverse, periodic refactorization, and
+// Bland's rule as an anti-cycling fallback.
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Inf is the bound value used for unbounded variables.
+var Inf = math.Inf(1)
+
+// Sense is the relation of a constraint row.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // =
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Direction is the optimization direction.
+type Direction int8
+
+// Optimization directions.
+const (
+	Maximize Direction = iota
+	Minimize
+)
+
+// VarID identifies a variable within a Problem.
+type VarID int32
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+// Problem is a linear program under construction. The zero value is an
+// empty maximization problem ready for use.
+type Problem struct {
+	Dir Direction
+
+	names []string
+	lo    []float64
+	hi    []float64
+	obj   []float64
+
+	rows   [][]Term
+	senses []Sense
+	rhs    []float64
+}
+
+// NewProblem returns an empty problem with the given direction.
+func NewProblem(dir Direction) *Problem {
+	return &Problem{Dir: dir}
+}
+
+// NumVars reports the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.lo) }
+
+// NumRows reports the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// obj. Use -Inf/Inf for unbounded sides. The name is used only for
+// diagnostics and may be empty.
+func (p *Problem) AddVar(name string, lo, hi, obj float64) VarID {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %g > hi %g", name, lo, hi))
+	}
+	p.names = append(p.names, name)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.obj = append(p.obj, obj)
+	return VarID(len(p.lo) - 1)
+}
+
+// SetObj replaces the objective coefficient of v.
+func (p *Problem) SetObj(v VarID, obj float64) { p.obj[v] = obj }
+
+// Obj returns the objective coefficient of v.
+func (p *Problem) Obj(v VarID) float64 { return p.obj[v] }
+
+// SetBounds replaces the bounds of v.
+func (p *Problem) SetBounds(v VarID, lo, hi float64) {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q set to lo %g > hi %g", p.names[v], lo, hi))
+	}
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// Bounds returns the bounds of v.
+func (p *Problem) Bounds(v VarID) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// Name returns the diagnostic name of v.
+func (p *Problem) Name(v VarID) string { return p.names[v] }
+
+// AddRow adds a constraint row. Terms with duplicate variables are summed.
+// Returns the row index.
+func (p *Problem) AddRow(terms []Term, sense Sense, rhs float64) int {
+	row := combineTerms(terms)
+	p.rows = append(p.rows, row)
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, rhs)
+	return len(p.rows) - 1
+}
+
+// combineTerms merges duplicate variables and drops zero coefficients.
+func combineTerms(terms []Term) []Term {
+	if len(terms) < 2 {
+		out := make([]Term, 0, len(terms))
+		for _, t := range terms {
+			if t.Coeff != 0 {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	seen := make(map[VarID]int, len(terms))
+	out := make([]Term, 0, len(terms))
+	for _, t := range terms {
+		if i, ok := seen[t.Var]; ok {
+			out[i].Coeff += t.Coeff
+			continue
+		}
+		seen[t.Var] = len(out)
+		out = append(out, t)
+	}
+	w := 0
+	for _, t := range out {
+		if t.Coeff != 0 {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Status is the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+	StatusNumericalError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration limit"
+	case StatusNumericalError:
+		return "numerical error"
+	}
+	return "unknown"
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	Objective  float64   // objective value in the problem's direction
+	X          []float64 // one value per variable, in AddVar order
+	Iterations int
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Options tunes the solver. The zero value uses defaults.
+type Options struct {
+	// MaxIter caps simplex iterations; 0 means max(20000, 60*rows).
+	MaxIter int
+	// Deadline, when non-zero, stops the solve with StatusIterLimit once
+	// the wall clock passes it (checked periodically between iterations).
+	Deadline time.Time
+}
+
+// Solve optimizes the problem. The problem is not modified.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	s := newSimplex(p, opt)
+	return s.solve()
+}

@@ -1,0 +1,165 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randFeasibleLP builds a random LP that is feasible by construction: it
+// first draws an interior point x0 within the variable bounds, then only
+// emits rows that x0 satisfies strictly.
+func randFeasibleLP(rng *rand.Rand) (*Problem, []float64) {
+	n := 2 + rng.Intn(8)
+	m := 1 + rng.Intn(12)
+	p := NewProblem(Maximize)
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := float64(rng.Intn(7)) - 3
+		hi := lo + float64(1+rng.Intn(6))
+		p.AddVar("", lo, hi, float64(rng.Intn(11))-5)
+		x0[j] = lo + (hi-lo)*rng.Float64()
+	}
+	for r := 0; r < m; r++ {
+		var terms []Term
+		var lhs float64
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			c := float64(rng.Intn(9)) - 4
+			if c == 0 {
+				continue
+			}
+			terms = append(terms, Term{VarID(j), c})
+			lhs += c * x0[j]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		slack := 0.5 + 3*rng.Float64()
+		if rng.Intn(2) == 0 {
+			p.AddRow(terms, LE, lhs+slack)
+		} else {
+			p.AddRow(terms, GE, lhs-slack)
+		}
+	}
+	return p, x0
+}
+
+// TestQuickFeasibleLPs checks, over many random feasible instances, that
+// the solver (a) reports optimal, (b) returns a feasible point, and
+// (c) returns an objective at least as good as the known feasible point.
+func TestQuickFeasibleLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, x0 := randFeasibleLP(rng)
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Logf("seed %d: error %v", seed, err)
+			return false
+		}
+		if sol.Status != StatusOptimal {
+			// All variables are bounded, and the instance is feasible by
+			// construction, so optimal is the only acceptable status.
+			t.Logf("seed %d: status %v", seed, sol.Status)
+			return false
+		}
+		var obj0 float64
+		for j := range x0 {
+			obj0 += p.obj[j] * x0[j]
+		}
+		if sol.Objective < obj0-1e-6 {
+			t.Logf("seed %d: objective %g < feasible %g", seed, sol.Objective, obj0)
+			return false
+		}
+		// Feasibility of the returned point.
+		for j := 0; j < p.NumVars(); j++ {
+			if sol.X[j] < p.lo[j]-1e-6 || sol.X[j] > p.hi[j]+1e-6 {
+				t.Logf("seed %d: var %d out of bounds", seed, j)
+				return false
+			}
+		}
+		for r, row := range p.rows {
+			var lhs float64
+			for _, tm := range row {
+				lhs += tm.Coeff * sol.X[tm.Var]
+			}
+			switch p.senses[r] {
+			case LE:
+				if lhs > p.rhs[r]+1e-6 {
+					t.Logf("seed %d: row %d violated", seed, r)
+					return false
+				}
+			case GE:
+				if lhs < p.rhs[r]-1e-6 {
+					t.Logf("seed %d: row %d violated", seed, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism verifies that solving the same instance twice gives
+// bit-identical results (the paper stresses that TE-CCL, unlike TACCL, is
+// deterministic).
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randFeasibleLP(rng)
+		a, err1 := Solve(p, Options{})
+		b, err2 := Solve(p, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Status != b.Status || a.Objective != b.Objective {
+			return false
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinMaxAgree verifies max c'x == -min (-c)'x on random instances.
+func TestQuickMinMaxAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randFeasibleLP(rng)
+		q := NewProblem(Minimize)
+		for j := 0; j < p.NumVars(); j++ {
+			q.AddVar("", p.lo[j], p.hi[j], -p.obj[j])
+		}
+		for r, row := range p.rows {
+			q.AddRow(row, p.senses[r], p.rhs[r])
+		}
+		a, err1 := Solve(p, Options{})
+		b, err2 := Solve(q, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Status != b.Status {
+			return false
+		}
+		if a.Status == StatusOptimal && math.Abs(a.Objective+b.Objective) > 1e-6 {
+			t.Logf("seed %d: max %g vs -min %g", seed, a.Objective, -b.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

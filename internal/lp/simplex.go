@@ -1,0 +1,704 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// Numerical tolerances. These are conventional values for double-precision
+// simplex implementations.
+const (
+	feasTol  = 1e-7  // bound/row feasibility
+	optTol   = 1e-7  // reduced-cost optimality
+	pivotTol = 1e-8  // smallest acceptable pivot magnitude
+	zeroTol  = 1e-11 // values below this are treated as exact zero
+)
+
+// refactorEvery is the number of basis changes between full recomputations
+// of the dense basis inverse, which bounds accumulated floating error.
+const refactorEvery = 240
+
+// varStatus describes where a variable currently sits.
+type varStatus int8
+
+const (
+	atLower varStatus = iota
+	atUpper
+	basic
+	nonbasicFree // free variable resting at value 0
+)
+
+// simplex is the working state of one solve. All variables (structural,
+// slack, artificial) live in a single index space:
+//
+//	[0, n)            structural variables
+//	[n, n+m)          one slack per row (rows become equalities)
+//	[n+m, n+m+a)      phase-1 artificials (subset of rows)
+type simplex struct {
+	p   *Problem
+	opt Options
+
+	m int // rows
+	n int // structural variables
+
+	// Sparse constraint matrix in column-major form, covering structural
+	// columns only; slack and artificial columns are unit vectors handled
+	// implicitly.
+	colIdx [][]int32
+	colVal [][]float64
+
+	rhs []float64
+
+	// Per-variable data across the full index space.
+	lo, hi []float64
+	cost   []float64 // phase-2 cost (internal minimization form)
+	status []varStatus
+	value  []float64
+
+	nTotal int // structural + slack + artificial count
+
+	artRow []int // artificial k corresponds to row artRow[k]
+
+	basis  []int // basis[i] = variable basic in row i
+	inBrow []int // inBrow[v] = row of basic variable v, or -1
+
+	binv []float64 // dense m×m basis inverse, row-major (flat for cache locality)
+
+	xB []float64 // basic variable values (mirrors value[] for basic vars)
+
+	iter        int
+	sincePivots int // pivots since last refactorization
+	degenRun    int // consecutive degenerate pivots (Bland trigger)
+
+	// scratch buffers
+	y    []float64 // duals
+	w    []float64 // B^-1 a_j
+	erow []float64
+}
+
+func newSimplex(p *Problem, opt Options) *simplex {
+	m := p.NumRows()
+	n := p.NumVars()
+	s := &simplex{p: p, opt: opt, m: m, n: n}
+
+	s.colIdx = make([][]int32, n)
+	s.colVal = make([][]float64, n)
+	for j := 0; j < n; j++ {
+		s.colIdx[j] = []int32{}
+		s.colVal[j] = []float64{}
+	}
+	for i, row := range p.rows {
+		for _, t := range row {
+			j := int(t.Var)
+			s.colIdx[j] = append(s.colIdx[j], int32(i))
+			s.colVal[j] = append(s.colVal[j], t.Coeff)
+		}
+	}
+	s.rhs = append([]float64(nil), p.rhs...)
+
+	// Structural bounds and cost (convert to internal minimization).
+	sign := 1.0
+	if p.Dir == Maximize {
+		sign = -1.0
+	}
+	total := n + m // artificials appended later
+	s.lo = make([]float64, total, total+m)
+	s.hi = make([]float64, total, total+m)
+	s.cost = make([]float64, total, total+m)
+	copy(s.lo, p.lo)
+	copy(s.hi, p.hi)
+	for j := 0; j < n; j++ {
+		s.cost[j] = sign * p.obj[j]
+	}
+	// Slack bounds by row sense: row a'x + slack = b.
+	for i := 0; i < m; i++ {
+		sl := n + i
+		switch p.senses[i] {
+		case LE:
+			s.lo[sl], s.hi[sl] = 0, Inf
+		case GE:
+			s.lo[sl], s.hi[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lo[sl], s.hi[sl] = 0, 0
+		}
+	}
+	s.nTotal = total
+	return s
+}
+
+// colAppendTo accumulates column j of the full matrix into dst (len m).
+// Slack/artificial columns are unit vectors.
+func (s *simplex) colAppendTo(j int, dst []float64) {
+	switch {
+	case j < s.n:
+		for k, i := range s.colIdx[j] {
+			dst[i] += s.colVal[j][k]
+		}
+	case j < s.n+s.m:
+		dst[j-s.n] += 1
+	default:
+		dst[s.artRow[j-s.n-s.m]] += 1
+	}
+}
+
+// colDot returns a_j · y for column j.
+func (s *simplex) colDot(j int, y []float64) float64 {
+	switch {
+	case j < s.n:
+		var d float64
+		idx := s.colIdx[j]
+		val := s.colVal[j]
+		for k := range idx {
+			d += val[k] * y[idx[k]]
+		}
+		return d
+	case j < s.n+s.m:
+		return y[j-s.n]
+	default:
+		return y[s.artRow[j-s.n-s.m]]
+	}
+}
+
+// restValue returns the value a nonbasic variable rests at.
+func (s *simplex) restValue(j int) float64 {
+	switch s.status[j] {
+	case atLower:
+		return s.lo[j]
+	case atUpper:
+		return s.hi[j]
+	default:
+		return 0 // nonbasicFree
+	}
+}
+
+// initialBasisAndArtificials places every variable at a bound, installs
+// slacks as basic where their natural value is feasible, and creates
+// artificials for the remaining rows.
+func (s *simplex) initialBasisAndArtificials() {
+	n, m := s.n, s.m
+	s.status = make([]varStatus, s.nTotal, s.nTotal+m)
+	s.value = make([]float64, s.nTotal, s.nTotal+m)
+	for j := 0; j < s.nTotal; j++ {
+		s.status[j] = restStatus(s.lo[j], s.hi[j])
+		s.value[j] = s.restValue(j)
+	}
+
+	// residual_i = b_i - sum_j a_ij x_j over nonbasic structurals
+	resid := make([]float64, m)
+	copy(resid, s.rhs)
+	for j := 0; j < n; j++ {
+		v := s.value[j]
+		if v == 0 {
+			continue
+		}
+		for k, i := range s.colIdx[j] {
+			resid[i] -= s.colVal[j][k] * v
+		}
+	}
+
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	for i := 0; i < m; i++ {
+		sl := n + i
+		if resid[i] >= s.lo[sl]-feasTol && resid[i] <= s.hi[sl]+feasTol {
+			// Slack is naturally feasible: make it basic.
+			s.basis[i] = sl
+			s.status[sl] = basic
+			s.xB[i] = resid[i]
+			continue
+		}
+		// Clamp slack to its nearest violated side and add an artificial
+		// carrying the remaining residual.
+		var slackVal float64
+		if resid[i] < s.lo[sl] {
+			slackVal = s.lo[sl]
+			s.status[sl] = atLower
+		} else {
+			slackVal = s.hi[sl]
+			s.status[sl] = atUpper
+		}
+		s.value[sl] = slackVal
+		r := resid[i] - slackVal
+		av := s.nTotal
+		s.artRow = append(s.artRow, i)
+		if r >= 0 {
+			s.lo = append(s.lo, 0)
+			s.hi = append(s.hi, Inf)
+		} else {
+			s.lo = append(s.lo, math.Inf(-1))
+			s.hi = append(s.hi, 0)
+		}
+		s.cost = append(s.cost, 0)
+		s.status = append(s.status, basic)
+		s.value = append(s.value, r)
+		s.nTotal++
+		s.basis[i] = av
+		s.xB[i] = r
+	}
+
+	s.inBrow = make([]int, s.nTotal)
+	for j := range s.inBrow {
+		s.inBrow[j] = -1
+	}
+	for i, v := range s.basis {
+		s.inBrow[v] = i
+	}
+
+	// Initial basis inverse: identity (basis columns are unit vectors).
+	s.binv = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		s.binv[i*m+i] = 1
+	}
+	for i := range s.xB {
+		s.value[s.basis[i]] = s.xB[i]
+	}
+
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.erow = make([]float64, m)
+}
+
+func restStatus(lo, hi float64) varStatus {
+	switch {
+	case !math.IsInf(lo, -1) && (math.IsInf(hi, 1) || math.Abs(lo) <= math.Abs(hi)):
+		return atLower
+	case !math.IsInf(hi, 1):
+		return atUpper
+	default:
+		return nonbasicFree
+	}
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	s.initialBasisAndArtificials()
+
+	maxIter := s.opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 20000
+		if v := 60 * s.m; v > maxIter {
+			maxIter = v
+		}
+	}
+
+	// Phase 1: minimize total artificial magnitude.
+	if len(s.artRow) > 0 {
+		phase1 := make([]float64, s.nTotal)
+		for k := range s.artRow {
+			j := s.n + s.m + k
+			if math.IsInf(s.hi[j], 1) {
+				phase1[j] = 1 // artificial in [0, inf): minimize it
+			} else {
+				phase1[j] = -1 // artificial in (-inf, 0]: maximize it
+			}
+		}
+		st := s.iterate(phase1, maxIter)
+		if st == StatusIterLimit || st == StatusNumericalError {
+			return &Solution{Status: st, Iterations: s.iter}, nil
+		}
+		if st == StatusUnbounded {
+			// The phase-1 objective is bounded below by zero; unbounded
+			// here can only mean numerical trouble.
+			return &Solution{Status: StatusNumericalError, Iterations: s.iter}, nil
+		}
+		// Feasible iff all artificials are (near) zero.
+		sum := 0.0
+		for k := range s.artRow {
+			sum += math.Abs(s.value[s.n+s.m+k])
+		}
+		if sum > feasTol*float64(1+s.m) {
+			return &Solution{Status: StatusInfeasible, Iterations: s.iter}, nil
+		}
+		// Pin artificials to zero for phase 2.
+		for k := range s.artRow {
+			j := s.n + s.m + k
+			s.lo[j], s.hi[j] = 0, 0
+			if s.status[j] != basic {
+				s.status[j] = atLower
+				s.value[j] = 0
+			}
+		}
+	}
+
+	// Phase 2: the real objective.
+	cost := make([]float64, s.nTotal)
+	copy(cost, s.cost[:s.nTotal])
+	st := s.iterate(cost, maxIter)
+
+	sol := &Solution{Status: st, Iterations: s.iter}
+	if st == StatusOptimal || st == StatusIterLimit {
+		sol.X = make([]float64, s.n)
+		var objv float64
+		for j := 0; j < s.n; j++ {
+			v := s.value[j]
+			if math.Abs(v) < zeroTol {
+				v = 0
+			}
+			sol.X[j] = v
+			objv += s.p.obj[j] * v
+		}
+		sol.Objective = objv
+	}
+	return sol, nil
+}
+
+// iterate runs primal simplex iterations with the given cost vector until
+// optimality (returns StatusOptimal), unboundedness, or a limit.
+func (s *simplex) iterate(cost []float64, maxIter int) Status {
+	useBland := false
+	checkDeadline := !s.opt.Deadline.IsZero()
+	for {
+		if s.iter >= maxIter {
+			return StatusIterLimit
+		}
+		if checkDeadline && s.iter%64 == 0 && time.Now().After(s.opt.Deadline) {
+			return StatusIterLimit
+		}
+		s.iter++
+
+		// Duals: y = c_B' B^-1.
+		for i := range s.y {
+			s.y[i] = 0
+		}
+		m := s.m
+		for i, v := range s.basis {
+			cb := cost[v]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for r, rv := range row {
+				s.y[r] += cb * rv
+			}
+		}
+
+		// Pricing: pick entering variable.
+		enter := -1
+		var enterDir float64
+		bestScore := optTol
+		for j := 0; j < s.nTotal; j++ {
+			st := s.status[j]
+			if st == basic {
+				continue
+			}
+			if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
+				continue // fixed variable can never improve
+			}
+			d := cost[j] - s.colDot(j, s.y)
+			var score float64
+			var dir float64
+			switch st {
+			case atLower:
+				if d < -optTol {
+					score, dir = -d, 1
+				}
+			case atUpper:
+				if d > optTol {
+					score, dir = d, -1
+				}
+			case nonbasicFree:
+				if d < -optTol {
+					score, dir = -d, 1
+				} else if d > optTol {
+					score, dir = d, -1
+				}
+			}
+			if dir == 0 {
+				continue
+			}
+			if useBland {
+				enter, enterDir = j, dir
+				break
+			}
+			if score > bestScore {
+				bestScore, enter, enterDir = score, j, dir
+			}
+		}
+		if enter == -1 {
+			return StatusOptimal
+		}
+
+		// FTRAN: w = B^-1 a_enter.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		s.colToW(enter)
+
+		// Ratio test.
+		leave, t, leaveToUpper := s.ratioTest(enter, enterDir, useBland)
+		if leave == -2 {
+			return StatusUnbounded
+		}
+
+		if t < 1e-9 {
+			s.degenRun++
+			if s.degenRun > 2*s.m+200 {
+				useBland = true
+			}
+		} else {
+			s.degenRun = 0
+			useBland = false
+		}
+
+		if leave == -1 {
+			// Bound flip: entering variable moves to its other bound.
+			for i := range s.basis {
+				if s.w[i] != 0 {
+					s.xB[i] -= t * enterDir * s.w[i]
+					s.value[s.basis[i]] = s.xB[i]
+				}
+			}
+			if enterDir > 0 {
+				s.status[enter] = atUpper
+				s.value[enter] = s.hi[enter]
+			} else {
+				s.status[enter] = atLower
+				s.value[enter] = s.lo[enter]
+			}
+			continue
+		}
+
+		// Pivot: enter replaces basis[leave].
+		out := s.basis[leave]
+		newEnterVal := s.restValue(enter) + enterDir*t
+		for i := range s.basis {
+			if i == leave || s.w[i] == 0 {
+				continue
+			}
+			s.xB[i] -= t * enterDir * s.w[i]
+			s.value[s.basis[i]] = s.xB[i]
+		}
+		if leaveToUpper {
+			s.status[out] = atUpper
+			s.value[out] = s.hi[out]
+		} else {
+			s.status[out] = atLower
+			s.value[out] = s.lo[out]
+		}
+		s.inBrow[out] = -1
+
+		s.basis[leave] = enter
+		s.inBrow[enter] = leave
+		s.status[enter] = basic
+		s.xB[leave] = newEnterVal
+		s.value[enter] = newEnterVal
+
+		// Product-form update of the dense inverse: Binv <- E * Binv.
+		p := s.w[leave]
+		if math.Abs(p) < pivotTol {
+			if !s.refactorize() {
+				return StatusNumericalError
+			}
+			continue
+		}
+		prow := s.binv[leave*m : leave*m+m]
+		inv := 1 / p
+		for r := range prow {
+			prow[r] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			wi := s.w[i]
+			if wi == 0 {
+				continue
+			}
+			row := s.binv[i*m : i*m+m]
+			for r, pv := range prow {
+				row[r] -= wi * pv
+			}
+		}
+
+		s.sincePivots++
+		if s.sincePivots >= refactorEvery {
+			if !s.refactorize() {
+				return StatusNumericalError
+			}
+		}
+	}
+}
+
+// colToW computes w = B^-1 a_enter into s.w using the dense inverse.
+func (s *simplex) colToW(enter int) {
+	m := s.m
+	switch {
+	case enter < s.n:
+		idx := s.colIdx[enter]
+		val := s.colVal[enter]
+		for i := 0; i < m; i++ {
+			var acc float64
+			row := s.binv[i*m : i*m+m]
+			for k, ix := range idx {
+				acc += row[ix] * val[k]
+			}
+			s.w[i] = acc
+		}
+	default:
+		var r int
+		if enter < s.n+s.m {
+			r = enter - s.n
+		} else {
+			r = s.artRow[enter-s.n-s.m]
+		}
+		for i := 0; i < m; i++ {
+			s.w[i] = s.binv[i*m+r]
+		}
+	}
+}
+
+// ratioTest finds the blocking constraint for the entering variable moving
+// in direction dir. Returns (leaveRow, step, leavesAtUpper). leaveRow -1
+// means a bound flip of the entering variable; -2 means unbounded.
+func (s *simplex) ratioTest(enter int, dir float64, useBland bool) (int, float64, bool) {
+	t := math.Inf(1)
+	// Entering variable's own range.
+	if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.hi[enter], 1) {
+		t = s.hi[enter] - s.lo[enter]
+	}
+	leave := -1
+	leaveToUpper := false
+	bestPivot := 0.0
+	for i := 0; i < s.m; i++ {
+		wi := dir * s.w[i]
+		v := s.basis[i]
+		var ti float64
+		var toUpper bool
+		switch {
+		case wi > pivotTol:
+			// Basic variable decreases toward its lower bound.
+			if math.IsInf(s.lo[v], -1) {
+				continue
+			}
+			ti = (s.xB[i] - s.lo[v]) / wi
+			toUpper = false
+		case wi < -pivotTol:
+			// Basic variable increases toward its upper bound.
+			if math.IsInf(s.hi[v], 1) {
+				continue
+			}
+			ti = (s.hi[v] - s.xB[i]) / (-wi)
+			toUpper = true
+		default:
+			continue
+		}
+		if ti < 0 {
+			ti = 0 // basic var already (slightly) beyond bound
+		}
+		if ti < t-1e-10 {
+			t, leave, leaveToUpper = ti, i, toUpper
+			bestPivot = math.Abs(wi)
+		} else if ti <= t+1e-10 && leave != -1 {
+			// Tie-break: prefer the largest pivot for stability, or the
+			// smallest basis index under Bland's rule.
+			if useBland {
+				if s.basis[i] < s.basis[leave] {
+					leave, leaveToUpper = i, toUpper
+					bestPivot = math.Abs(wi)
+				}
+			} else if math.Abs(wi) > bestPivot {
+				leave, leaveToUpper = i, toUpper
+				bestPivot = math.Abs(wi)
+			}
+		}
+	}
+	if math.IsInf(t, 1) {
+		return -2, 0, false
+	}
+	return leave, t, leaveToUpper
+}
+
+// refactorize recomputes the dense basis inverse from scratch by
+// Gauss-Jordan elimination with partial pivoting, and recomputes basic
+// values. Returns false if the basis is numerically singular.
+func (s *simplex) refactorize() bool {
+	m := s.m
+	// Build dense basis matrix.
+	bm := make([][]float64, m)
+	for i := range bm {
+		bm[i] = make([]float64, m)
+	}
+	col := make([]float64, m)
+	for c, v := range s.basis {
+		for i := range col {
+			col[i] = 0
+		}
+		s.colAppendTo(v, col)
+		for i := 0; i < m; i++ {
+			bm[i][c] = col[i]
+		}
+	}
+	inv := make([][]float64, m)
+	for i := range inv {
+		inv[i] = make([]float64, m)
+		inv[i][i] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p, pv := -1, pivotTol
+		for i := c; i < m; i++ {
+			if a := math.Abs(bm[i][c]); a > pv {
+				p, pv = i, a
+			}
+		}
+		if p == -1 {
+			return false
+		}
+		bm[c], bm[p] = bm[p], bm[c]
+		inv[c], inv[p] = inv[p], inv[c]
+		d := 1 / bm[c][c]
+		for r := 0; r < m; r++ {
+			bm[c][r] *= d
+			inv[c][r] *= d
+		}
+		for i := 0; i < m; i++ {
+			if i == c {
+				continue
+			}
+			f := bm[i][c]
+			if f == 0 {
+				continue
+			}
+			for r := 0; r < m; r++ {
+				bm[i][r] -= f * bm[c][r]
+				inv[i][r] -= f * inv[c][r]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i*m:i*m+m], inv[i])
+	}
+	s.sincePivots = 0
+
+	// Recompute basic values: x_B = B^-1 (b - A_N x_N).
+	resid := make([]float64, m)
+	copy(resid, s.rhs)
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		v := s.value[j]
+		if v == 0 {
+			continue
+		}
+		switch {
+		case j < s.n:
+			for k, i := range s.colIdx[j] {
+				resid[i] -= s.colVal[j][k] * v
+			}
+		case j < s.n+s.m:
+			resid[j-s.n] -= v
+		default:
+			resid[s.artRow[j-s.n-s.m]] -= v
+		}
+	}
+	for i := 0; i < m; i++ {
+		var acc float64
+		row := s.binv[i*m : i*m+m]
+		for r, rv := range resid {
+			acc += row[r] * rv
+		}
+		s.xB[i] = acc
+		s.value[s.basis[i]] = acc
+	}
+	return true
+}

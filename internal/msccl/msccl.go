@@ -1,0 +1,160 @@
+// Package msccl serializes collective schedules into an MSCCL-style XML
+// algorithm description. The paper converts TE-CCL's solutions "into
+// MSCCL, which can then port it into a schedule that runs on the
+// hardware" (§6); this package produces the equivalent structural
+// artifact: per-GPU threadblocks holding ordered send/receive steps with
+// cross-step dependencies implied by epoch order.
+package msccl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// Algo is the root of an MSCCL-style algorithm description.
+type Algo struct {
+	XMLName        xml.Name `xml:"algo"`
+	Name           string   `xml:"name,attr"`
+	Proto          string   `xml:"proto,attr"`
+	NChunksPerLoop int      `xml:"nchunksperloop,attr"`
+	NGPUs          int      `xml:"ngpus,attr"`
+	Coll           string   `xml:"coll,attr"`
+	NChannels      int      `xml:"nchannels,attr"`
+	GPUs           []GPU    `xml:"gpu"`
+}
+
+// GPU is one rank's program.
+type GPU struct {
+	ID      int  `xml:"id,attr"`
+	IChunks int  `xml:"i_chunks,attr"`
+	OChunks int  `xml:"o_chunks,attr"`
+	TBs     []TB `xml:"tb"`
+}
+
+// TB is a threadblock: a serialized stream of steps against one peer.
+type TB struct {
+	ID    int    `xml:"id,attr"`
+	Send  int    `xml:"send,attr"` // peer rank this TB sends to, -1 if none
+	Recv  int    `xml:"recv,attr"` // peer rank this TB receives from, -1
+	Chan  int    `xml:"chan,attr"`
+	Steps []Step `xml:"step"`
+}
+
+// Step is one send or receive of one chunk.
+type Step struct {
+	S      int    `xml:"s,attr"`
+	Type   string `xml:"type,attr"` // "s" send, "r" recv
+	SrcBuf string `xml:"srcbuf,attr"`
+	SrcOff int    `xml:"srcoff,attr"`
+	DstBuf string `xml:"dstbuf,attr"`
+	DstOff int    `xml:"dstoff,attr"`
+	Cnt    int    `xml:"cnt,attr"`
+	Epoch  int    `xml:"epoch,attr"` // scheduling epoch (TE-CCL extension)
+}
+
+// Export converts a schedule into the MSCCL-style XML document. Only GPU
+// endpoints appear (switch hops become the receiving GPU's recv from the
+// switch's feeding GPU is not reconstructed — the switch is modeled as a
+// rank of its own, as MSCCL does for NVSwitch-routed designs).
+func Export(s *schedule.Schedule, collName string) ([]byte, error) {
+	t := s.Topo
+	nC := s.Demand.NumChunks()
+
+	// Global chunk offsets: chunk c of source s maps to s*nC + c.
+	off := func(src, chunk int) int { return src*nC + chunk }
+
+	type tbKey struct {
+		gpu, peer int
+		send      bool
+	}
+	tbs := map[tbKey]*TB{}
+	order := []tbKey{}
+	getTB := func(k tbKey) *TB {
+		if tb, ok := tbs[k]; ok {
+			return tb
+		}
+		tb := &TB{Send: -1, Recv: -1}
+		if k.send {
+			tb.Send = k.peer
+		} else {
+			tb.Recv = k.peer
+		}
+		tbs[k] = tb
+		order = append(order, k)
+		return tb
+	}
+
+	sends := append([]schedule.Send(nil), s.Sends...)
+	sort.Slice(sends, func(i, j int) bool {
+		if sends[i].Epoch != sends[j].Epoch {
+			return sends[i].Epoch < sends[j].Epoch
+		}
+		return sends[i].Link < sends[j].Link
+	})
+	for _, snd := range sends {
+		if snd.Fraction != 1 {
+			return nil, fmt.Errorf("msccl: fractional schedules cannot be exported (chunk %d of %d is %.3f)",
+				snd.Chunk, snd.Src, snd.Fraction)
+		}
+		l := t.Link(snd.Link)
+		o := off(snd.Src, snd.Chunk)
+		stb := getTB(tbKey{int(l.Src), int(l.Dst), true})
+		stb.Steps = append(stb.Steps, Step{
+			S: len(stb.Steps), Type: "s",
+			SrcBuf: "o", SrcOff: o, DstBuf: "o", DstOff: o,
+			Cnt: 1, Epoch: snd.Epoch,
+		})
+		rtb := getTB(tbKey{int(l.Dst), int(l.Src), false})
+		rtb.Steps = append(rtb.Steps, Step{
+			S: len(rtb.Steps), Type: "r",
+			SrcBuf: "o", SrcOff: o, DstBuf: "o", DstOff: o,
+			Cnt: 1, Epoch: snd.Epoch,
+		})
+	}
+
+	algo := Algo{
+		Name:           fmt.Sprintf("teccl-%s-%s", collName, t.Name),
+		Proto:          "Simple",
+		NChunksPerLoop: s.Demand.NumNodes() * nC,
+		NGPUs:          t.NumNodes(),
+		Coll:           collName,
+		NChannels:      1,
+	}
+	perGPU := map[int][]*TB{}
+	for _, k := range order {
+		perGPU[k.gpu] = append(perGPU[k.gpu], tbs[k])
+	}
+	for n := 0; n < t.NumNodes(); n++ {
+		g := GPU{
+			ID:      n,
+			IChunks: nC,
+			OChunks: s.Demand.NumNodes() * nC,
+		}
+		for i, tb := range perGPU[n] {
+			tb.ID = i
+			g.TBs = append(g.TBs, *tb)
+		}
+		algo.GPUs = append(algo.GPUs, g)
+	}
+
+	out, err := xml.MarshalIndent(algo, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// ranksInvolved counts distinct nodes touched by the schedule.
+func ranksInvolved(s *schedule.Schedule) int {
+	seen := map[topo.NodeID]bool{}
+	for _, snd := range s.Sends {
+		l := s.Topo.Link(snd.Link)
+		seen[l.Src] = true
+		seen[l.Dst] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,103 @@
+package msccl
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+func testSchedule(t *testing.T) *schedule.Schedule {
+	t.Helper()
+	tp := topo.Line(3, 1e9, 0)
+	d := collective.New(3, 1, 1e6)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: 1e-3, NumEpochs: 3, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: tp.FindLink(1, 2), Epoch: 1, Fraction: 1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return s
+}
+
+func TestExportWellFormed(t *testing.T) {
+	out, err := Export(testSchedule(t), "broadcast")
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var back Algo
+	if err := xml.Unmarshal(out, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Coll != "broadcast" || back.NGPUs != 3 {
+		t.Fatalf("header wrong: %+v", back)
+	}
+	// GPU 1 must both receive from 0 and send to 2.
+	var g1 GPU
+	for _, g := range back.GPUs {
+		if g.ID == 1 {
+			g1 = g
+		}
+	}
+	var hasSend, hasRecv bool
+	for _, tb := range g1.TBs {
+		if tb.Send == 2 && len(tb.Steps) == 1 && tb.Steps[0].Type == "s" {
+			hasSend = true
+		}
+		if tb.Recv == 0 && len(tb.Steps) == 1 && tb.Steps[0].Type == "r" {
+			hasRecv = true
+		}
+	}
+	if !hasSend || !hasRecv {
+		t.Fatalf("gpu1 threadblocks wrong: %+v", g1.TBs)
+	}
+	if !strings.HasPrefix(string(out), xml.Header) {
+		t.Fatal("missing XML header")
+	}
+}
+
+func TestExportStepsOrderedByEpoch(t *testing.T) {
+	out, err := Export(testSchedule(t), "broadcast")
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	var back Algo
+	if err := xml.Unmarshal(out, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, g := range back.GPUs {
+		for _, tb := range g.TBs {
+			for i := 1; i < len(tb.Steps); i++ {
+				if tb.Steps[i].Epoch < tb.Steps[i-1].Epoch {
+					t.Fatal("steps out of epoch order within a threadblock")
+				}
+				if tb.Steps[i].S != tb.Steps[i-1].S+1 {
+					t.Fatal("step sequence numbers not consecutive")
+				}
+			}
+		}
+	}
+}
+
+func TestExportRejectsFractional(t *testing.T) {
+	s := testSchedule(t)
+	s.Sends[0].Fraction = 0.5
+	if _, err := Export(s, "x"); err == nil {
+		t.Fatal("expected error for fractional schedule")
+	}
+}
+
+func TestRanksInvolved(t *testing.T) {
+	if got := ranksInvolved(testSchedule(t)); got != 3 {
+		t.Fatalf("ranks = %d, want 3", got)
+	}
+}

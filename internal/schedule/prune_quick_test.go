@@ -1,0 +1,137 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// randomValidSchedule floods chunks greedily over a random ring-plus-
+// chords topology, yielding a valid whole-chunk schedule with deliberate
+// over-sending (the raw pre-pruning state the MILP also produces).
+func randomValidSchedule(rng *rand.Rand) *Schedule {
+	n := 3 + rng.Intn(4)
+	t := topo.Ring(n, 1e9, 0)
+	gpus := make([]int, n)
+	for i := range gpus {
+		gpus[i] = i
+	}
+	d := collective.AllGather(n, gpus, 1, 1e6)
+
+	const K = 12
+	holds := make([]map[int]bool, n)
+	for i := range holds {
+		holds[i] = map[int]bool{i: true}
+	}
+	pending := map[int][]([2]int){} // epoch -> (node, src)
+	var sends []Send
+	for k := 0; k < K; k++ {
+		for _, a := range pending[k] {
+			holds[a[0]][a[1]] = true
+		}
+		delete(pending, k)
+		for l := 0; l < t.NumLinks(); l++ {
+			lk := t.Link(topo.LinkID(l))
+			src, dst := int(lk.Src), int(lk.Dst)
+			// Pick a random held chunk the receiver misses.
+			var cands []int
+			for c := range holds[src] {
+				if !holds[dst][c] && !willHave(pending, dst, c) {
+					cands = append(cands, c)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			// Random skips create wasteful-looking variety.
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			c := cands[rng.Intn(len(cands))]
+			sends = append(sends, Send{Src: c, Chunk: 0, Link: topo.LinkID(l), Epoch: k, Fraction: 1})
+			pending[k+1] = append(pending[k+1], [2]int{dst, c})
+		}
+	}
+	return &Schedule{Topo: t, Demand: d, Tau: 1e-3, NumEpochs: K, Sends: sends, AllowCopy: true}
+}
+
+func willHave(pending map[int][]([2]int), node, c int) bool {
+	for _, arr := range pending {
+		for _, a := range arr {
+			if a[0] == node && a[1] == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestQuickPrunePreservesValidity: pruning any valid, demand-satisfying
+// schedule keeps it valid and satisfying, and never adds sends.
+func TestQuickPrunePreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomValidSchedule(rng)
+		if err := s.Validate(); err != nil {
+			// The greedy may not satisfy all demands within K; skip those.
+			return true
+		}
+		p := s.Prune()
+		if len(p.Sends) > len(s.Sends) {
+			t.Logf("seed %d: prune grew the schedule", seed)
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("seed %d: pruned schedule invalid: %v", seed, err)
+			return false
+		}
+		// Pruning must not hurt the finish epoch.
+		if p.FinishEpoch() > s.FinishEpoch() {
+			t.Logf("seed %d: prune worsened finish %d -> %d", seed, s.FinishEpoch(), p.FinishEpoch())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFinishEpochMatchesSim: the epoch-quantized finish time must
+// bound the continuous-time finish from above for whole-chunk schedules
+// on α-free topologies (transmission exactly fills each epoch).
+func TestQuickFinishEpochConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomValidSchedule(rng)
+		if err := s.Validate(); err != nil {
+			return true
+		}
+		fe := s.FinishEpoch()
+		if fe < 0 {
+			return true
+		}
+		// Epoch-quantized time = (fe+1)*tau must be >= any send's start.
+		for _, snd := range s.Sends {
+			if snd.Epoch > fe {
+				// Wasteful late sends are allowed pre-prune; after prune
+				// none may start beyond the finish epoch.
+				p := s.Prune()
+				for _, ps := range p.Sends {
+					if ps.Epoch > p.FinishEpoch() {
+						t.Logf("seed %d: pruned send after finish", seed)
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,376 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// lineTopo returns a 3-GPU path a-b-c with 1 GB/s links and zero alpha.
+func lineTopo() *topo.Topology {
+	return topo.Line(3, 1e9, 0)
+}
+
+// chunkBytes sized so one chunk exactly fills one 1ms epoch on a 1 GB/s link.
+const (
+	tau   = 1e-3
+	chunk = 1e6
+)
+
+func bcast02Demand() *collective.Demand {
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	return d
+}
+
+func TestValidSimpleForward(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 1, Fraction: 1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if fe := s.FinishEpoch(); fe != 1 {
+		t.Fatalf("finish epoch = %d, want 1", fe)
+	}
+	if ft := s.FinishTime(); math.Abs(ft-2*tau) > 1e-12 {
+		t.Fatalf("finish time = %g, want %g", ft, 2*tau)
+	}
+}
+
+func TestCausalityViolation(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			// Node 1 forwards in the same epoch it is still receiving.
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 0, Fraction: 1},
+		},
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("want causality error, got %v", err)
+	}
+}
+
+func TestCapacityViolation(t *testing.T) {
+	tp := lineTopo()
+	d := collective.New(3, 2, chunk)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+	l01 := tp.FindLink(0, 1)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 2, AllowCopy: true,
+		Sends: []Send{
+			// Two full chunks in one epoch on a one-chunk-per-epoch link.
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 1, Link: l01, Epoch: 0, Fraction: 1},
+		},
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("want capacity error, got %v", err)
+	}
+}
+
+func TestDemandUnmet(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			// Never forwarded to node 2.
+		},
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "demand unmet") {
+		t.Fatalf("want demand error, got %v", err)
+	}
+	if s.FinishEpoch() != -1 {
+		t.Fatal("FinishEpoch should be -1 for unmet demand")
+	}
+	if !math.IsInf(s.FinishTime(), 1) {
+		t.Fatal("FinishTime should be +Inf for unmet demand")
+	}
+}
+
+func TestAlphaDelaysForwarding(t *testing.T) {
+	// alpha = 2.5 epochs -> delta = 3: chunk sent at 0 arrives end of
+	// epoch 3, forwardable at 4.
+	tp := topo.Line(3, 1e9, 2.5e-3)
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	early := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 10, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 3, Fraction: 1}, // too early
+		},
+	}
+	if err := early.Validate(); err == nil {
+		t.Fatal("forwarding before alpha delay should fail")
+	}
+	ok := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 10, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 4, Fraction: 1},
+		},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Finish: send at 4 arrives end of epoch 4+3=7.
+	if fe := ok.FinishEpoch(); fe != 7 {
+		t.Fatalf("finish epoch = %d, want 7", fe)
+	}
+}
+
+func TestCopyDiscipline(t *testing.T) {
+	// Star: gpu0 -> switchless hub? Use 3-GPU mesh: node0 sends the same
+	// chunk to both 1 and 2 in the same epoch — needs copy.
+	tp := topo.FullMesh(3, 1e9, 0)
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l02 := tp.FindLink(0, 2)
+	sends := []Send{
+		{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+		{Src: 0, Chunk: 0, Link: l02, Epoch: 0, Fraction: 1},
+	}
+	withCopy := &Schedule{Topo: tp, Demand: d, Tau: tau, NumEpochs: 2, AllowCopy: true, Sends: sends}
+	if err := withCopy.Validate(); err != nil {
+		t.Fatalf("copy-enabled validate: %v", err)
+	}
+	noCopy := &Schedule{Topo: tp, Demand: d, Tau: tau, NumEpochs: 2, AllowCopy: false, Sends: sends}
+	if err := noCopy.Validate(); err == nil {
+		t.Fatal("duplicating a chunk without copy should fail")
+	}
+}
+
+func TestSwitchCannotBuffer(t *testing.T) {
+	tp := topo.Star(3, 1e9, 0)
+	sw := tp.Switches()[0]
+	g := tp.GPUs()
+	d := collective.New(tp.NumNodes(), 1, chunk)
+	d.Set(int(g[0]), 0, int(g[1]))
+	lIn := tp.FindLink(g[0], sw)
+	lOut := tp.FindLink(sw, g[1])
+	// Arrival at switch end of epoch 0 -> forwardable only at epoch 1.
+	late := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 5, AllowCopy: true,
+		Sends: []Send{
+			{Src: int(g[0]), Chunk: 0, Link: lIn, Epoch: 0, Fraction: 1},
+			{Src: int(g[0]), Chunk: 0, Link: lOut, Epoch: 3, Fraction: 1}, // buffered 2 epochs
+		},
+	}
+	if err := late.Validate(); err == nil {
+		t.Fatal("switch buffering should fail validation")
+	}
+	ok := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 5, AllowCopy: true,
+		Sends: []Send{
+			{Src: int(g[0]), Chunk: 0, Link: lIn, Epoch: 0, Fraction: 1},
+			{Src: int(g[0]), Chunk: 0, Link: lOut, Epoch: 1, Fraction: 1},
+		},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFractionalFlows(t *testing.T) {
+	// Two half-chunks along the line; no copy (LP semantics).
+	tp := lineTopo()
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 2)
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: false,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 0.5},
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 1, Fraction: 0.5},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 1, Fraction: 0.5},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 2, Fraction: 0.5},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Sending more total fraction than received must fail without copy.
+	s.Sends = append(s.Sends, Send{Src: 0, Chunk: 0, Link: l12, Epoch: 3, Fraction: 0.5})
+	if err := s.Validate(); err == nil {
+		t.Fatal("overdraw without copy should fail")
+	}
+}
+
+func TestKappaSlidingWindow(t *testing.T) {
+	// Link needs 2 epochs per chunk: back-to-back full chunks violate the
+	// window; alternating epochs are fine.
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 2, 2*chunk) // chunk takes 2 ms = 2 epochs
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+	l01 := tp.FindLink(0, 1)
+	bad := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 6, AllowCopy: true,
+		EpochsPerChunk: []int{2, 2},
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 1, Link: l01, Epoch: 1, Fraction: 1},
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("window overflow should fail")
+	}
+	good := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 6, AllowCopy: true,
+		EpochsPerChunk: []int{2, 2},
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 1, Link: l01, Epoch: 2, Fraction: 1},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Arrival accounts for the kappa-1 extra transmission epochs.
+	if ae := good.ArrivalEpoch(good.Sends[0]); ae != 1 {
+		t.Fatalf("arrival epoch = %d, want 1", ae)
+	}
+}
+
+func TestPruneRemovesWasteful(t *testing.T) {
+	tp := topo.FullMesh(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 1)
+	l01 := tp.FindLink(0, 1)
+	l02 := tp.FindLink(0, 2)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1}, // needed
+			{Src: 0, Chunk: 0, Link: l02, Epoch: 0, Fraction: 1}, // wasteful
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 2, Fraction: 1}, // wasteful
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("pre-prune validate: %v", err)
+	}
+	p := s.Prune()
+	if len(p.Sends) != 1 {
+		t.Fatalf("pruned to %d sends, want 1", len(p.Sends))
+	}
+	if p.Sends[0].Link != l01 {
+		t.Fatal("kept the wrong send")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("post-prune validate: %v", err)
+	}
+	// Original untouched.
+	if len(s.Sends) != 3 {
+		t.Fatal("prune mutated the receiver")
+	}
+}
+
+func TestPruneKeepsRelayChains(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 1, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 2, Fraction: 1}, // duplicate, wasteful
+		},
+	}
+	p := s.Prune()
+	if len(p.Sends) != 2 {
+		t.Fatalf("pruned to %d sends, want 2", len(p.Sends))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("post-prune validate: %v", err)
+	}
+}
+
+func TestPruneFractionalPassthrough(t *testing.T) {
+	tp := lineTopo()
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 1)
+	l01 := tp.FindLink(0, 1)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 2, AllowCopy: false,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 0.5},
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 1, Fraction: 0.5},
+		},
+	}
+	if p := s.Prune(); len(p.Sends) != 2 {
+		t.Fatal("fractional schedules must pass through prune unchanged")
+	}
+}
+
+func TestBadSendFields(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	cases := []Send{
+		{Src: 0, Chunk: 0, Link: l01, Epoch: -1, Fraction: 1},
+		{Src: 0, Chunk: 0, Link: l01, Epoch: 9, Fraction: 1},
+		{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 0},
+		{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1.5},
+		{Src: 0, Chunk: 0, Link: 99, Epoch: 0, Fraction: 1},
+		{Src: 9, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+		{Src: 0, Chunk: 7, Link: l01, Epoch: 0, Fraction: 1},
+	}
+	for i, bad := range cases {
+		s := &Schedule{Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true, Sends: []Send{bad}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAlgoBandwidth(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	s := &Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 1, Fraction: 1},
+		},
+	}
+	// Output buffer = 1 chunk = 1e6 bytes; finish = 2ms.
+	want := chunk / (2 * tau)
+	if got := s.AlgoBandwidth(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("algo bandwidth = %g, want %g", got, want)
+	}
+	if got := s.TotalBytesSent(); got != 2*chunk {
+		t.Fatalf("total bytes = %g, want %g", got, 2*chunk)
+	}
+}

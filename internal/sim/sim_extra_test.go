@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+func TestKappaLinkTiming(t *testing.T) {
+	// A chunk twice the epoch size on a link: transmission spans 2 ms even
+	// though the schedule uses 1 ms epochs (Appendix F semantics).
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 1, 2e6)
+	d.Set(0, 0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: 1e-3, NumEpochs: 4, AllowCopy: true,
+		EpochsPerChunk: []int{2, 2},
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(r.FinishTime-2e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 2e-3", r.FinishTime)
+	}
+}
+
+func TestLinkBusyAccounting(t *testing.T) {
+	tp := topo.FullMesh(3, 1e9, 0)
+	d := collective.New(3, 1, 1e6)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	l01 := tp.FindLink(0, 1)
+	l02 := tp.FindLink(0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: 1e-3, NumEpochs: 2, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l02, Epoch: 0, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.LinkBusy) != 2 {
+		t.Fatalf("busy links = %d, want 2", len(r.LinkBusy))
+	}
+	for l, busy := range r.LinkBusy {
+		if math.Abs(busy-1e-3) > 1e-12 {
+			t.Fatalf("link %d busy %g, want 1e-3", l, busy)
+		}
+	}
+	if r.TotalBytes != 2e6 {
+		t.Fatalf("bytes = %g", r.TotalBytes)
+	}
+}
+
+func TestLateEpochIdleGap(t *testing.T) {
+	// A send scheduled at epoch 5 waits for its epoch even when the link
+	// is idle — the simulator honors the schedule, not earliest-start.
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 1, 1e6)
+	d.Set(0, 0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: 1e-3, NumEpochs: 8, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 5, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(r.FinishTime-6e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 6e-3", r.FinishTime)
+	}
+}
+
+func TestZeroByteResultFields(t *testing.T) {
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 1, 1e6) // no demands set
+	s := &schedule.Schedule{Topo: tp, Demand: d, Tau: 1e-3, NumEpochs: 1, AllowCopy: true}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.FinishTime != 0 || r.TotalBytes != 0 || len(r.DestFinish) != 0 {
+		t.Fatalf("empty schedule produced non-zero result: %+v", r)
+	}
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+const (
+	tau   = 1e-3
+	chunk = 1e6 // 1 ms on a 1 GB/s link
+)
+
+func TestSingleHopTiming(t *testing.T) {
+	tp := topo.Line(2, 1e9, 5e-4) // alpha = 0.5 ms
+	d := collective.New(2, 1, chunk)
+	d.Set(0, 0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []schedule.Send{{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1}},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// trans 1 ms + alpha 0.5 ms.
+	if math.Abs(r.FinishTime-1.5e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 1.5e-3", r.FinishTime)
+	}
+	if math.Abs(r.AlgoBandwidth-chunk/1.5e-3) > 1 {
+		t.Fatalf("bw = %g", r.AlgoBandwidth)
+	}
+	if r.TotalBytes != chunk {
+		t.Fatalf("bytes = %g", r.TotalBytes)
+	}
+}
+
+func TestPipelinedRelay(t *testing.T) {
+	// Two-hop relay: node1 forwards in epoch 1; with zero alpha finish
+	// should be 2 transmissions = 2 ms.
+	tp := topo.Line(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: tp.FindLink(1, 2), Epoch: 1, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(r.FinishTime-2e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 2e-3", r.FinishTime)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	// Two chunks in the same epoch on one link serialize: finish 2 ms even
+	// though both sends claim epoch 0.
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 2, chunk)
+	d.Set(0, 0, 1)
+	d.Set(0, 1, 1)
+	l := tp.FindLink(0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: 2e-3, NumEpochs: 2, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: l, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 1, Link: l, Epoch: 0, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(r.FinishTime-2e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 2e-3", r.FinishTime)
+	}
+	if math.Abs(r.LinkBusy[l]-2e-3) > 1e-12 {
+		t.Fatalf("busy = %g, want 2e-3", r.LinkBusy[l])
+	}
+}
+
+func TestCausalityError(t *testing.T) {
+	tp := topo.Line(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: true,
+		Sends: []schedule.Send{
+			// Node 1 forwards a chunk that never arrives there.
+			{Src: 0, Chunk: 0, Link: tp.FindLink(1, 2), Epoch: 1, Fraction: 1},
+		},
+	}
+	if _, err := Run(s); err == nil {
+		t.Fatal("expected causality error")
+	}
+}
+
+func TestDemandUnmetError(t *testing.T) {
+	tp := topo.Line(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+		},
+	}
+	if _, err := Run(s); err == nil {
+		t.Fatal("expected demand error")
+	}
+}
+
+func TestFractionalAccumulation(t *testing.T) {
+	// Chunk delivered as two halves; destination finishes when the second
+	// half lands.
+	tp := topo.Line(2, 1e9, 0)
+	d := collective.New(2, 1, chunk)
+	d.Set(0, 0, 1)
+	l := tp.FindLink(0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 4, AllowCopy: false,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: l, Epoch: 0, Fraction: 0.5},
+			{Src: 0, Chunk: 0, Link: l, Epoch: 2, Fraction: 0.5},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Second half starts at epoch 2 (2 ms), 0.5 ms transmission.
+	if math.Abs(r.FinishTime-2.5e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 2.5e-3", r.FinishTime)
+	}
+}
+
+func TestNoCopyOverdraw(t *testing.T) {
+	tp := topo.FullMesh(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: false,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 2), Epoch: 0, Fraction: 1},
+		},
+	}
+	if _, err := Run(s); err == nil {
+		t.Fatal("expected no-copy overdraw error")
+	}
+	s.AllowCopy = true
+	if _, err := Run(s); err != nil {
+		t.Fatalf("copy-enabled run: %v", err)
+	}
+}
+
+func TestAlphaPipeliningBeatsBarrier(t *testing.T) {
+	// The Figure 1a point: with per-chunk pipelining, alpha is paid once
+	// per link in the steady state, not once per chunk per step.
+	tp := topo.Line(2, 1e9, 2e-3) // alpha = 2 epochs
+	d := collective.New(2, 3, chunk)
+	for c := 0; c < 3; c++ {
+		d.Set(0, c, 1)
+	}
+	l := tp.FindLink(0, 1)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 8, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: l, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 1, Link: l, Epoch: 1, Fraction: 1},
+			{Src: 0, Chunk: 2, Link: l, Epoch: 2, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Last chunk: starts at 2 ms, trans 1 ms, alpha 2 ms -> 5 ms total;
+	// a barrier design would pay (1+2)*3 = 9 ms.
+	if math.Abs(r.FinishTime-5e-3) > 1e-12 {
+		t.Fatalf("finish = %g, want 5e-3", r.FinishTime)
+	}
+}
+
+func TestRunOnDifferentAlpha(t *testing.T) {
+	// Solve-side topology has alpha 0; execution topology has alpha 1 ms.
+	solveTopo := topo.Line(2, 1e9, 0)
+	realTopo := topo.Line(2, 1e9, 1e-3)
+	d := collective.New(2, 1, chunk)
+	d.Set(0, 0, 1)
+	s := &schedule.Schedule{
+		Topo: solveTopo, Demand: d, Tau: tau, NumEpochs: 2, AllowCopy: true,
+		Sends: []schedule.Send{{Src: 0, Chunk: 0, Link: solveTopo.FindLink(0, 1), Epoch: 0, Fraction: 1}},
+	}
+	r0, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r1, err := RunOn(s, realTopo)
+	if err != nil {
+		t.Fatalf("RunOn: %v", err)
+	}
+	if math.Abs(r1.FinishTime-r0.FinishTime-1e-3) > 1e-12 {
+		t.Fatalf("alpha not applied: %g vs %g", r1.FinishTime, r0.FinishTime)
+	}
+	// Shape mismatch is rejected.
+	if _, err := RunOn(s, topo.Line(3, 1e9, 0)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestDestFinishPerNode(t *testing.T) {
+	tp := topo.FullMesh(3, 1e9, 0)
+	d := collective.New(3, 1, chunk)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	s := &schedule.Schedule{
+		Topo: tp, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []schedule.Send{
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 1), Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: tp.FindLink(0, 2), Epoch: 1, Fraction: 1},
+		},
+	}
+	r, err := Run(s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(r.DestFinish) != 2 {
+		t.Fatalf("DestFinish has %d entries, want 2", len(r.DestFinish))
+	}
+	if !(r.DestFinish[1] < r.DestFinish[2]) {
+		t.Fatalf("node1 (%g) should finish before node2 (%g)", r.DestFinish[1], r.DestFinish[2])
+	}
+}

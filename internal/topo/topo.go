@@ -1,0 +1,269 @@
+// Package topo models GPU interconnect topologies for collective
+// communication optimization: directed graphs of GPU and switch nodes
+// whose links carry a capacity (bytes/second) and a fixed latency α
+// (seconds), following the α-β cost model of Hockney that TE-CCL and its
+// baselines all use.
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node within a Topology.
+type NodeID int32
+
+// LinkID identifies a directed link within a Topology.
+type LinkID int32
+
+// Node is a GPU or a switch.
+type Node struct {
+	Name   string `json:"name"`
+	Switch bool   `json:"switch,omitempty"`
+}
+
+// Link is a unidirectional connection. Capacity is in bytes per second;
+// Alpha is the fixed per-transfer latency in seconds.
+type Link struct {
+	Src      NodeID  `json:"src"`
+	Dst      NodeID  `json:"dst"`
+	Capacity float64 `json:"capacity"`
+	Alpha    float64 `json:"alpha"`
+}
+
+// Topology is a directed graph of nodes and links. The zero value is an
+// empty topology ready for use.
+type Topology struct {
+	Name  string
+	nodes []Node
+	links []Link
+	out   [][]LinkID
+	in    [][]LinkID
+}
+
+// New returns an empty topology with the given name.
+func New(name string) *Topology { return &Topology{Name: name} }
+
+// AddNode adds a node and returns its ID.
+func (t *Topology) AddNode(name string, isSwitch bool) NodeID {
+	t.nodes = append(t.nodes, Node{Name: name, Switch: isSwitch})
+	t.out = append(t.out, nil)
+	t.in = append(t.in, nil)
+	return NodeID(len(t.nodes) - 1)
+}
+
+// AddLink adds a unidirectional link and returns its ID.
+func (t *Topology) AddLink(src, dst NodeID, capacity, alpha float64) LinkID {
+	if src == dst {
+		panic(fmt.Sprintf("topo: self-loop on node %d", src))
+	}
+	if capacity <= 0 {
+		panic(fmt.Sprintf("topo: non-positive capacity %g on link %d->%d", capacity, src, dst))
+	}
+	t.links = append(t.links, Link{Src: src, Dst: dst, Capacity: capacity, Alpha: alpha})
+	id := LinkID(len(t.links) - 1)
+	t.out[src] = append(t.out[src], id)
+	t.in[dst] = append(t.in[dst], id)
+	return id
+}
+
+// AddDuplex adds a pair of opposite links with identical parameters.
+func (t *Topology) AddDuplex(a, b NodeID, capacity, alpha float64) (LinkID, LinkID) {
+	return t.AddLink(a, b, capacity, alpha), t.AddLink(b, a, capacity, alpha)
+}
+
+// NumNodes reports the node count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// NumLinks reports the directed link count.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Node returns node metadata.
+func (t *Topology) Node(n NodeID) Node { return t.nodes[n] }
+
+// Link returns link metadata.
+func (t *Topology) Link(l LinkID) Link { return t.links[l] }
+
+// IsSwitch reports whether n is a switch.
+func (t *Topology) IsSwitch(n NodeID) bool { return t.nodes[n].Switch }
+
+// Out returns the IDs of links leaving n.
+func (t *Topology) Out(n NodeID) []LinkID { return t.out[n] }
+
+// In returns the IDs of links entering n.
+func (t *Topology) In(n NodeID) []LinkID { return t.in[n] }
+
+// GPUs returns all non-switch node IDs in ID order.
+func (t *Topology) GPUs() []NodeID {
+	var out []NodeID
+	for i := range t.nodes {
+		if !t.nodes[i].Switch {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Switches returns all switch node IDs in ID order.
+func (t *Topology) Switches() []NodeID {
+	var out []NodeID
+	for i := range t.nodes {
+		if t.nodes[i].Switch {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// FindLink returns the ID of the first link src->dst, or -1.
+func (t *Topology) FindLink(src, dst NodeID) LinkID {
+	for _, l := range t.out[src] {
+		if t.links[l].Dst == dst {
+			return l
+		}
+	}
+	return -1
+}
+
+// MinCapacity returns the smallest link capacity, or 0 for an empty graph.
+func (t *Topology) MinCapacity() float64 {
+	if len(t.links) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for i := range t.links {
+		if t.links[i].Capacity < min {
+			min = t.links[i].Capacity
+		}
+	}
+	return min
+}
+
+// MaxCapacity returns the largest link capacity, or 0 for an empty graph.
+func (t *Topology) MaxCapacity() float64 {
+	max := 0.0
+	for i := range t.links {
+		if t.links[i].Capacity > max {
+			max = t.links[i].Capacity
+		}
+	}
+	return max
+}
+
+// MaxAlpha returns the largest link α.
+func (t *Topology) MaxAlpha() float64 {
+	max := 0.0
+	for i := range t.links {
+		if t.links[i].Alpha > max {
+			max = t.links[i].Alpha
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: GPU-to-GPU reachability among all
+// non-switch nodes (collectives need every GPU to reach every other) and
+// positive capacities.
+func (t *Topology) Validate() error {
+	gpus := t.GPUs()
+	if len(gpus) == 0 {
+		return fmt.Errorf("topology %q has no GPU nodes", t.Name)
+	}
+	dist := t.FloydWarshall(func(l Link) float64 { return 1 })
+	for _, a := range gpus {
+		for _, b := range gpus {
+			if a != b && math.IsInf(dist[a][b], 1) {
+				return fmt.Errorf("topology %q: GPU %s cannot reach GPU %s",
+					t.Name, t.nodes[a].Name, t.nodes[b].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// FloydWarshall returns all-pairs shortest distances under the given link
+// weight function. Unreachable pairs are +Inf; diagonal is 0.
+func (t *Topology) FloydWarshall(weight func(Link) float64) [][]float64 {
+	n := len(t.nodes)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for _, l := range t.links {
+		w := weight(l)
+		if w < dist[l.Src][l.Dst] {
+			dist[l.Src][l.Dst] = w
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := dik + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// AlphaDistances returns all-pairs shortest α-path distances, the edge
+// weights the A* technique uses for its progress reward (Appendix D).
+func (t *Topology) AlphaDistances() [][]float64 {
+	return t.FloydWarshall(func(l Link) float64 { return l.Alpha })
+}
+
+// topologyJSON is the serialized form.
+type topologyJSON struct {
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+	Links []Link `json:"links"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	return json.Marshal(topologyJSON{Name: t.Name, Nodes: t.nodes, Links: t.links})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Topology) UnmarshalJSON(data []byte) error {
+	var tj topologyJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return err
+	}
+	*t = Topology{Name: tj.Name}
+	for _, n := range tj.Nodes {
+		t.AddNode(n.Name, n.Switch)
+	}
+	for _, l := range tj.Links {
+		if int(l.Src) >= len(t.nodes) || int(l.Dst) >= len(t.nodes) || l.Src < 0 || l.Dst < 0 {
+			return fmt.Errorf("topo: link %d->%d references missing node", l.Src, l.Dst)
+		}
+		t.AddLink(l.Src, l.Dst, l.Capacity, l.Alpha)
+	}
+	return nil
+}
+
+// ZeroAlpha returns a copy of t with every link's α set to zero, keeping
+// link IDs aligned so schedules transfer between the two (Figure 2's
+// α-blind solve, SCCL's barrier model).
+func ZeroAlpha(t *Topology) *Topology {
+	out := New(t.Name + "-a0")
+	for _, n := range t.nodes {
+		out.AddNode(n.Name, n.Switch)
+	}
+	for _, l := range t.links {
+		out.AddLink(l.Src, l.Dst, l.Capacity, 0)
+	}
+	return out
+}

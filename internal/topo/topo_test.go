@@ -1,0 +1,262 @@
+package topo
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestAddNodesAndLinks(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode("a", false)
+	b := tp.AddNode("b", false)
+	l := tp.AddLink(a, b, 100, 1e-6)
+	if tp.NumNodes() != 2 || tp.NumLinks() != 1 {
+		t.Fatalf("counts: %d nodes %d links", tp.NumNodes(), tp.NumLinks())
+	}
+	lk := tp.Link(l)
+	if lk.Src != a || lk.Dst != b || lk.Capacity != 100 || lk.Alpha != 1e-6 {
+		t.Fatalf("link = %+v", lk)
+	}
+	if len(tp.Out(a)) != 1 || len(tp.In(b)) != 1 || len(tp.Out(b)) != 0 {
+		t.Fatal("adjacency wrong")
+	}
+}
+
+func TestAddDuplex(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode("a", false)
+	b := tp.AddNode("b", false)
+	tp.AddDuplex(a, b, 10, 0)
+	if tp.NumLinks() != 2 {
+		t.Fatalf("links = %d, want 2", tp.NumLinks())
+	}
+	if tp.FindLink(a, b) < 0 || tp.FindLink(b, a) < 0 {
+		t.Fatal("duplex links missing")
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp := New("t")
+	a := tp.AddNode("a", false)
+	tp.AddLink(a, a, 1, 0)
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tp := New("t")
+	a := tp.AddNode("a", false)
+	b := tp.AddNode("b", false)
+	tp.AddLink(a, b, 0, 0)
+}
+
+func TestGPUsAndSwitches(t *testing.T) {
+	tp := Star(4, 10*GB, 1e-6)
+	if got := len(tp.GPUs()); got != 4 {
+		t.Fatalf("GPUs = %d, want 4", got)
+	}
+	if got := len(tp.Switches()); got != 1 {
+		t.Fatalf("Switches = %d, want 1", got)
+	}
+	if !tp.IsSwitch(tp.Switches()[0]) {
+		t.Fatal("switch not marked")
+	}
+}
+
+func TestFloydWarshall(t *testing.T) {
+	tp := Line(4, 10, 2e-6)
+	d := tp.AlphaDistances()
+	g := tp.GPUs()
+	if got := d[g[0]][g[3]]; math.Abs(got-6e-6) > 1e-12 {
+		t.Fatalf("alpha dist 0->3 = %g, want 6e-6", got)
+	}
+	if d[g[1]][g[1]] != 0 {
+		t.Fatal("diagonal not zero")
+	}
+}
+
+func TestFloydWarshallUnreachable(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode("a", false)
+	b := tp.AddNode("b", false)
+	tp.AddLink(a, b, 1, 0) // one direction only
+	d := tp.FloydWarshall(func(l Link) float64 { return 1 })
+	if !math.IsInf(d[b][a], 1) {
+		t.Fatal("b->a should be unreachable")
+	}
+	if d[a][b] != 1 {
+		t.Fatalf("a->b = %g, want 1", d[a][b])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, tp := range []*Topology{
+		DGX1(), NDv2(1), NDv2(2), DGX2(1), DGX2(2),
+		Internal1(2), Internal2(2), Ring(5, 10, 0), FullMesh(3, 10, 0),
+		Star(4, 10, 0), Line(3, 10, 0), Internal1NoAlpha(2),
+	} {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", tp.Name, err)
+		}
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	tp := New("t")
+	tp.AddNode("a", false)
+	tp.AddNode("b", false)
+	if err := tp.Validate(); err == nil {
+		t.Fatal("expected error for disconnected GPUs")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New("t").Validate(); err == nil {
+		t.Fatal("expected error for empty topology")
+	}
+}
+
+func TestDGX1Shape(t *testing.T) {
+	tp := DGX1()
+	if tp.NumNodes() != 8 {
+		t.Fatalf("nodes = %d, want 8", tp.NumNodes())
+	}
+	// Table 2: 32 directed edges per chassis.
+	if tp.NumLinks() != 32 {
+		t.Fatalf("links = %d, want 32", tp.NumLinks())
+	}
+	if len(tp.Switches()) != 0 {
+		t.Fatal("DGX1 has no switches")
+	}
+}
+
+func TestNDv2Shape(t *testing.T) {
+	tp := NDv2(2)
+	// 2 chassis x 8 GPUs + 1 switch.
+	if got := len(tp.GPUs()); got != 16 {
+		t.Fatalf("GPUs = %d, want 16", got)
+	}
+	if got := len(tp.Switches()); got != 1 {
+		t.Fatalf("switches = %d, want 1", got)
+	}
+	// 2x32 NVLink edges + 2 chassis x 2 GPUs x 2 directions to switch.
+	if got := tp.NumLinks(); got != 64+8 {
+		t.Fatalf("links = %d, want 72", got)
+	}
+	// Single chassis NDv2 has no switch.
+	if got := len(NDv2(1).Switches()); got != 0 {
+		t.Fatalf("1-chassis NDv2 switches = %d, want 0", got)
+	}
+}
+
+func TestDGX2Shape(t *testing.T) {
+	tp := DGX2(2)
+	// Table 2: 17 nodes per chassis.
+	if tp.NumNodes() != 34 {
+		t.Fatalf("nodes = %d, want 34", tp.NumNodes())
+	}
+	// 32 intra edges per chassis + 8 cross links per ordered pair.
+	if got := tp.NumLinks(); got != 64+16 {
+		t.Fatalf("links = %d, want 80", got)
+	}
+}
+
+func TestInternalShapes(t *testing.T) {
+	t1 := Internal1(2)
+	// Table 2: 4 GPUs, 8 GPU-GPU edges per chassis.
+	if got := len(t1.GPUs()); got != 8 {
+		t.Fatalf("internal1 GPUs = %d, want 8", got)
+	}
+	t2 := Internal2(3)
+	if got := len(t2.GPUs()); got != 6 {
+		t.Fatalf("internal2 GPUs = %d, want 6", got)
+	}
+	// 2 GPU-GPU directed edges per chassis.
+	var gg int
+	for i := 0; i < t2.NumLinks(); i++ {
+		l := t2.Link(LinkID(i))
+		if !t2.IsSwitch(l.Src) && !t2.IsSwitch(l.Dst) {
+			gg++
+		}
+	}
+	if gg != 6 {
+		t.Fatalf("internal2 GPU-GPU edges = %d, want 6", gg)
+	}
+}
+
+func TestInternal1NoAlpha(t *testing.T) {
+	tp := Internal1NoAlpha(2)
+	if tp.MaxAlpha() != 0 {
+		t.Fatalf("max alpha = %g, want 0", tp.MaxAlpha())
+	}
+}
+
+func TestCapacityStats(t *testing.T) {
+	tp := NDv2(2)
+	if tp.MinCapacity() != 12.5*GB {
+		t.Fatalf("min capacity = %g", tp.MinCapacity())
+	}
+	if tp.MaxCapacity() != 50*GB {
+		t.Fatalf("max capacity = %g", tp.MaxCapacity())
+	}
+	empty := New("e")
+	if empty.MinCapacity() != 0 || empty.MaxCapacity() != 0 {
+		t.Fatal("empty capacity stats should be 0")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tp := NDv2(2)
+	data, err := json.Marshal(tp)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.NumNodes() != tp.NumNodes() || back.NumLinks() != tp.NumLinks() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < tp.NumLinks(); i++ {
+		if back.Link(LinkID(i)) != tp.Link(LinkID(i)) {
+			t.Fatalf("link %d changed", i)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("validate after round trip: %v", err)
+	}
+}
+
+func TestJSONBadLink(t *testing.T) {
+	var tp Topology
+	err := json.Unmarshal([]byte(`{"name":"x","nodes":[{"name":"a"}],"links":[{"src":0,"dst":5,"capacity":1}]}`), &tp)
+	if err == nil {
+		t.Fatal("expected error for out-of-range link")
+	}
+}
+
+func TestRingStructure(t *testing.T) {
+	tp := Ring(6, 10, 0)
+	for _, g := range tp.GPUs() {
+		if len(tp.Out(g)) != 2 || len(tp.In(g)) != 2 {
+			t.Fatalf("gpu %d degree wrong", g)
+		}
+	}
+}
+
+func TestFullMeshStructure(t *testing.T) {
+	tp := FullMesh(4, 10, 0)
+	if tp.NumLinks() != 12 {
+		t.Fatalf("links = %d, want 12", tp.NumLinks())
+	}
+}

@@ -1,0 +1,212 @@
+// Package teccl is a Go implementation of TE-CCL ("Rethinking Machine
+// Learning Collective Communication as a Multi-Commodity Flow Problem",
+// SIGCOMM 2024): a collective-communication optimizer that models
+// scheduling as a time-expanded multi-commodity flow problem with
+// in-network copy, store-and-forward buffers, and α-aware pipelining.
+//
+// # Quick start
+//
+//	t := teccl.DGX1()
+//	demand := teccl.AllGather(t, 1, 25e3) // 1 chunk of 25 KB per GPU
+//	res, err := teccl.Solve(t, demand, teccl.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Schedule.FinishTime())
+//
+// Three solvers are available, mirroring the paper:
+//
+//   - SolveMILP — the general mixed-integer form (§3.1): optimal,
+//     supports copy, slowest.
+//   - SolveLP — the linear-program form (§4.1): optimal for demands that
+//     do not benefit from copy (ALLTOALL-like), most scalable.
+//   - SolveAStar — the round-partitioned approximation (§4.2): supports
+//     copy, scales past the MILP, trades optimality for speed.
+//
+// Solve picks automatically: the LP when no chunk has more than one
+// destination, the MILP for small copy-friendly instances, and A*
+// otherwise. Baselines from the paper's evaluation (a TACCL-like
+// heuristic, an SCCL-like synchronous-step synthesizer, shortest-path
+// scheduling, and ring algorithms) live behind the Baseline* functions.
+package teccl
+
+import (
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/msccl"
+	"teccl/internal/schedule"
+	"teccl/internal/sim"
+	"teccl/internal/topo"
+)
+
+// Topology is a directed graph of GPU and switch nodes; links carry a
+// capacity (bytes/second) and a fixed latency α (seconds).
+type Topology = topo.Topology
+
+// NodeID identifies a node within a Topology.
+type NodeID = topo.NodeID
+
+// LinkID identifies a directed link within a Topology.
+type LinkID = topo.LinkID
+
+// Demand is a collective demand matrix: which destination wants which
+// chunk of which source.
+type Demand = collective.Demand
+
+// Schedule is an executable collective schedule: per-epoch chunk sends.
+type Schedule = schedule.Schedule
+
+// Send is one chunk transmission within a Schedule.
+type Send = schedule.Send
+
+// Options configures a solve; the zero value uses the paper's defaults
+// (fastest-link epochs, copy-capable switches, buffers on).
+type Options = core.Options
+
+// Result is the outcome of a solve.
+type Result = core.Result
+
+// SimResult reports a continuous-time α-β execution of a schedule.
+type SimResult = sim.Result
+
+// Epoch-duration modes (§5).
+const (
+	FastestLink = core.FastestLink
+	SlowestLink = core.SlowestLink
+)
+
+// Switch models (§3.1).
+const (
+	SwitchCopy   = core.SwitchCopy
+	SwitchNoCopy = core.SwitchNoCopy
+)
+
+// NewTopology returns an empty topology with the given name.
+func NewTopology(name string) *Topology { return topo.New(name) }
+
+// Topology builders for the paper's evaluation platforms (Table 2,
+// Appendix H) plus generic shapes.
+var (
+	// DGX1 is a single 8-GPU NVLink chassis.
+	DGX1 = topo.DGX1
+	// NDv2 is chassis x 8-GPU NVLink boxes behind an InfiniBand switch.
+	NDv2 = topo.NDv2
+	// NDv2Mini is the laptop-scale NDv2 stand-in (4 GPUs per chassis).
+	NDv2Mini = topo.NDv2Mini
+	// DGX2 is chassis x (16 GPUs + NVSwitch) with cross-chassis links.
+	DGX2 = topo.DGX2
+	// DGX2Mini is the laptop-scale DGX2 stand-in.
+	DGX2Mini = topo.DGX2Mini
+	// Internal1 and Internal2 are synthetic stand-ins for the paper's
+	// proprietary cloud topologies (see DESIGN.md).
+	Internal1        = topo.Internal1
+	Internal1NoAlpha = topo.Internal1NoAlpha
+	Internal2        = topo.Internal2
+	// Generic shapes.
+	Ring     = topo.Ring
+	Line     = topo.Line
+	FullMesh = topo.FullMesh
+	Star     = topo.Star
+)
+
+// gpuInts converts a topology's GPU list to int indexes.
+func gpuInts(t *Topology) []int {
+	gs := t.GPUs()
+	out := make([]int, len(gs))
+	for i, g := range gs {
+		out[i] = int(g)
+	}
+	return out
+}
+
+// AllGather builds an ALLGATHER demand over every GPU in t.
+func AllGather(t *Topology, chunksPerGPU int, chunkBytes float64) *Demand {
+	return collective.AllGather(t.NumNodes(), gpuInts(t), chunksPerGPU, chunkBytes)
+}
+
+// AllToAll builds an ALLTOALL demand over every GPU in t; chunksPerPair
+// is the number of chunks each sender delivers to each destination.
+func AllToAll(t *Topology, chunksPerPair int, chunkBytes float64) *Demand {
+	return collective.AllToAll(t.NumNodes(), gpuInts(t), chunksPerPair, chunkBytes)
+}
+
+// Broadcast builds a BROADCAST demand from root to every other GPU.
+func Broadcast(t *Topology, root NodeID, chunks int, chunkBytes float64) *Demand {
+	return collective.Broadcast(t.NumNodes(), gpuInts(t), int(root), chunks, chunkBytes)
+}
+
+// Scatter builds a SCATTER demand from root.
+func Scatter(t *Topology, root NodeID, chunksPerDest int, chunkBytes float64) *Demand {
+	return collective.Scatter(t.NumNodes(), gpuInts(t), int(root), chunksPerDest, chunkBytes)
+}
+
+// Gather builds a GATHER demand to root.
+func Gather(t *Topology, root NodeID, chunksPerGPU int, chunkBytes float64) *Demand {
+	return collective.Gather(t.NumNodes(), gpuInts(t), int(root), chunksPerGPU, chunkBytes)
+}
+
+// ReduceScatter builds the communication pattern of a REDUCESCATTER.
+func ReduceScatter(t *Topology, chunkBytes float64) *Demand {
+	return collective.ReduceScatter(t.NumNodes(), gpuInts(t), chunkBytes)
+}
+
+// NewDemand builds an empty demand matrix for custom patterns (including
+// multi-tenant unions via Demand.Or, per §5).
+func NewDemand(t *Topology, chunksPerSource int, chunkBytes float64) *Demand {
+	return collective.New(t.NumNodes(), chunksPerSource, chunkBytes)
+}
+
+// Solve optimizes the demand with the most appropriate formulation: the
+// LP when copy cannot help (every chunk has at most one destination), the
+// general MILP for small copy-friendly instances, and A* for larger ones.
+func Solve(t *Topology, d *Demand, opt Options) (*Result, error) {
+	if !copyHelps(d) {
+		return core.SolveLP(t, d, opt)
+	}
+	if len(t.GPUs()) <= 10 && d.Count() <= 128 {
+		return core.SolveMILP(t, d, opt)
+	}
+	return core.SolveAStar(t, d, opt)
+}
+
+// copyHelps reports whether any chunk is wanted by more than one
+// destination (the condition under which the LP form loses optimality,
+// §4.1).
+func copyHelps(d *Demand) bool { return d.HasMulticast() }
+
+// SolveMILP solves with the general mixed-integer form (§3.1).
+func SolveMILP(t *Topology, d *Demand, opt Options) (*Result, error) {
+	return core.SolveMILP(t, d, opt)
+}
+
+// SolveLP solves with the linear-program form (§4.1).
+func SolveLP(t *Topology, d *Demand, opt Options) (*Result, error) {
+	return core.SolveLP(t, d, opt)
+}
+
+// SolveAStar solves with the A* round partitioning (§4.2).
+func SolveAStar(t *Topology, d *Demand, opt Options) (*Result, error) {
+	return core.SolveAStar(t, d, opt)
+}
+
+// Simulate executes a schedule in continuous time under the α-β cost
+// model and reports precise completion metrics.
+func Simulate(s *Schedule) (*SimResult, error) { return sim.Run(s) }
+
+// SimulateOn executes a schedule against a different topology with the
+// same shape (e.g. the real α after solving with α = 0, as in Figure 2).
+func SimulateOn(s *Schedule, t *Topology) (*SimResult, error) { return sim.RunOn(s, t) }
+
+// ExportMSCCL serializes a whole-chunk schedule to MSCCL-style XML.
+func ExportMSCCL(s *Schedule, collName string) ([]byte, error) {
+	return msccl.Export(s, collName)
+}
+
+// EstimateEpochs returns an upper bound on the epochs needed for the
+// demand at epoch duration tau (Appendix E's Algorithm 1).
+func EstimateEpochs(t *Topology, d *Demand, tau float64) int {
+	return core.EstimateEpochs(t, d, tau)
+}
+
+// DeriveTau computes the epoch duration for a chunk size and mode (§5).
+func DeriveTau(t *Topology, chunkBytes float64, mode core.EpochMode, multiplier float64) float64 {
+	return core.DeriveTau(t, chunkBytes, mode, multiplier)
+}

@@ -1,0 +1,155 @@
+package teccl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tp := Ring(4, 1e9, 0)
+	d := AllGather(tp, 1, 1e6)
+	res, err := Solve(tp, d, Options{Epochs: 4})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	r, err := Simulate(res.Schedule)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if r.FinishTime <= 0 {
+		t.Fatal("no finish time")
+	}
+}
+
+func TestSolveDispatchesLPForAllToAll(t *testing.T) {
+	tp := Ring(3, 1e9, 0)
+	d := AllToAll(tp, 1, 1e6)
+	res, err := Solve(tp, d, Options{Epochs: 5})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// The LP path produces no-copy schedules.
+	if res.Schedule.AllowCopy {
+		t.Fatal("ALLTOALL should dispatch to the LP (no-copy) solver")
+	}
+}
+
+func TestSolveDispatchesMILPForSmallAllGather(t *testing.T) {
+	tp := Ring(3, 1e9, 0)
+	d := AllGather(tp, 1, 1e6)
+	res, err := Solve(tp, d, Options{Epochs: 3})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.Schedule.AllowCopy || !res.Optimal {
+		t.Fatal("small ALLGATHER should dispatch to the optimal MILP")
+	}
+	if res.Rounds != 0 {
+		t.Fatal("MILP result should not report A* rounds")
+	}
+}
+
+func TestSolveDispatchesAStarForLargeAllGather(t *testing.T) {
+	tp := Internal2(6) // 12 GPUs: above the MILP cutoff
+	d := AllGather(tp, 1, 1e6)
+	res, err := Solve(tp, d, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Rounds < 1 {
+		t.Fatal("large ALLGATHER should dispatch to A*")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+}
+
+func TestDemandBuilders(t *testing.T) {
+	tp := Line(3, 1e9, 0)
+	if got := Broadcast(tp, 0, 2, 10).Count(); got != 4 {
+		t.Fatalf("broadcast count = %d", got)
+	}
+	if got := Scatter(tp, 0, 1, 10).Count(); got != 2 {
+		t.Fatalf("scatter count = %d", got)
+	}
+	if got := Gather(tp, 0, 1, 10).Count(); got != 2 {
+		t.Fatalf("gather count = %d", got)
+	}
+	if got := ReduceScatter(tp, 10).Count(); got != 6 {
+		t.Fatalf("reducescatter count = %d", got)
+	}
+	d := NewDemand(tp, 1, 10)
+	d.Set(0, 0, 2)
+	if d.Count() != 1 {
+		t.Fatal("custom demand")
+	}
+}
+
+func TestExportMSCCLFromSolve(t *testing.T) {
+	tp := Ring(3, 1e9, 0)
+	d := AllGather(tp, 1, 1e6)
+	res, err := SolveMILP(tp, d, Options{Epochs: 3})
+	if err != nil {
+		t.Fatalf("SolveMILP: %v", err)
+	}
+	out, err := ExportMSCCL(res.Schedule, "allgather")
+	if err != nil {
+		t.Fatalf("ExportMSCCL: %v", err)
+	}
+	if !strings.Contains(string(out), `coll="allgather"`) {
+		t.Fatal("export missing collective name")
+	}
+}
+
+func TestMultiTenantUnion(t *testing.T) {
+	// §5: multi-tenant demand = union of tenant demands.
+	tp := Ring(4, 1e9, 0)
+	gpus := tp.GPUs()
+	tenantA := NewDemand(tp, 1, 1e6)
+	tenantA.Set(int(gpus[0]), 0, int(gpus[1]))
+	tenantB := NewDemand(tp, 1, 1e6)
+	tenantB.Set(int(gpus[2]), 0, int(gpus[3]))
+	tenantA.Or(tenantB)
+	res, err := SolveMILP(tp, tenantA, Options{Epochs: 3})
+	if err != nil {
+		t.Fatalf("SolveMILP: %v", err)
+	}
+	if res.Schedule.FinishEpoch() != 0 {
+		t.Fatalf("both tenants should finish in epoch 0, got %d", res.Schedule.FinishEpoch())
+	}
+}
+
+func TestBaselinesAccessible(t *testing.T) {
+	tp := Ring(4, 1e9, 0)
+	d := AllGather(tp, 1, 1e6)
+	if r := BaselineTACCL(tp, d, TACCLOptions{Seed: 1, Restarts: 5}); !r.Feasible {
+		t.Fatal("TACCL baseline failed")
+	}
+	if r := BaselineSCCL(tp, d, SCCLOptions{MaxSteps: 4}); !r.Feasible {
+		t.Fatal("SCCL baseline failed")
+	}
+	if r := BaselineSPF(tp, d, 0); !r.Feasible {
+		t.Fatal("SPF baseline failed")
+	}
+	if _, err := BaselineRingAllGather(tp, 1e6); err != nil {
+		t.Fatalf("ring baseline: %v", err)
+	}
+	if _, err := BaselineRingReduceScatter(tp, 1e6); err != nil {
+		t.Fatalf("ring RS baseline: %v", err)
+	}
+}
+
+func TestEstimateAndTauHelpers(t *testing.T) {
+	tp := DGX1()
+	d := AllGather(tp, 1, 25e3)
+	tau := DeriveTau(tp, 25e3, FastestLink, 0)
+	if tau <= 0 {
+		t.Fatal("bad tau")
+	}
+	if k := EstimateEpochs(tp, d, tau); k < 2 {
+		t.Fatalf("estimate = %d", k)
+	}
+}
