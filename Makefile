@@ -1,0 +1,33 @@
+# TE-CCL reproduction — build, test, and benchmark entry points.
+#
+# `make ci` is the gate every change must pass: vet, build, the full test
+# suite, and a one-shot smoke of the paper's solver-time benchmark (Fig 5)
+# so solver regressions surface immediately.
+
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench tables
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the Fig 5 solver-time sweep plus the solver
+# micro-benchmarks; fast enough for CI, loud enough to catch a perf cliff.
+bench-smoke:
+	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$' -benchtime 1x .
+
+# The full benchmark suite (one iteration each; wall-clock heavy).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Regenerate every paper table/figure via the CLI harness.
+tables:
+	$(GO) run ./cmd/benchtables

@@ -7,8 +7,9 @@ import (
 	"teccl/internal/lp"
 )
 
-// benchSimplexOnce solves one 20x30 random transportation LP.
-func benchSimplexOnce(b *testing.B) {
+// benchSimplexOnce solves one 20x30 random transportation LP and returns
+// the solution so callers can report solver-effort metrics.
+func benchSimplexOnce(b *testing.B) *lp.Solution {
 	b.Helper()
 	rng := rand.New(rand.NewSource(42))
 	const m, n = 20, 30
@@ -50,4 +51,5 @@ func benchSimplexOnce(b *testing.B) {
 	if err != nil || sol.Status != lp.StatusOptimal {
 		b.Fatalf("simplex bench solve failed: %v %v", err, sol.Status)
 	}
+	return sol
 }

@@ -86,35 +86,75 @@ func BenchmarkTable8NDv2(b *testing.B) { benchTable(b, "table8") }
 // ---- micro-benchmarks of the substrates ----
 
 // BenchmarkSimplexTransport measures the LP solver on a mid-size
-// transportation problem (the inner loop of everything above).
+// transportation problem (the inner loop of everything above), reporting
+// simplex iterations and basis refactorizations alongside wall clock.
 func BenchmarkSimplexTransport(b *testing.B) {
+	var iters, refactors int
 	for i := 0; i < b.N; i++ {
-		benchSimplexOnce(b)
+		sol := benchSimplexOnce(b)
+		iters += sol.Iterations
+		refactors += sol.Refactorizations
 	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	b.ReportMetric(float64(refactors)/float64(b.N), "refactors/op")
 }
 
 // BenchmarkMILPDGX1AllGather measures one end-to-end optimal MILP solve
-// on the DGX1 ALLGATHER (Table 3's headline instance).
+// on the DGX1 ALLGATHER (Table 3's headline instance). The extra metrics
+// expose the branch-and-bound warm-start behavior: node iterations per op
+// should sit far below root iterations per op.
 func BenchmarkMILPDGX1AllGather(b *testing.B) {
 	t := DGX1()
 	d := AllGather(t, 1, 25e3)
+	var rootIters, nodeIters, nodes int
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveMILP(t, d, Options{}); err != nil {
+		res, err := SolveMILP(t, d, Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		rootIters += res.RootIterations
+		nodeIters += res.NodeIterations
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(rootIters)/float64(b.N), "root-iters/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+	if nodes > 0 {
+		b.ReportMetric(float64(nodeIters)/float64(nodes), "iters/node")
 	}
 }
 
 // BenchmarkLPDGX1AllToAll measures one end-to-end LP solve on the DGX1
-// ALLTOALL.
+// ALLTOALL — 56 per-pair chunks, the ≥32-chunk LP microbenchmark used as
+// the scoreboard for the sparse-basis work.
 func BenchmarkLPDGX1AllToAll(b *testing.B) {
 	t := DGX1()
 	d := AllToAll(t, 1, 25e3)
+	var iters int
 	for i := 0; i < b.N; i++ {
-		if _, err := SolveLP(t, d, Options{}); err != nil {
+		res, err := SolveLP(t, d, Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		iters += res.RootIterations
 	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+}
+
+// BenchmarkLPInternal2AllToAll scales the LP microbenchmark to the
+// Internal-2 4-chassis topology (Table 4's short-mode instance).
+func BenchmarkLPInternal2AllToAll(b *testing.B) {
+	t := Internal2(4)
+	gpus := len(t.GPUs())
+	d := AllToAll(t, 1, 16e6/float64(gpus))
+	var iters int
+	for i := 0; i < b.N; i++ {
+		res, err := SolveLP(t, d, Options{EpochMode: SlowestLink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.RootIterations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 }
 
 // BenchmarkTACCLBaseline measures the TACCL-like heuristic on the same

@@ -1,0 +1,3 @@
+module teccl
+
+go 1.24

@@ -86,6 +86,9 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 	var sends []schedule.Send
 	rounds := 0
 	var totalGap float64
+	// Consecutive rounds share variable names (commodity/link/local-epoch),
+	// so each round seeds its root relaxation from the previous round's.
+	var hint *basisHint
 
 	for st.remaining > 0 {
 		if rounds >= maxRounds {
@@ -93,10 +96,11 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 				maxRounds, st.remaining)
 		}
 		off := rounds * Kr
-		roundSends, gap, err := solveRound(in, st, hop, Kr, off)
+		roundSends, gap, roundHint, err := solveRound(in, st, hop, Kr, off, hint)
 		if err != nil {
 			return nil, err
 		}
+		hint = roundHint
 		progressed := advanceState(in, st, roundSends, off, Kr)
 		if !progressed && len(roundSends) == 0 && st.remaining > 0 {
 			return nil, fmt.Errorf("core: A* stalled at round %d with %d demands left", rounds, st.remaining)
@@ -132,8 +136,10 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 	}, nil
 }
 
-// solveRound builds and solves one A* round MILP.
-func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int) ([]schedule.Send, float64, error) {
+// solveRound builds and solves one A* round MILP. hint optionally seeds
+// the root relaxation from the previous round's basis; the returned hint
+// carries this round's basis forward.
+func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint *basisHint) ([]schedule.Send, float64, *basisHint, error) {
 	t := in.topo
 	nL := t.NumLinks()
 	nN := t.NumNodes()
@@ -508,13 +514,14 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int) ([]s
 	}
 
 	msol := milp.Solve(&milp.Problem{LP: p, Integer: ints}, milp.Options{
-		TimeLimit: in.opt.TimeLimit,
-		GapLimit:  in.opt.GapLimit,
+		TimeLimit:     in.opt.TimeLimit,
+		GapLimit:      in.opt.GapLimit,
+		RootWarmStart: hint.basisFor(p),
 	})
 	switch msol.Status {
 	case milp.StatusOptimal, milp.StatusFeasible:
 	default:
-		return nil, 0, fmt.Errorf("core: A* round failed: %v", msol.Status)
+		return nil, 0, nil, fmt.Errorf("core: A* round failed: %v", msol.Status)
 	}
 
 	var out []schedule.Send
@@ -532,7 +539,7 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int) ([]s
 			}
 		}
 	}
-	return out, msol.Gap, nil
+	return out, msol.Gap, hintFromSolve(p, msol.RootBasis), nil
 }
 
 // advanceState applies a round's sends to the A* state: materializes

@@ -132,6 +132,16 @@ type Result struct {
 	Epochs    int     // horizon used
 	Tau       float64 // epoch duration used
 	Rounds    int     // A* rounds used (0 for single-shot solvers)
+
+	// Solver-effort counters. RootIterations is the simplex iteration
+	// count of the main solve: the root relaxation on the MILP path, the
+	// single LP solve on the LP path. Nodes and NodeIterations are filled
+	// by the MILP path only (branch-and-bound nodes and their warm-started
+	// iteration total); NodeIterations/Nodes far below RootIterations is
+	// the signature of effective basis reuse.
+	Nodes          int
+	RootIterations int
+	NodeIterations int
 }
 
 // instance is the preprocessed solve context shared by the formulations.

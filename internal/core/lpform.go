@@ -366,6 +366,14 @@ func buildLP(in *instance) *lpModel {
 // the MILP. The resulting rate allocation is decomposed into per-chunk
 // fractional paths to produce an executable schedule.
 func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	res, _, _, err := solveLP(t, d, opt, nil)
+	return res, err
+}
+
+// solveLP is SolveLP plus warm-start plumbing: hint seeds the simplex
+// basis, and the returned model/basis let MinimizeMakespan's re-solves
+// chain each horizon's basis into the next.
+func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
 	start := time.Now()
 	// Without copy, a chunk wanted by several destinations is physically
 	// several transfers; give each its own commodity so schedules stay
@@ -377,7 +385,7 @@ func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, erro
 	if len(in.comms) == 0 {
 		r := emptyResult(in, start)
 		r.Schedule.AllowCopy = false
-		return r, nil
+		return r, nil, nil, nil
 	}
 	// Tighten an auto-estimated horizon with a quick greedy upper bound:
 	// the LP optimum finishes no later than the greedy schedule.
@@ -393,33 +401,40 @@ func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, erro
 	if opt.TimeLimit > 0 {
 		lpOpt.Deadline = start.Add(opt.TimeLimit)
 	}
+	lpOpt.WarmStart = hint.basisFor(m.p)
 	sol, err := lp.Solve(m.p, lpOpt)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	switch sol.Status {
 	case lp.StatusOptimal:
 	case lp.StatusInfeasible:
-		return nil, fmt.Errorf("core: LP infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
+		return nil, nil, nil, fmt.Errorf("core: LP infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
 	case lp.StatusIterLimit:
-		return nil, fmt.Errorf("core: LP hit its time/iteration budget with K=%d (tau=%g); raise TimeLimit or EpochMultiplier", in.K, in.tau)
+		return nil, nil, nil, fmt.Errorf("core: LP hit its time/iteration budget with K=%d (tau=%g); raise TimeLimit or EpochMultiplier", in.K, in.tau)
 	default:
-		return nil, fmt.Errorf("core: LP solve failed: %v", sol.Status)
+		return nil, nil, nil, fmt.Errorf("core: LP solve failed: %v", sol.Status)
 	}
 
 	s, err := m.decompose(sol.X)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	res := &Result{
-		Schedule:  s,
-		Objective: sol.Objective,
-		Optimal:   true,
-		SolveTime: time.Since(start),
-		Epochs:    in.K,
-		Tau:       in.tau,
+		Schedule:       s,
+		Objective:      sol.Objective,
+		Optimal:        true,
+		SolveTime:      time.Since(start),
+		Epochs:         in.K,
+		Tau:            in.tau,
+		RootIterations: sol.Iterations,
 	}
+	basis := sol.Basis
+	model := m
 	if opt.MinimizeMakespan {
+		// Each shrunken-horizon re-solve resumes from the previous
+		// horizon's optimal basis (matched by variable name, since the
+		// variable set changes with K).
 		for {
 			fe := res.Schedule.FinishEpoch()
 			if fe < 1 {
@@ -429,7 +444,11 @@ func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, erro
 			opt2.MinimizeMakespan = false
 			opt2.Epochs = fe
 			opt2.Tau = in.tau
-			tighter, err := SolveLP(t, d, opt2)
+			var h *basisHint
+			if model != nil {
+				h = hintFromSolve(model.p, basis)
+			}
+			tighter, m2, b2, err := solveLP(t, d, opt2, h)
 			if err != nil {
 				break
 			}
@@ -437,10 +456,10 @@ func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, erro
 				break
 			}
 			tighter.SolveTime = time.Since(start)
-			res = tighter
+			res, model, basis = tighter, m2, b2
 		}
 	}
-	return res, nil
+	return res, model, basis, nil
 }
 
 const flowTol = 1e-7

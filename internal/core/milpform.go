@@ -389,10 +389,18 @@ func (m *milpModel) extractSchedule(x []float64) (*schedule.Schedule, error) {
 // SolveMILP solves the general formulation (§3.1): optimal collective
 // schedules with copy and store-and-forward support.
 func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	res, _, _, err := solveMILP(t, d, opt, nil)
+	return res, err
+}
+
+// solveMILP is SolveMILP plus warm-start plumbing: hint seeds the root
+// relaxation's basis, and the returned model/root basis let
+// MinimizeMakespan's re-solves chain each horizon's basis into the next.
+func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *milpModel, *lp.Basis, error) {
 	start := time.Now()
 	in := newInstance(t, d, opt)
 	if len(in.comms) == 0 {
-		return emptyResult(in, start), nil
+		return emptyResult(in, start), nil, nil, nil
 	}
 
 	// The greedy warm start assumes buffered GPUs and copy-capable
@@ -419,12 +427,13 @@ func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, er
 
 	m, err := buildMILP(in)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	mopt := milp.Options{
-		TimeLimit: opt.TimeLimit,
-		GapLimit:  opt.GapLimit,
+		TimeLimit:     opt.TimeLimit,
+		GapLimit:      opt.GapLimit,
+		RootWarmStart: hint.basisFor(m.p),
 	}
 	if inc != nil {
 		if x := m.pointFromSends(inc); x != nil {
@@ -436,28 +445,34 @@ func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, er
 	switch msol.Status {
 	case milp.StatusOptimal, milp.StatusFeasible:
 	case milp.StatusInfeasible:
-		return nil, fmt.Errorf("core: infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
+		return nil, nil, nil, fmt.Errorf("core: infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
 	default:
-		return nil, fmt.Errorf("core: MILP solve failed: %v", msol.Status)
+		return nil, nil, nil, fmt.Errorf("core: MILP solve failed: %v", msol.Status)
 	}
 
 	s, err := m.extractSchedule(msol.X)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	res := &Result{
-		Schedule:  s,
-		Objective: msol.Objective,
-		Gap:       msol.Gap,
-		Optimal:   msol.Status == milp.StatusOptimal,
-		SolveTime: time.Since(start),
-		Epochs:    in.K,
-		Tau:       in.tau,
+		Schedule:       s,
+		Objective:      msol.Objective,
+		Gap:            msol.Gap,
+		Optimal:        msol.Status == milp.StatusOptimal,
+		SolveTime:      time.Since(start),
+		Epochs:         in.K,
+		Tau:            in.tau,
+		Nodes:          msol.Nodes,
+		RootIterations: msol.RootIterations,
+		NodeIterations: msol.NodeIterations,
 	}
+	basis := msol.RootBasis
+	model := m
 	if opt.MinimizeMakespan {
 		// Shrink the horizon below the current finish until infeasible
 		// (the paper's binary search on epochs). Pin tau so quantization
-		// stays comparable across horizons.
+		// stays comparable across horizons, and resume each re-solve from
+		// the previous horizon's root basis (matched by variable name).
 		for {
 			fe := res.Schedule.FinishEpoch()
 			if fe < 1 {
@@ -467,7 +482,11 @@ func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, er
 			opt2.MinimizeMakespan = false
 			opt2.Epochs = fe // forces completion by epoch fe-1
 			opt2.Tau = in.tau
-			tighter, err := SolveMILP(t, d, opt2)
+			var h *basisHint
+			if model != nil {
+				h = hintFromSolve(model.p, basis)
+			}
+			tighter, m2, b2, err := solveMILP(t, d, opt2, h)
 			if err != nil {
 				break // infeasible: current finish is minimal
 			}
@@ -475,10 +494,10 @@ func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, er
 				break
 			}
 			tighter.SolveTime = time.Since(start)
-			res = tighter
+			res, model, basis = tighter, m2, b2
 		}
 	}
-	return res, nil
+	return res, model, basis, nil
 }
 
 // pointFromSends converts a feasible whole-chunk send list into a variable

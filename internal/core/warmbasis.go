@@ -1,0 +1,56 @@
+package core
+
+import "teccl/internal/lp"
+
+// basisHint carries a basis from one solved formulation to a related one
+// whose dimensions differ — a shrunken MinimizeMakespan horizon, or the
+// next A* round. Variables are matched by their diagnostic names (stable
+// across horizons: "f[s3,l7,k2]" names the same flow regardless of K), so
+// the surviving structure of the old optimal basis seeds the new solve;
+// rows are left to the solver's basis-repair pass, which completes any
+// short basis with the slacks of uncovered rows.
+type basisHint struct {
+	vars map[string]lp.BasisStatus
+}
+
+// hintFromSolve captures a solved problem's basis for transfer. Returns
+// nil when there is nothing usable.
+func hintFromSolve(p *lp.Problem, b *lp.Basis) *basisHint {
+	if p == nil || b == nil || len(b.Vars) != p.NumVars() {
+		return nil
+	}
+	h := &basisHint{vars: make(map[string]lp.BasisStatus, len(b.Vars))}
+	for j, st := range b.Vars {
+		if name := p.Name(lp.VarID(j)); name != "" {
+			h.vars[name] = st
+		}
+	}
+	return h
+}
+
+// basisFor projects the hint onto a new problem: named variables inherit
+// their old status, everything else rests nonbasic, and all rows start
+// nonbasic so the solver's repair pass installs slacks exactly where the
+// transferred columns leave rows uncovered.
+func (h *basisHint) basisFor(p *lp.Problem) *lp.Basis {
+	if h == nil || len(h.vars) == 0 {
+		return nil
+	}
+	b := &lp.Basis{
+		Vars: make([]lp.BasisStatus, p.NumVars()),
+		Rows: make([]lp.BasisStatus, p.NumRows()),
+	}
+	matched := 0
+	for j := range b.Vars {
+		if st, ok := h.vars[p.Name(lp.VarID(j))]; ok {
+			b.Vars[j] = st
+			if st == lp.BasisBasic {
+				matched++
+			}
+		}
+	}
+	if matched == 0 {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,541 @@
+package lp
+
+// factor.go implements the sparse basis factorization behind the revised
+// simplex: an LU decomposition P·B·Q = L·U computed by Markowitz-ordered
+// Gaussian elimination on the sparse basis matrix, plus a product-form
+// ("eta file") update applied after each pivot so the factorization only
+// needs to be rebuilt every refactorEvery basis changes.
+//
+// The factorization exploits the near-triangular structure of
+// time-expanded flow bases: column and row singletons are peeled off with
+// no fill-in (this typically eliminates the large majority of the basis),
+// and only the residual kernel pays for general elimination with a
+// minimum-degree style pivot search under threshold partial pivoting.
+//
+// FTRAN (solve B·w = a) and BTRAN (solve Bᵀ·y = c) run in time
+// proportional to the nonzeros of L, U, and the eta file — never O(m²).
+
+import "math"
+
+const (
+	// dropTol: values below this are dropped during elimination/updates.
+	dropTol = 1e-12
+	// stabRelTol: threshold partial pivoting — within the candidate row a
+	// pivot must be at least this fraction of the row's largest entry.
+	stabRelTol = 0.1
+)
+
+// etaCol is one product-form update: after a pivot where the FTRAN spike w
+// replaced basis position r, the new inverse is Eᵣ(w)·B⁻¹.
+type etaCol struct {
+	r   int32 // pivot position
+	piv float64
+	idx []int32 // positions i != r with w[i] != 0
+	val []float64
+}
+
+// luFactor is a sparse LU factorization of the basis in pivot order, plus
+// the eta file accumulated since the last refactorization.
+type luFactor struct {
+	m int
+
+	// L is unit lower triangular in pivot-position space: lIdx[k]/lVal[k]
+	// are the below-diagonal multipliers of column k (positions > k).
+	lIdx [][]int32
+	lVal [][]float64
+
+	// U is upper triangular in pivot-position space: uIdx[k]/uVal[k] are
+	// row k's entries right of the diagonal; uDiag[k] is the pivot value.
+	uIdx  [][]int32
+	uVal  [][]float64
+	uDiag []float64
+
+	pivRow []int32 // elimination step k pivoted original row pivRow[k]...
+	pivCol []int32 // ...against basis position pivCol[k]
+
+	luNnz int // nonzeros in L + U (refactorization growth metric)
+
+	etas   []etaCol
+	etaNnz int
+
+	work []float64 // dense scratch, len m
+
+	// Elimination workspace, retained across factorizations so the hot
+	// refactorization path reuses grown backing arrays instead of
+	// reallocating the whole active submatrix every time.
+	wsRowsIdx    [][]int32
+	wsRowsVal    [][]float64
+	wsColRows    [][]int32
+	wsRowDone    []bool
+	wsColDone    []bool
+	wsWpos       []int32
+	wsActiveRows []int32
+}
+
+func newLUFactor(m int) *luFactor {
+	return &luFactor{
+		m:      m,
+		lIdx:   make([][]int32, m),
+		lVal:   make([][]float64, m),
+		uIdx:   make([][]int32, m),
+		uVal:   make([][]float64, m),
+		uDiag:  make([]float64, m),
+		pivRow: make([]int32, m),
+		pivCol: make([]int32, m),
+		work:   make([]float64, m),
+	}
+}
+
+// factorize computes the LU factors of the basis whose columns are given
+// as parallel sparse (row index, value) slices, replacing any previous
+// factorization and clearing the eta file. On success it returns nil
+// slices. If the basis is structurally or numerically singular it returns
+// the original rows left without a pivot and the basis positions left
+// unpivoted; the caller repairs the basis (slotting in slacks for the
+// uncovered rows) and retries.
+func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, failCols []int32) {
+	m := f.m
+	f.etas = f.etas[:0]
+	f.etaNnz = 0
+	f.luNnz = 0
+
+	// Active submatrix, maintained exactly: entries per original row and
+	// the set of rows containing each basis position (column). The
+	// workspace is retained on f across calls; only reset here.
+	if f.wsRowsIdx == nil {
+		f.wsRowsIdx = make([][]int32, m)
+		f.wsRowsVal = make([][]float64, m)
+		f.wsColRows = make([][]int32, m)
+		f.wsRowDone = make([]bool, m)
+		f.wsColDone = make([]bool, m)
+		f.wsWpos = make([]int32, m)
+		f.wsActiveRows = make([]int32, m)
+	}
+	rowsIdx := f.wsRowsIdx // per row: active basis positions
+	rowsVal := f.wsRowsVal
+	colRows := f.wsColRows // per basis position: active rows
+	rowDone := f.wsRowDone
+	colDone := f.wsColDone
+	for i := 0; i < m; i++ {
+		rowsIdx[i] = rowsIdx[i][:0]
+		rowsVal[i] = rowsVal[i][:0]
+		colRows[i] = colRows[i][:0]
+		rowDone[i] = false
+		colDone[i] = false
+	}
+	for pos := 0; pos < m; pos++ {
+		for ki, r := range colIdx[pos] {
+			rowsIdx[r] = append(rowsIdx[r], int32(pos))
+			rowsVal[r] = append(rowsVal[r], colVal[pos][ki])
+		}
+	}
+	for i := 0; i < m; i++ {
+		for _, pos := range rowsIdx[i] {
+			colRows[pos] = append(colRows[pos], int32(i))
+		}
+	}
+	// Singleton queues; entries may be stale and are re-checked on pop.
+	var colQ, rowQ []int32
+	for pos := 0; pos < m; pos++ {
+		if len(colRows[pos]) == 1 {
+			colQ = append(colQ, int32(pos))
+		}
+	}
+	for i := 0; i < m; i++ {
+		if len(rowsIdx[i]) == 1 {
+			rowQ = append(rowQ, int32(i))
+		}
+	}
+
+	// wpos[pos] = index+1 of pos within the row currently being updated.
+	wpos := f.wsWpos
+	for i := range wpos {
+		wpos[i] = 0
+	}
+
+	findInRow := func(r int, pos int32) int {
+		for ki, c := range rowsIdx[r] {
+			if c == pos {
+				return ki
+			}
+		}
+		return -1
+	}
+	removeFromCol := func(pos int32, r int32) {
+		cr := colRows[pos]
+		for ki, rr := range cr {
+			if rr == r {
+				cr[ki] = cr[len(cr)-1]
+				colRows[pos] = cr[:len(cr)-1]
+				return
+			}
+		}
+	}
+	// dropRowEntry removes rowsIdx[r][ki] and its column back-reference,
+	// enqueueing any new singletons.
+	dropRowEntry := func(r int, ki int) {
+		pos := rowsIdx[r][ki]
+		last := len(rowsIdx[r]) - 1
+		rowsIdx[r][ki] = rowsIdx[r][last]
+		rowsVal[r][ki] = rowsVal[r][last]
+		rowsIdx[r] = rowsIdx[r][:last]
+		rowsVal[r] = rowsVal[r][:last]
+		removeFromCol(pos, int32(r))
+		if !colDone[pos] && len(colRows[pos]) == 1 {
+			colQ = append(colQ, pos)
+		}
+		if len(rowsIdx[r]) == 1 {
+			rowQ = append(rowQ, int32(r))
+		}
+	}
+
+	step := 0
+	// pivotAt eliminates basis position pos using original row i. The
+	// pivot entry must already be known to be acceptably large.
+	pivotAt := func(i int, pos int32) {
+		ki := findInRow(i, pos)
+		piv := rowsVal[i][ki]
+		f.pivRow[step] = int32(i)
+		f.pivCol[step] = pos
+
+		// L multipliers: eliminate pos from every other active row.
+		lIdx := f.lIdx[step][:0]
+		lVal := f.lVal[step][:0]
+		spike := len(rowsIdx[i]) > 1 // pivot row has off-pivot entries
+		// Snapshot: the column's row set shrinks as we eliminate.
+		tgt := append([]int32(nil), colRows[pos]...)
+		for _, r32 := range tgt {
+			r := int(r32)
+			if r == i {
+				continue
+			}
+			kj := findInRow(r, pos)
+			if kj < 0 {
+				continue
+			}
+			mult := rowsVal[r][kj] / piv
+			// Remove the pivot-column entry from row r first so the axpy
+			// below never touches it.
+			dropRowEntry(r, kj)
+			if math.Abs(mult) <= dropTol {
+				continue
+			}
+			lIdx = append(lIdx, r32) // original row; remapped to steps below
+			lVal = append(lVal, mult)
+			if !spike {
+				continue
+			}
+			// row r -= mult * row i over the remaining active columns.
+			for kk, c := range rowsIdx[r] {
+				wpos[c] = int32(kk) + 1
+			}
+			nOld := len(rowsIdx[r])
+			for kk, c := range rowsIdx[i] {
+				if c == pos {
+					continue
+				}
+				v := rowsVal[i][kk]
+				if w := wpos[c]; w != 0 {
+					rowsVal[r][w-1] -= mult * v
+				} else {
+					rowsIdx[r] = append(rowsIdx[r], c)
+					rowsVal[r] = append(rowsVal[r], -mult*v)
+					colRows[c] = append(colRows[c], r32)
+				}
+			}
+			for kk := 0; kk < len(rowsIdx[r]); kk++ {
+				wpos[rowsIdx[r][kk]] = 0
+			}
+			// Drop entries cancelled to (near) zero among the updated ones.
+			for kk := nOld - 1; kk >= 0; kk-- {
+				if math.Abs(rowsVal[r][kk]) <= dropTol {
+					dropRowEntry(r, kk)
+				}
+			}
+			if len(rowsIdx[r]) == 1 {
+				rowQ = append(rowQ, r32)
+			}
+		}
+		f.lIdx[step] = lIdx
+		f.lVal[step] = lVal
+
+		// U row: the pivot row's remaining entries.
+		uIdx := f.uIdx[step][:0]
+		uVal := f.uVal[step][:0]
+		for kk, c := range rowsIdx[i] {
+			if c == pos {
+				continue
+			}
+			uIdx = append(uIdx, c) // basis position; remapped to steps below
+			uVal = append(uVal, rowsVal[i][kk])
+			removeFromCol(c, int32(i))
+			if !colDone[c] && len(colRows[c]) == 1 {
+				colQ = append(colQ, c)
+			}
+		}
+		f.uIdx[step] = uIdx
+		f.uVal[step] = uVal
+		f.uDiag[step] = piv
+		f.luNnz += len(lIdx) + len(uIdx) + 1
+
+		rowDone[i] = true
+		colDone[pos] = true
+		rowsIdx[i] = rowsIdx[i][:0]
+		rowsVal[i] = rowsVal[i][:0]
+		colRows[pos] = colRows[pos][:0]
+		step++
+	}
+
+	activeRows := f.wsActiveRows[:m]
+	for i := range activeRows {
+		activeRows[i] = int32(i)
+	}
+
+	for step < m {
+		// 1. Column singletons: pivot with no elimination in the column.
+		if len(colQ) > 0 {
+			pos := colQ[len(colQ)-1]
+			colQ = colQ[:len(colQ)-1]
+			if colDone[pos] || len(colRows[pos]) != 1 {
+				continue
+			}
+			i := int(colRows[pos][0])
+			ki := findInRow(i, pos)
+			if math.Abs(rowsVal[i][ki]) < pivotTol {
+				continue // too small; leave for the general search
+			}
+			pivotAt(i, pos)
+			continue
+		}
+		// 2. Row singletons: the eliminations only cancel, no fill.
+		if len(rowQ) > 0 {
+			i := rowQ[len(rowQ)-1]
+			rowQ = rowQ[:len(rowQ)-1]
+			if rowDone[i] || len(rowsIdx[i]) != 1 {
+				continue
+			}
+			if math.Abs(rowsVal[i][0]) < pivotTol {
+				continue
+			}
+			pivotAt(int(i), rowsIdx[i][0])
+			continue
+		}
+		// 3. General step: pick the shortest active row, then within it the
+		// entry with the fewest column occupants subject to the stability
+		// threshold (a Markowitz (r-1)(c-1) approximation).
+		w := 0
+		bestRow, bestLen := -1, m + 1
+		for _, r32 := range activeRows {
+			if rowDone[r32] {
+				continue
+			}
+			activeRows[w] = r32
+			w++
+			if l := len(rowsIdx[r32]); l > 0 && l < bestLen {
+				bestRow, bestLen = int(r32), l
+			}
+		}
+		activeRows = activeRows[:w]
+		f.wsActiveRows = activeRows[:cap(activeRows)]
+		if bestRow == -1 {
+			break // only empty rows remain: singular
+		}
+		amax := 0.0
+		for _, v := range rowsVal[bestRow] {
+			if a := math.Abs(v); a > amax {
+				amax = a
+			}
+		}
+		if amax < pivotTol {
+			// Numerically dead row; no pivot possible here or later.
+			break
+		}
+		thresh := stabRelTol * amax
+		bestK, bestCnt, bestAbs := -1, m+1, 0.0
+		for ki, pos := range rowsIdx[bestRow] {
+			a := math.Abs(rowsVal[bestRow][ki])
+			if a < thresh || a < pivotTol {
+				continue
+			}
+			cnt := len(colRows[pos])
+			if cnt < bestCnt || (cnt == bestCnt && a > bestAbs) {
+				bestK, bestCnt, bestAbs = ki, cnt, a
+			}
+		}
+		if bestK == -1 {
+			break
+		}
+		// The L multipliers are column entries divided by the pivot, so
+		// stability must also be judged against the pivot COLUMN's largest
+		// entry; if the candidate is small relative to it, pivot at the
+		// column's dominant row instead (multipliers then stay <= 1).
+		pivRow, pivPos := bestRow, rowsIdx[bestRow][bestK]
+		cmaxRow, cmax := pivRow, bestAbs
+		for _, r32 := range colRows[pivPos] {
+			r := int(r32)
+			if kj := findInRow(r, pivPos); kj >= 0 {
+				if a := math.Abs(rowsVal[r][kj]); a > cmax {
+					cmaxRow, cmax = r, a
+				}
+			}
+		}
+		if bestAbs < stabRelTol*cmax {
+			pivRow = cmaxRow
+		}
+		pivotAt(pivRow, pivPos)
+	}
+
+	if step < m {
+		for i := 0; i < m; i++ {
+			if !rowDone[i] {
+				failRows = append(failRows, int32(i))
+			}
+			if !colDone[i] {
+				failCols = append(failCols, int32(i))
+			}
+		}
+		return failRows, failCols
+	}
+
+	// Remap L targets (original rows) and U columns (basis positions) into
+	// pivot-step space so the solves run on triangular systems directly.
+	rowStep := wpos // reuse
+	colStep := make([]int32, m)
+	for k := 0; k < m; k++ {
+		rowStep[f.pivRow[k]] = int32(k)
+		colStep[f.pivCol[k]] = int32(k)
+	}
+	for k := 0; k < m; k++ {
+		li := f.lIdx[k]
+		for ki := range li {
+			li[ki] = rowStep[li[ki]]
+		}
+		ui := f.uIdx[k]
+		for ki := range ui {
+			ui[ki] = colStep[ui[ki]]
+		}
+	}
+	return nil, nil
+}
+
+// ftran solves B·w = a in place: on entry x holds a indexed by original
+// row; on return it holds w indexed by basis position.
+func (f *luFactor) ftran(x []float64) {
+	m := f.m
+	work := f.work
+	for k := 0; k < m; k++ {
+		work[k] = x[f.pivRow[k]]
+	}
+	// L forward (scatter).
+	for k := 0; k < m; k++ {
+		v := work[k]
+		if v == 0 {
+			continue
+		}
+		idx := f.lIdx[k]
+		val := f.lVal[k]
+		for ki, tgt := range idx {
+			work[tgt] -= val[ki] * v
+		}
+	}
+	// U backward (gather).
+	for k := m - 1; k >= 0; k-- {
+		v := work[k]
+		idx := f.uIdx[k]
+		val := f.uVal[k]
+		for ki, c := range idx {
+			v -= val[ki] * work[c]
+		}
+		work[k] = v / f.uDiag[k]
+	}
+	for k := 0; k < m; k++ {
+		x[f.pivCol[k]] = work[k]
+	}
+	// Product-form updates, oldest first.
+	for ei := range f.etas {
+		e := &f.etas[ei]
+		xr := x[e.r]
+		if xr == 0 {
+			continue
+		}
+		xr /= e.piv
+		for ki, i := range e.idx {
+			x[i] -= e.val[ki] * xr
+		}
+		x[e.r] = xr
+	}
+}
+
+// btran solves Bᵀ·y = c in place: on entry x holds c indexed by basis
+// position; on return it holds y indexed by original row.
+func (f *luFactor) btran(x []float64) {
+	// Eta transposes, newest first.
+	for ei := len(f.etas) - 1; ei >= 0; ei-- {
+		e := &f.etas[ei]
+		acc := x[e.r]
+		for ki, i := range e.idx {
+			acc -= e.val[ki] * x[i]
+		}
+		x[e.r] = acc / e.piv
+	}
+	m := f.m
+	work := f.work
+	for k := 0; k < m; k++ {
+		work[k] = x[f.pivCol[k]]
+	}
+	// Uᵀ forward (scatter).
+	for k := 0; k < m; k++ {
+		v := work[k] / f.uDiag[k]
+		work[k] = v
+		if v == 0 {
+			continue
+		}
+		idx := f.uIdx[k]
+		val := f.uVal[k]
+		for ki, c := range idx {
+			work[c] -= val[ki] * v
+		}
+	}
+	// Lᵀ backward (gather).
+	for k := m - 1; k >= 0; k-- {
+		v := work[k]
+		idx := f.lIdx[k]
+		val := f.lVal[k]
+		for ki, tgt := range idx {
+			v -= val[ki] * work[tgt]
+		}
+		work[k] = v
+	}
+	for k := 0; k < m; k++ {
+		x[f.pivRow[k]] = work[k]
+	}
+}
+
+// appendEta records the product-form update for a pivot whose FTRAN spike
+// is w (dense, position space, nonzeros listed in wNnz) replacing basis
+// position r.
+func (f *luFactor) appendEta(w []float64, wNnz []int32, r int32) {
+	e := etaCol{r: r, piv: w[r]}
+	for _, i := range wNnz {
+		if i == r {
+			continue
+		}
+		v := w[i]
+		if math.Abs(v) <= dropTol {
+			continue
+		}
+		e.idx = append(e.idx, i)
+		e.val = append(e.val, v)
+	}
+	f.etas = append(f.etas, e)
+	f.etaNnz += len(e.idx) + 1
+}
+
+// shouldRefactor reports whether the eta file has grown enough that a
+// fresh factorization is cheaper (and numerically safer) than continuing.
+func (f *luFactor) shouldRefactor() bool {
+	if len(f.etas) >= refactorEvery {
+		return true
+	}
+	return f.etaNnz > 2*f.luNnz+8*f.m
+}

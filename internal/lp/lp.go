@@ -9,9 +9,19 @@
 //	subject to              A x  {<=, =, >=}  b
 //	                        l <= x <= u
 //
-// with a sparse A. Solve uses a two-phase bounded-variable revised simplex
-// with a dense product-form basis inverse, periodic refactorization, and
-// Bland's rule as an anti-cycling fallback.
+// with a sparse A. Solve uses a bounded-variable revised simplex whose
+// basis is held as a sparse LU factorization (factor.go): Markowitz-ordered
+// elimination with singleton peeling exploits the near-triangular structure
+// of time-expanded flow bases, product-form eta updates carry the
+// factorization between periodic refactorizations, and FTRAN/BTRAN run in
+// time proportional to the factor nonzeros rather than O(m²). Entering
+// variables come from a rotating partial-pricing scan (pricing.go) so an
+// iteration does not touch all n columns, with Bland's rule as the
+// anti-cycling fallback. Feasibility is reached by a composite phase 1
+// that minimizes the bound violations of the basic variables directly —
+// no artificial variables — which is also what makes warm starts cheap:
+// Solve can resume from a Basis snapshot of an earlier solve (see
+// Options.WarmStart), as branch-and-bound and re-solve loops do.
 package lp
 
 import (
@@ -193,12 +203,44 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// BasisStatus describes where a variable sits in a Basis snapshot.
+type BasisStatus int8
+
+// Basis statuses.
+const (
+	BasisAtLower BasisStatus = iota // nonbasic at its lower bound
+	BasisAtUpper                    // nonbasic at its upper bound
+	BasisBasic                      // in the basis
+	BasisFree                       // nonbasic free variable (at 0)
+)
+
+// Basis is a compact snapshot of a simplex basis, sufficient to resume a
+// later solve of the same problem (or a closely related one, e.g. after a
+// bound change in branch-and-bound) from where this one finished. It is
+// immutable once returned and safe to share between solves.
+type Basis struct {
+	Vars []BasisStatus // structural variables, in AddVar order
+	Rows []BasisStatus // row slacks, in AddRow order
+}
+
 // Solution is the result of a solve.
 type Solution struct {
-	Status     Status
-	Objective  float64   // objective value in the problem's direction
-	X          []float64 // one value per variable, in AddVar order
+	Status    Status
+	Objective float64 // objective value in the problem's direction
+	// X holds one value per variable, in AddVar order. It is non-nil only
+	// when the solve produced a point: StatusOptimal, or StatusIterLimit
+	// when the budget expired after feasibility was reached (a limit hit
+	// during the feasibility phase yields no point).
+	X          []float64
 	Iterations int
+	// Refactorizations counts basis factorizations (including the initial
+	// one), a measure of numerical churn alongside Iterations.
+	Refactorizations int
+	// Basis is the final basis of the solve, whatever its status; pass it
+	// as Options.WarmStart to a later solve to resume from it. Even an
+	// infeasible or out-of-budget solve's basis is a useful hint for a
+	// related problem (e.g. a branch-and-bound sibling).
+	Basis *Basis
 }
 
 // Value returns the solved value of v.
@@ -211,6 +253,14 @@ type Options struct {
 	// Deadline, when non-zero, stops the solve with StatusIterLimit once
 	// the wall clock passes it (checked periodically between iterations).
 	Deadline time.Time
+	// WarmStart, when non-nil, resumes from a basis snapshot of an
+	// earlier solve instead of the all-slack basis. Dimension mismatches
+	// are ignored (the solve falls back to a cold start), and bases that
+	// are stale — singular after problem edits, or primal infeasible
+	// after bound changes — are repaired or re-driven to feasibility by
+	// the composite phase 1, so any snapshot of a related problem is a
+	// safe hint.
+	WarmStart *Basis
 }
 
 // Solve optimizes the problem. The problem is not modified.

@@ -1,7 +1,16 @@
 package lp
 
+// simplex.go is the revised-simplex driver. The basis is represented by
+// the sparse LU factorization in factor.go (never a dense inverse), the
+// entering variable is chosen by the partial pricer in pricing.go, and
+// feasibility is reached by a composite phase 1 that minimizes the total
+// bound violation of the basic variables directly — no artificial
+// variables, so a warm-started basis that is already (nearly) feasible
+// skips phase 1 in a handful of iterations.
+
 import (
 	"math"
+	"sort"
 	"time"
 )
 
@@ -14,9 +23,10 @@ const (
 	zeroTol  = 1e-11 // values below this are treated as exact zero
 )
 
-// refactorEvery is the number of basis changes between full recomputations
-// of the dense basis inverse, which bounds accumulated floating error.
-const refactorEvery = 240
+// refactorEvery is the number of eta updates between fresh LU
+// factorizations, which bounds both accumulated floating error and the
+// growth of the eta file.
+const refactorEvery = 100
 
 // varStatus describes where a variable currently sits.
 type varStatus int8
@@ -28,12 +38,11 @@ const (
 	nonbasicFree // free variable resting at value 0
 )
 
-// simplex is the working state of one solve. All variables (structural,
-// slack, artificial) live in a single index space:
+// simplex is the working state of one solve. All variables live in a
+// single index space:
 //
-//	[0, n)            structural variables
-//	[n, n+m)          one slack per row (rows become equalities)
-//	[n+m, n+m+a)      phase-1 artificials (subset of rows)
+//	[0, n)    structural variables
+//	[n, n+m)  one slack per row (rows become equalities)
 type simplex struct {
 	p   *Problem
 	opt Options
@@ -41,11 +50,13 @@ type simplex struct {
 	m int // rows
 	n int // structural variables
 
-	// Sparse constraint matrix in column-major form, covering structural
-	// columns only; slack and artificial columns are unit vectors handled
-	// implicitly.
-	colIdx [][]int32
-	colVal [][]float64
+	// Sparse constraint matrix in compressed-sparse-column form, covering
+	// structural columns only; slack columns are unit vectors handled
+	// implicitly. colRow/colVal share two backing arrays (one counted
+	// allocation each) with per-column extents in colStart.
+	colStart []int32
+	colRow   []int32
+	colVal   []float64
 
 	rhs []float64
 
@@ -55,25 +66,36 @@ type simplex struct {
 	status []varStatus
 	value  []float64
 
-	nTotal int // structural + slack + artificial count
+	nTotal int // structural + slack count
 
-	artRow []int // artificial k corresponds to row artRow[k]
+	basis  []int // basis[i] = variable basic in position i
+	inBrow []int // inBrow[v] = basis position of v, or -1
 
-	basis  []int // basis[i] = variable basic in row i
-	inBrow []int // inBrow[v] = row of basic variable v, or -1
-
-	binv []float64 // dense m×m basis inverse, row-major (flat for cache locality)
+	lu *luFactor
 
 	xB []float64 // basic variable values (mirrors value[] for basic vars)
 
-	iter        int
-	sincePivots int // pivots since last refactorization
-	degenRun    int // consecutive degenerate pivots (Bland trigger)
+	iter      int
+	refactors int
+	degenRun  int // consecutive degenerate pivots (Bland trigger)
+
+	priceCursor int       // partial-pricing rotation state
+	colWeight   []float64 // static pricing weights: 1 + ||a_j||^2
 
 	// scratch buffers
-	y    []float64 // duals
-	w    []float64 // B^-1 a_j
-	erow []float64
+	y        []float64 // duals (BTRAN result)
+	w        []float64 // FTRAN spike B^-1 a_j
+	cb       []float64 // basic costs, position space
+	resid    []float64
+	wNnz     []int32
+	p1events []p1event
+
+	// per-position basis column views handed to the factorization
+	fcolIdx [][]int32
+	fcolVal [][]float64
+	// unit-column backing for slack columns
+	slackIdx []int32
+	slackVal []float64
 }
 
 func newSimplex(p *Problem, opt Options) *simplex {
@@ -81,19 +103,34 @@ func newSimplex(p *Problem, opt Options) *simplex {
 	n := p.NumVars()
 	s := &simplex{p: p, opt: opt, m: m, n: n}
 
-	s.colIdx = make([][]int32, n)
-	s.colVal = make([][]float64, n)
-	for j := 0; j < n; j++ {
-		s.colIdx[j] = []int32{}
-		s.colVal[j] = []float64{}
-	}
-	for i, row := range p.rows {
+	// Build the structural matrix in CSC form with a single counted pass:
+	// count per-column entries, prefix-sum into extents, then fill the two
+	// shared backing arrays.
+	cnt := make([]int32, n+1)
+	nnz := 0
+	for _, row := range p.rows {
 		for _, t := range row {
-			j := int(t.Var)
-			s.colIdx[j] = append(s.colIdx[j], int32(i))
-			s.colVal[j] = append(s.colVal[j], t.Coeff)
+			cnt[t.Var+1]++
+			nnz++
 		}
 	}
+	s.colStart = cnt
+	for j := 0; j < n; j++ {
+		s.colStart[j+1] += s.colStart[j]
+	}
+	s.colRow = make([]int32, nnz)
+	s.colVal = make([]float64, nnz)
+	next := make([]int32, n)
+	copy(next, s.colStart[:n])
+	for i, row := range p.rows {
+		for _, t := range row {
+			k := next[t.Var]
+			next[t.Var]++
+			s.colRow[k] = int32(i)
+			s.colVal[k] = t.Coeff
+		}
+	}
+
 	s.rhs = append([]float64(nil), p.rhs...)
 
 	// Structural bounds and cost (convert to internal minimization).
@@ -101,10 +138,11 @@ func newSimplex(p *Problem, opt Options) *simplex {
 	if p.Dir == Maximize {
 		sign = -1.0
 	}
-	total := n + m // artificials appended later
-	s.lo = make([]float64, total, total+m)
-	s.hi = make([]float64, total, total+m)
-	s.cost = make([]float64, total, total+m)
+	total := n + m
+	s.nTotal = total
+	s.lo = make([]float64, total)
+	s.hi = make([]float64, total)
+	s.cost = make([]float64, total)
 	copy(s.lo, p.lo)
 	copy(s.hi, p.hi)
 	for j := 0; j < n; j++ {
@@ -122,41 +160,39 @@ func newSimplex(p *Problem, opt Options) *simplex {
 			s.lo[sl], s.hi[sl] = 0, 0
 		}
 	}
-	s.nTotal = total
 	return s
 }
 
-// colAppendTo accumulates column j of the full matrix into dst (len m).
-// Slack/artificial columns are unit vectors.
-func (s *simplex) colAppendTo(j int, dst []float64) {
-	switch {
-	case j < s.n:
-		for k, i := range s.colIdx[j] {
-			dst[i] += s.colVal[j][k]
-		}
-	case j < s.n+s.m:
-		dst[j-s.n] += 1
-	default:
-		dst[s.artRow[j-s.n-s.m]] += 1
+// column returns the sparse form of column j of the full matrix.
+func (s *simplex) column(j int) ([]int32, []float64) {
+	if j < s.n {
+		return s.colRow[s.colStart[j]:s.colStart[j+1]], s.colVal[s.colStart[j]:s.colStart[j+1]]
+	}
+	r := j - s.n
+	return s.slackIdx[r : r+1], s.slackVal[r : r+1]
+}
+
+// scatterCol accumulates column j into the dense vector dst (len m).
+func (s *simplex) scatterCol(j int, dst []float64) {
+	idx, val := s.column(j)
+	for k, i := range idx {
+		dst[i] += val[k]
 	}
 }
 
 // colDot returns a_j · y for column j.
 func (s *simplex) colDot(j int, y []float64) float64 {
-	switch {
-	case j < s.n:
+	if j < s.n {
 		var d float64
-		idx := s.colIdx[j]
-		val := s.colVal[j]
+		lo, hi := s.colStart[j], s.colStart[j+1]
+		idx := s.colRow[lo:hi]
+		val := s.colVal[lo:hi]
 		for k := range idx {
 			d += val[k] * y[idx[k]]
 		}
 		return d
-	case j < s.n+s.m:
-		return y[j-s.n]
-	default:
-		return y[s.artRow[j-s.n-s.m]]
 	}
+	return y[j-s.n]
 }
 
 // restValue returns the value a nonbasic variable rests at.
@@ -171,93 +207,6 @@ func (s *simplex) restValue(j int) float64 {
 	}
 }
 
-// initialBasisAndArtificials places every variable at a bound, installs
-// slacks as basic where their natural value is feasible, and creates
-// artificials for the remaining rows.
-func (s *simplex) initialBasisAndArtificials() {
-	n, m := s.n, s.m
-	s.status = make([]varStatus, s.nTotal, s.nTotal+m)
-	s.value = make([]float64, s.nTotal, s.nTotal+m)
-	for j := 0; j < s.nTotal; j++ {
-		s.status[j] = restStatus(s.lo[j], s.hi[j])
-		s.value[j] = s.restValue(j)
-	}
-
-	// residual_i = b_i - sum_j a_ij x_j over nonbasic structurals
-	resid := make([]float64, m)
-	copy(resid, s.rhs)
-	for j := 0; j < n; j++ {
-		v := s.value[j]
-		if v == 0 {
-			continue
-		}
-		for k, i := range s.colIdx[j] {
-			resid[i] -= s.colVal[j][k] * v
-		}
-	}
-
-	s.basis = make([]int, m)
-	s.xB = make([]float64, m)
-	for i := 0; i < m; i++ {
-		sl := n + i
-		if resid[i] >= s.lo[sl]-feasTol && resid[i] <= s.hi[sl]+feasTol {
-			// Slack is naturally feasible: make it basic.
-			s.basis[i] = sl
-			s.status[sl] = basic
-			s.xB[i] = resid[i]
-			continue
-		}
-		// Clamp slack to its nearest violated side and add an artificial
-		// carrying the remaining residual.
-		var slackVal float64
-		if resid[i] < s.lo[sl] {
-			slackVal = s.lo[sl]
-			s.status[sl] = atLower
-		} else {
-			slackVal = s.hi[sl]
-			s.status[sl] = atUpper
-		}
-		s.value[sl] = slackVal
-		r := resid[i] - slackVal
-		av := s.nTotal
-		s.artRow = append(s.artRow, i)
-		if r >= 0 {
-			s.lo = append(s.lo, 0)
-			s.hi = append(s.hi, Inf)
-		} else {
-			s.lo = append(s.lo, math.Inf(-1))
-			s.hi = append(s.hi, 0)
-		}
-		s.cost = append(s.cost, 0)
-		s.status = append(s.status, basic)
-		s.value = append(s.value, r)
-		s.nTotal++
-		s.basis[i] = av
-		s.xB[i] = r
-	}
-
-	s.inBrow = make([]int, s.nTotal)
-	for j := range s.inBrow {
-		s.inBrow[j] = -1
-	}
-	for i, v := range s.basis {
-		s.inBrow[v] = i
-	}
-
-	// Initial basis inverse: identity (basis columns are unit vectors).
-	s.binv = make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		s.binv[i*m+i] = 1
-	}
-	for i := range s.xB {
-		s.value[s.basis[i]] = s.xB[i]
-	}
-
-	s.y = make([]float64, m)
-	s.w = make([]float64, m)
-	s.erow = make([]float64, m)
-}
-
 func restStatus(lo, hi float64) varStatus {
 	switch {
 	case !math.IsInf(lo, -1) && (math.IsInf(hi, 1) || math.Abs(lo) <= math.Abs(hi)):
@@ -269,8 +218,256 @@ func restStatus(lo, hi float64) varStatus {
 	}
 }
 
+// sanitizeStatus reconciles a requested nonbasic status with the current
+// bounds (warm starts may carry statuses from before a bound change).
+func sanitizeStatus(st varStatus, lo, hi float64) varStatus {
+	loInf, hiInf := math.IsInf(lo, -1), math.IsInf(hi, 1)
+	switch st {
+	case atLower:
+		if !loInf {
+			return atLower
+		}
+		if !hiInf {
+			return atUpper
+		}
+		return nonbasicFree
+	case atUpper:
+		if !hiInf {
+			return atUpper
+		}
+		if !loInf {
+			return atLower
+		}
+		return nonbasicFree
+	default:
+		if loInf && hiInf {
+			return nonbasicFree
+		}
+		return restStatus(lo, hi)
+	}
+}
+
+// install sets up statuses, the starting basis (warm or cold), the LU
+// factorization, and the basic values.
+func (s *simplex) install() {
+	n, m := s.n, s.m
+	s.status = make([]varStatus, s.nTotal)
+	s.value = make([]float64, s.nTotal)
+	s.basis = make([]int, m)
+	s.inBrow = make([]int, s.nTotal)
+	s.xB = make([]float64, m)
+	s.y = make([]float64, m)
+	s.w = make([]float64, m)
+	s.cb = make([]float64, m)
+	s.resid = make([]float64, m)
+	s.wNnz = make([]int32, 0, m)
+	s.slackIdx = make([]int32, m)
+	s.slackVal = make([]float64, m)
+	for i := 0; i < m; i++ {
+		s.slackIdx[i] = int32(i)
+		s.slackVal[i] = 1
+	}
+	s.fcolIdx = make([][]int32, m)
+	s.fcolVal = make([][]float64, m)
+	s.colWeight = make([]float64, s.nTotal)
+	for j := 0; j < s.nTotal; j++ {
+		w := 1.0
+		_, val := s.column(j)
+		for _, v := range val {
+			w += v * v
+		}
+		s.colWeight[j] = w
+	}
+	s.lu = newLUFactor(m)
+	for j := range s.inBrow {
+		s.inBrow[j] = -1
+	}
+
+	warm := s.opt.WarmStart
+	useWarm := warm != nil && len(warm.Vars) == n && len(warm.Rows) == m
+	nBasic := 0
+	if useWarm {
+		toVS := func(bs BasisStatus) varStatus {
+			switch bs {
+			case BasisBasic:
+				return basic
+			case BasisAtUpper:
+				return atUpper
+			case BasisFree:
+				return nonbasicFree
+			default:
+				return atLower
+			}
+		}
+		for j := 0; j < s.nTotal; j++ {
+			var want varStatus
+			if j < n {
+				want = toVS(warm.Vars[j])
+			} else {
+				want = toVS(warm.Rows[j-n])
+			}
+			if want == basic {
+				if nBasic < m {
+					s.basis[nBasic] = j
+					s.status[j] = basic
+					nBasic++
+					continue
+				}
+				want = restStatus(s.lo[j], s.hi[j]) // demote overflow
+			}
+			s.status[j] = sanitizeStatus(want, s.lo[j], s.hi[j])
+			s.value[j] = s.restValue(j)
+		}
+		// Pad a short basis with nonbasic slacks.
+		for i := 0; i < m && nBasic < m; i++ {
+			sl := n + i
+			if s.status[sl] == basic {
+				continue
+			}
+			s.basis[nBasic] = sl
+			s.status[sl] = basic
+			nBasic++
+		}
+	}
+	if !useWarm || nBasic < m {
+		// Cold start: every structural at a bound, the slack basis (its
+		// identity factorization is free, and the composite phase 1
+		// reaches feasibility without artificial variables).
+		for j := 0; j < n; j++ {
+			s.status[j] = restStatus(s.lo[j], s.hi[j])
+			s.value[j] = s.restValue(j)
+		}
+		for i := 0; i < m; i++ {
+			sl := n + i
+			s.basis[i] = sl
+			s.status[sl] = basic
+		}
+	}
+	for i, v := range s.basis {
+		s.inBrow[v] = i
+	}
+
+	s.factorizeBasis()
+	s.computeXB()
+}
+
+// factorizeBasis (re)factorizes the current basis, repairing singular
+// bases by slotting row slacks into the uncovered rows. The all-slack
+// fallback makes this effectively infallible; it reports false only if
+// even that cannot be factorized (which would indicate corruption).
+func (s *simplex) factorizeBasis() bool {
+	for attempt := 0; attempt < 4; attempt++ {
+		for pos, v := range s.basis {
+			s.fcolIdx[pos], s.fcolVal[pos] = s.column(v)
+		}
+		failRows, failCols := s.lu.factorize(s.fcolIdx, s.fcolVal)
+		if failRows == nil {
+			s.refactors++
+			return true
+		}
+		if attempt < 2 {
+			s.repairBasis(failRows, failCols)
+			continue
+		}
+		// Last resort: restart from the identity (all-slack) basis.
+		for j := 0; j < s.nTotal; j++ {
+			if s.status[j] == basic {
+				s.status[j] = restStatus(s.lo[j], s.hi[j])
+				s.value[j] = s.restValue(j)
+			}
+			s.inBrow[j] = -1
+		}
+		for i := 0; i < s.m; i++ {
+			sl := s.n + i
+			s.basis[i] = sl
+			s.status[sl] = basic
+			s.inBrow[sl] = i
+		}
+	}
+	return false
+}
+
+// repairBasis replaces the basis entries at the unpivoted positions with
+// the slacks of the unpivoted rows (unit columns covering exactly the
+// uncovered part of the space), kicking the dependent variables out to
+// their nearest bound.
+func (s *simplex) repairBasis(failRows, failCols []int32) {
+	assigned := make([]bool, len(failCols))
+	var leftRows []int32
+	for _, r := range failRows {
+		sl := s.n + int(r)
+		if p := s.inBrow[sl]; p >= 0 {
+			// Already basic; its position must be among the failed ones.
+			for ci, pc := range failCols {
+				if int(pc) == p {
+					assigned[ci] = true
+					break
+				}
+			}
+			continue
+		}
+		leftRows = append(leftRows, r)
+	}
+	li := 0
+	for ci, pc := range failCols {
+		if assigned[ci] || li >= len(leftRows) {
+			continue
+		}
+		r := leftRows[li]
+		li++
+		pos := int(pc)
+		out := s.basis[pos]
+		s.inBrow[out] = -1
+		s.status[out] = restStatus(s.lo[out], s.hi[out])
+		s.value[out] = s.restValue(out)
+		sl := s.n + int(r)
+		s.basis[pos] = sl
+		s.status[sl] = basic
+		s.inBrow[sl] = pos
+	}
+}
+
+// computeXB recomputes the basic values x_B = B^-1 (b - A_N x_N) from the
+// current statuses and factorization.
+func (s *simplex) computeXB() {
+	copy(s.resid, s.rhs)
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] == basic {
+			continue
+		}
+		v := s.value[j]
+		if v == 0 {
+			continue
+		}
+		idx, val := s.column(j)
+		for k, i := range idx {
+			s.resid[i] -= val[k] * v
+		}
+	}
+	s.lu.ftran(s.resid)
+	copy(s.xB, s.resid)
+	for i := range s.xB {
+		s.value[s.basis[i]] = s.xB[i]
+	}
+}
+
+// totalInfeas sums the bound violations of the basic variables, ignoring
+// sub-tolerance noise (which can otherwise accumulate across thousands of
+// rows into an apparent infeasibility).
+func (s *simplex) totalInfeas() float64 {
+	var sum float64
+	for i, v := range s.basis {
+		if d := s.lo[v] - s.xB[i]; d > feasTol {
+			sum += d
+		} else if d := s.xB[i] - s.hi[v]; d > feasTol {
+			sum += d
+		}
+	}
+	return sum
+}
+
 func (s *simplex) solve() (*Solution, error) {
-	s.initialBasisAndArtificials()
+	s.install()
 
 	maxIter := s.opt.MaxIter
 	if maxIter == 0 {
@@ -280,51 +477,81 @@ func (s *simplex) solve() (*Solution, error) {
 		}
 	}
 
-	// Phase 1: minimize total artificial magnitude.
-	if len(s.artRow) > 0 {
-		phase1 := make([]float64, s.nTotal)
-		for k := range s.artRow {
-			j := s.n + s.m + k
-			if math.IsInf(s.hi[j], 1) {
-				phase1[j] = 1 // artificial in [0, inf): minimize it
-			} else {
-				phase1[j] = -1 // artificial in (-inf, 0]: maximize it
+	// done wraps up a solve that ends with the given status; the current
+	// basis is always snapshotted (even infeasible or out-of-budget bases
+	// are useful warm-start hints for related solves).
+	done := func(st Status) (*Solution, error) {
+		return &Solution{
+			Status:           st,
+			Iterations:       s.iter,
+			Refactorizations: s.refactors,
+			Basis:            s.snapshot(),
+		}, nil
+	}
+
+	// Phase 1: drive the basic bound violations to zero (a no-op when the
+	// starting basis — cold or warm — is already primal feasible). An
+	// infeasibility verdict is only accepted after it survives a fresh
+	// factorization, so accumulated floating drift cannot fake one.
+phase1:
+	for tries := 0; ; tries++ {
+		switch st := s.iterate(true, nil, maxIter); st {
+		case StatusOptimal:
+			break phase1 // feasible
+		case StatusInfeasible:
+			// Priced out at minimal infeasibility; decide by magnitude.
+			if s.totalInfeas() <= feasTol*float64(1+s.m) {
+				break phase1
 			}
-		}
-		st := s.iterate(phase1, maxIter)
-		if st == StatusIterLimit || st == StatusNumericalError {
-			return &Solution{Status: st, Iterations: s.iter}, nil
-		}
-		if st == StatusUnbounded {
+			if tries < 2 {
+				if !s.factorizeBasis() {
+					return done(StatusNumericalError)
+				}
+				s.computeXB()
+				continue
+			}
+			return done(StatusInfeasible)
+		case StatusUnbounded:
 			// The phase-1 objective is bounded below by zero; unbounded
 			// here can only mean numerical trouble.
-			return &Solution{Status: StatusNumericalError, Iterations: s.iter}, nil
-		}
-		// Feasible iff all artificials are (near) zero.
-		sum := 0.0
-		for k := range s.artRow {
-			sum += math.Abs(s.value[s.n+s.m+k])
-		}
-		if sum > feasTol*float64(1+s.m) {
-			return &Solution{Status: StatusInfeasible, Iterations: s.iter}, nil
-		}
-		// Pin artificials to zero for phase 2.
-		for k := range s.artRow {
-			j := s.n + s.m + k
-			s.lo[j], s.hi[j] = 0, 0
-			if s.status[j] != basic {
-				s.status[j] = atLower
-				s.value[j] = 0
-			}
+			return done(StatusNumericalError)
+		default:
+			return done(st)
 		}
 	}
 
-	// Phase 2: the real objective.
-	cost := make([]float64, s.nTotal)
-	copy(cost, s.cost[:s.nTotal])
-	st := s.iterate(cost, maxIter)
+	// Phase 2: the real objective. An optimality verdict must describe a
+	// primal-feasible point: a mid-phase singular-basis repair (or plain
+	// drift) can silently kick the iterate out of feasibility, so re-check
+	// and loop back through phase 1 if violations reappeared.
+	var st Status
+	for tries := 0; ; tries++ {
+		st = s.iterate(false, s.cost, maxIter)
+		if st != StatusOptimal || s.totalInfeas() <= feasTol*float64(1+s.m) {
+			break
+		}
+		if tries >= 2 {
+			st = StatusNumericalError
+			break
+		}
+		p1 := s.iterate(true, nil, maxIter)
+		if p1 == StatusInfeasible && s.totalInfeas() <= feasTol*float64(1+s.m) {
+			p1 = StatusOptimal
+		}
+		if p1 != StatusOptimal {
+			// The iterate was feasible when phase 2 started, so failing to
+			// restore feasibility now is numerical trouble (or an expired
+			// budget, which passes through).
+			if p1 == StatusIterLimit {
+				st = p1
+			} else {
+				st = StatusNumericalError
+			}
+			break
+		}
+	}
 
-	sol := &Solution{Status: st, Iterations: s.iter}
+	sol, _ := done(st)
 	if st == StatusOptimal || st == StatusIterLimit {
 		sol.X = make([]float64, s.n)
 		var objv float64
@@ -341,11 +568,44 @@ func (s *simplex) solve() (*Solution, error) {
 	return sol, nil
 }
 
-// iterate runs primal simplex iterations with the given cost vector until
-// optimality (returns StatusOptimal), unboundedness, or a limit.
-func (s *simplex) iterate(cost []float64, maxIter int) Status {
+// snapshot captures the current basis for warm-starting a later solve.
+func (s *simplex) snapshot() *Basis {
+	toBS := func(st varStatus) BasisStatus {
+		switch st {
+		case basic:
+			return BasisBasic
+		case atUpper:
+			return BasisAtUpper
+		case nonbasicFree:
+			return BasisFree
+		default:
+			return BasisAtLower
+		}
+	}
+	b := &Basis{
+		Vars: make([]BasisStatus, s.n),
+		Rows: make([]BasisStatus, s.m),
+	}
+	for j := 0; j < s.n; j++ {
+		b.Vars[j] = toBS(s.status[j])
+	}
+	for i := 0; i < s.m; i++ {
+		b.Rows[i] = toBS(s.status[s.n+i])
+	}
+	return b
+}
+
+// iterate runs primal simplex iterations until the phase completes.
+// Phase 1 (phase1 true, cost nil) minimizes the total bound violation of
+// the basic variables and returns StatusOptimal once feasible or
+// StatusInfeasible when violations remain at a phase-1 optimum. Phase 2
+// minimizes the given cost vector and returns StatusOptimal or
+// StatusUnbounded. Both return StatusIterLimit/StatusNumericalError on
+// the respective failures.
+func (s *simplex) iterate(phase1 bool, cost []float64, maxIter int) Status {
 	useBland := false
 	checkDeadline := !s.opt.Deadline.IsZero()
+	m := s.m
 	for {
 		if s.iter >= maxIter {
 			return StatusIterLimit
@@ -355,65 +615,46 @@ func (s *simplex) iterate(cost []float64, maxIter int) Status {
 		}
 		s.iter++
 
-		// Duals: y = c_B' B^-1.
-		for i := range s.y {
-			s.y[i] = 0
-		}
-		m := s.m
-		for i, v := range s.basis {
-			cb := cost[v]
-			if cb == 0 {
-				continue
+		// Basic costs in position space: the phase-1 objective is the
+		// total violation, whose gradient on basic variables is ±1.
+		if phase1 {
+			any := false
+			for i := 0; i < m; i++ {
+				v := s.basis[i]
+				switch {
+				case s.xB[i] < s.lo[v]-feasTol:
+					s.cb[i] = -1
+					any = true
+				case s.xB[i] > s.hi[v]+feasTol:
+					s.cb[i] = 1
+					any = true
+				default:
+					s.cb[i] = 0
+				}
 			}
-			row := s.binv[i*m : i*m+m]
-			for r, rv := range row {
-				s.y[r] += cb * rv
+			if !any {
+				return StatusOptimal // primal feasible: phase 1 done
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				s.cb[i] = cost[s.basis[i]]
 			}
 		}
 
-		// Pricing: pick entering variable.
-		enter := -1
-		var enterDir float64
-		bestScore := optTol
-		for j := 0; j < s.nTotal; j++ {
-			st := s.status[j]
-			if st == basic {
-				continue
-			}
-			if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
-				continue // fixed variable can never improve
-			}
-			d := cost[j] - s.colDot(j, s.y)
-			var score float64
-			var dir float64
-			switch st {
-			case atLower:
-				if d < -optTol {
-					score, dir = -d, 1
-				}
-			case atUpper:
-				if d > optTol {
-					score, dir = d, -1
-				}
-			case nonbasicFree:
-				if d < -optTol {
-					score, dir = -d, 1
-				} else if d > optTol {
-					score, dir = d, -1
-				}
-			}
-			if dir == 0 {
-				continue
-			}
-			if useBland {
-				enter, enterDir = j, dir
-				break
-			}
-			if score > bestScore {
-				bestScore, enter, enterDir = score, j, dir
-			}
+		// BTRAN: y = B^-T c_B.
+		copy(s.y, s.cb)
+		s.lu.btran(s.y)
+
+		// Pricing: pick the entering variable.
+		var pcost []float64
+		if !phase1 {
+			pcost = cost
 		}
+		enter, enterDir := s.price(pcost, s.y, useBland)
 		if enter == -1 {
+			if phase1 {
+				return StatusInfeasible
+			}
 			return StatusOptimal
 		}
 
@@ -421,11 +662,31 @@ func (s *simplex) iterate(cost []float64, maxIter int) Status {
 		for i := range s.w {
 			s.w[i] = 0
 		}
-		s.colToW(enter)
+		s.scatterCol(enter, s.w)
+		s.lu.ftran(s.w)
+		s.wNnz = s.wNnz[:0]
+		for i := 0; i < m; i++ {
+			if math.Abs(s.w[i]) > dropTol {
+				s.wNnz = append(s.wNnz, int32(i))
+			}
+		}
 
 		// Ratio test.
-		leave, t, leaveToUpper := s.ratioTest(enter, enterDir, useBland)
+		var leave int
+		var t float64
+		var leaveToUpper bool
+		if phase1 {
+			slope0 := enterDir * -s.colDot(enter, s.y)
+			leave, t, leaveToUpper = s.ratioTestPhase1(enter, enterDir, slope0, useBland)
+		} else {
+			leave, t, leaveToUpper = s.ratioTest(enter, enterDir, useBland)
+		}
 		if leave == -2 {
+			if phase1 {
+				// A feasibility-improving direction with no blocking bound
+				// cannot exist; the factorization has drifted.
+				return StatusNumericalError
+			}
 			return StatusUnbounded
 		}
 
@@ -440,12 +701,10 @@ func (s *simplex) iterate(cost []float64, maxIter int) Status {
 		}
 
 		if leave == -1 {
-			// Bound flip: entering variable moves to its other bound.
-			for i := range s.basis {
-				if s.w[i] != 0 {
-					s.xB[i] -= t * enterDir * s.w[i]
-					s.value[s.basis[i]] = s.xB[i]
-				}
+			// Bound flip: the entering variable moves to its other bound.
+			for _, i := range s.wNnz {
+				s.xB[i] -= t * enterDir * s.w[i]
+				s.value[s.basis[i]] = s.xB[i]
 			}
 			if enterDir > 0 {
 				s.status[enter] = atUpper
@@ -460,8 +719,8 @@ func (s *simplex) iterate(cost []float64, maxIter int) Status {
 		// Pivot: enter replaces basis[leave].
 		out := s.basis[leave]
 		newEnterVal := s.restValue(enter) + enterDir*t
-		for i := range s.basis {
-			if i == leave || s.w[i] == 0 {
+		for _, i := range s.wNnz {
+			if int(i) == leave {
 				continue
 			}
 			s.xB[i] -= t * enterDir * s.w[i]
@@ -482,73 +741,29 @@ func (s *simplex) iterate(cost []float64, maxIter int) Status {
 		s.xB[leave] = newEnterVal
 		s.value[enter] = newEnterVal
 
-		// Product-form update of the dense inverse: Binv <- E * Binv.
-		p := s.w[leave]
-		if math.Abs(p) < pivotTol {
-			if !s.refactorize() {
+		// Factorization update: append a product-form eta, or refactorize
+		// when the pivot is too small or the eta file has grown.
+		if math.Abs(s.w[leave]) < pivotTol {
+			if !s.factorizeBasis() {
 				return StatusNumericalError
 			}
+			s.computeXB()
 			continue
 		}
-		prow := s.binv[leave*m : leave*m+m]
-		inv := 1 / p
-		for r := range prow {
-			prow[r] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leave {
-				continue
-			}
-			wi := s.w[i]
-			if wi == 0 {
-				continue
-			}
-			row := s.binv[i*m : i*m+m]
-			for r, pv := range prow {
-				row[r] -= wi * pv
-			}
-		}
-
-		s.sincePivots++
-		if s.sincePivots >= refactorEvery {
-			if !s.refactorize() {
+		s.lu.appendEta(s.w, s.wNnz, int32(leave))
+		if s.lu.shouldRefactor() {
+			if !s.factorizeBasis() {
 				return StatusNumericalError
 			}
-		}
-	}
-}
-
-// colToW computes w = B^-1 a_enter into s.w using the dense inverse.
-func (s *simplex) colToW(enter int) {
-	m := s.m
-	switch {
-	case enter < s.n:
-		idx := s.colIdx[enter]
-		val := s.colVal[enter]
-		for i := 0; i < m; i++ {
-			var acc float64
-			row := s.binv[i*m : i*m+m]
-			for k, ix := range idx {
-				acc += row[ix] * val[k]
-			}
-			s.w[i] = acc
-		}
-	default:
-		var r int
-		if enter < s.n+s.m {
-			r = enter - s.n
-		} else {
-			r = s.artRow[enter-s.n-s.m]
-		}
-		for i := 0; i < m; i++ {
-			s.w[i] = s.binv[i*m+r]
+			s.computeXB()
 		}
 	}
 }
 
 // ratioTest finds the blocking constraint for the entering variable moving
-// in direction dir. Returns (leaveRow, step, leavesAtUpper). leaveRow -1
-// means a bound flip of the entering variable; -2 means unbounded.
+// in direction dir, for a primal-feasible basis. Returns (leavePos, step,
+// leavesAtUpper). leavePos -1 means a bound flip of the entering variable;
+// -2 means unbounded.
 func (s *simplex) ratioTest(enter int, dir float64, useBland bool) (int, float64, bool) {
 	t := math.Inf(1)
 	// Entering variable's own range.
@@ -558,7 +773,8 @@ func (s *simplex) ratioTest(enter int, dir float64, useBland bool) (int, float64
 	leave := -1
 	leaveToUpper := false
 	bestPivot := 0.0
-	for i := 0; i < s.m; i++ {
+	for _, i32 := range s.wNnz {
+		i := int(i32)
 		wi := dir * s.w[i]
 		v := s.basis[i]
 		var ti float64
@@ -607,98 +823,127 @@ func (s *simplex) ratioTest(enter int, dir float64, useBland bool) (int, float64
 	return leave, t, leaveToUpper
 }
 
-// refactorize recomputes the dense basis inverse from scratch by
-// Gauss-Jordan elimination with partial pivoting, and recomputes basic
-// values. Returns false if the basis is numerically singular.
-func (s *simplex) refactorize() bool {
-	m := s.m
-	// Build dense basis matrix.
-	bm := make([][]float64, m)
-	for i := range bm {
-		bm[i] = make([]float64, m)
-	}
-	col := make([]float64, m)
-	for c, v := range s.basis {
-		for i := range col {
-			col[i] = 0
-		}
-		s.colAppendTo(v, col)
-		for i := 0; i < m; i++ {
-			bm[i][c] = col[i]
-		}
-	}
-	inv := make([][]float64, m)
-	for i := range inv {
-		inv[i] = make([]float64, m)
-		inv[i][i] = 1
-	}
-	for c := 0; c < m; c++ {
-		// Partial pivot.
-		p, pv := -1, pivotTol
-		for i := c; i < m; i++ {
-			if a := math.Abs(bm[i][c]); a > pv {
-				p, pv = i, a
-			}
-		}
-		if p == -1 {
-			return false
-		}
-		bm[c], bm[p] = bm[p], bm[c]
-		inv[c], inv[p] = inv[p], inv[c]
-		d := 1 / bm[c][c]
-		for r := 0; r < m; r++ {
-			bm[c][r] *= d
-			inv[c][r] *= d
-		}
-		for i := 0; i < m; i++ {
-			if i == c {
-				continue
-			}
-			f := bm[i][c]
-			if f == 0 {
-				continue
-			}
-			for r := 0; r < m; r++ {
-				bm[i][r] -= f * bm[c][r]
-				inv[i][r] -= f * inv[c][r]
-			}
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(s.binv[i*m:i*m+m], inv[i])
-	}
-	s.sincePivots = 0
+// p1event is one breakpoint of the piecewise-linear phase-1 objective
+// along the entering ray: at step t the directional derivative increases
+// by dSlope, and pos (if >= 0) could leave the basis at that point.
+type p1event struct {
+	t       float64
+	dSlope  float64
+	pos     int32
+	toUpper bool
+	rate    float64
+}
 
-	// Recompute basic values: x_B = B^-1 (b - A_N x_N).
-	resid := make([]float64, m)
-	copy(resid, s.rhs)
-	for j := 0; j < s.nTotal; j++ {
-		if s.status[j] == basic {
+// ratioTestPhase1 is the long-step piecewise-linear phase-1 ratio test:
+// instead of blocking at the first bound crossing, it walks the
+// breakpoints of the infeasibility sum along the entering ray in order of
+// step length, accumulating the slope, and stops at the minimizer — the
+// breakpoint where the slope turns nonnegative. One iteration can thus
+// carry basic variables through bounds (even making feasible ones
+// temporarily infeasible) whenever that reduces the total violation,
+// which removes the degenerate crawl of first-blocking phase-1 variants.
+// slope0 is the entering variable's phase-1 reduced cost in its direction
+// of motion (negative). Under useBland the long step is abandoned for the
+// short-step rule — block at the first breakpoint, ties broken by least
+// basis index — which together with Bland pricing restores the classic
+// anti-cycling termination guarantee. Returns (leavePos, step,
+// leavesAtUpper); -1 means a bound flip of the entering variable, -2 a
+// numerical failure (the phase-1 objective is bounded below, so an
+// unbounded ray is impossible).
+func (s *simplex) ratioTestPhase1(enter int, dir float64, slope0 float64, useBland bool) (int, float64, bool) {
+	ev := s.p1events[:0]
+	if !math.IsInf(s.lo[enter], -1) && !math.IsInf(s.hi[enter], 1) {
+		// The entering variable's own range is a hard stop.
+		ev = append(ev, p1event{t: s.hi[enter] - s.lo[enter], dSlope: math.Inf(1), pos: -1})
+	}
+	for _, i32 := range s.wNnz {
+		i := int(i32)
+		rate := -dir * s.w[i] // d x_B[i] / dt
+		if rate > -pivotTol && rate < pivotTol {
 			continue
 		}
-		v := s.value[j]
-		if v == 0 {
-			continue
-		}
+		v := s.basis[i]
+		xv := s.xB[i]
+		lo, hi := s.lo[v], s.hi[v]
+		ar := math.Abs(rate)
 		switch {
-		case j < s.n:
-			for k, i := range s.colIdx[j] {
-				resid[i] -= s.colVal[j][k] * v
+		case xv < lo-feasTol:
+			if rate > 0 {
+				// Becomes feasible at lo; starts violating above at hi.
+				ev = append(ev, p1event{t: (lo - xv) / rate, dSlope: ar, pos: i32, rate: rate})
+				if !math.IsInf(hi, 1) {
+					ev = append(ev, p1event{t: (hi - xv) / rate, dSlope: ar, pos: i32, toUpper: true, rate: rate})
+				}
 			}
-		case j < s.n+s.m:
-			resid[j-s.n] -= v
+		case xv > hi+feasTol:
+			if rate < 0 {
+				ev = append(ev, p1event{t: (hi - xv) / rate, dSlope: ar, pos: i32, toUpper: true, rate: rate})
+				if !math.IsInf(lo, -1) {
+					ev = append(ev, p1event{t: (lo - xv) / rate, dSlope: ar, pos: i32, rate: rate})
+				}
+			}
 		default:
-			resid[s.artRow[j-s.n-s.m]] -= v
+			// Feasible: passing the bound it moves toward starts a new
+			// violation.
+			if rate < 0 && !math.IsInf(lo, -1) {
+				ev = append(ev, p1event{t: (xv - lo) / ar, dSlope: ar, pos: i32, rate: rate})
+			} else if rate > 0 && !math.IsInf(hi, 1) {
+				ev = append(ev, p1event{t: (hi - xv) / rate, dSlope: ar, pos: i32, toUpper: true, rate: rate})
+			}
 		}
 	}
-	for i := 0; i < m; i++ {
-		var acc float64
-		row := s.binv[i*m : i*m+m]
-		for r, rv := range resid {
-			acc += row[r] * rv
-		}
-		s.xB[i] = acc
-		s.value[s.basis[i]] = acc
+	s.p1events = ev
+	if len(ev) == 0 {
+		return -2, 0, false
 	}
-	return true
+	for k := range ev {
+		if ev[k].t < 0 {
+			ev[k].t = 0
+		}
+	}
+	sort.Slice(ev, func(a, b int) bool { return ev[a].t < ev[b].t })
+
+	if useBland {
+		// Short-step Bland rule: the first breakpoint blocks; among
+		// (near-)coincident ones the lowest basis index leaves.
+		best := -1
+		for k := range ev {
+			e := &ev[k]
+			if best >= 0 && e.t > ev[best].t+1e-10 {
+				break
+			}
+			if e.pos < 0 {
+				return -1, e.t, false
+			}
+			if best < 0 || s.basis[e.pos] < s.basis[ev[best].pos] {
+				best = k
+			}
+		}
+		return int(ev[best].pos), ev[best].t, ev[best].toUpper
+	}
+
+	slope := slope0
+	leave, leaveToUpper := -1, false
+	t := 0.0
+	bestRate := 0.0
+	for k := range ev {
+		e := &ev[k]
+		if e.pos < 0 {
+			// Entering variable exhausted its range: bound flip.
+			return -1, e.t, false
+		}
+		// Among (near-)coincident breakpoints prefer the largest pivot.
+		if leave == -1 || e.t > t+1e-10 || math.Abs(e.rate) > bestRate {
+			leave, leaveToUpper = int(e.pos), e.toUpper
+			t = e.t
+			bestRate = math.Abs(e.rate)
+		}
+		slope += e.dSlope
+		if slope >= 0 {
+			return leave, t, leaveToUpper
+		}
+	}
+	// Slope stayed negative past every breakpoint: numerically impossible
+	// for the bounded phase-1 objective.
+	return -2, 0, false
 }

@@ -1,0 +1,258 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// reSolveWarm solves p cold, then again warm-started from the returned
+// basis, and checks both reach the same objective.
+func reSolveWarm(t *testing.T, p *Problem) (cold, warm *Solution) {
+	t.Helper()
+	cold, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	if cold.Status != StatusOptimal {
+		t.Fatalf("cold status = %v, want optimal", cold.Status)
+	}
+	if cold.Basis == nil {
+		t.Fatal("optimal solve returned no basis snapshot")
+	}
+	warm, err = Solve(p, Options{WarmStart: cold.Basis})
+	if err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if warm.Status != StatusOptimal {
+		t.Fatalf("warm status = %v, want optimal", warm.Status)
+	}
+	if math.Abs(cold.Objective-warm.Objective) > optTol*10 {
+		t.Fatalf("warm objective %g != cold %g", warm.Objective, cold.Objective)
+	}
+	return cold, warm
+}
+
+// TestWarmRestartIsCheap: resuming from the optimal basis must terminate
+// almost immediately (one feasibility pass, one pricing pass).
+func TestWarmRestartIsCheap(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, Inf, 3)
+	y := p.AddVar("y", 0, Inf, 5)
+	p.AddRow([]Term{{x, 1}}, LE, 4)
+	p.AddRow([]Term{{y, 2}}, LE, 12)
+	p.AddRow([]Term{{x, 3}, {y, 2}}, LE, 18)
+	cold, warm := reSolveWarm(t, p)
+	if warm.Iterations > 4 {
+		t.Fatalf("warm restart took %d iterations (cold %d); basis not reused",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
+// TestWarmAfterBoundChange mimics one branch-and-bound step: tighten a
+// bound through the fractional optimum and compare warm vs cold.
+func TestWarmAfterBoundChange(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, 10, 7)
+	y := p.AddVar("y", 0, 10, 2)
+	p.AddRow([]Term{{x, 2}, {y, 1}}, LE, 7)
+	p.AddRow([]Term{{x, 1}, {y, 3}}, LE, 9)
+	cold, err := Solve(p, Options{})
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("base solve: %v %v", err, cold.Status)
+	}
+	// Branch down on x: x <= floor(x*).
+	p.SetBounds(x, 0, math.Floor(cold.Value(x)))
+	coldChild, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("cold child: %v", err)
+	}
+	warmChild, err := Solve(p, Options{WarmStart: cold.Basis})
+	if err != nil {
+		t.Fatalf("warm child: %v", err)
+	}
+	if coldChild.Status != warmChild.Status {
+		t.Fatalf("status: cold %v warm %v", coldChild.Status, warmChild.Status)
+	}
+	if math.Abs(coldChild.Objective-warmChild.Objective) > 1e-6 {
+		t.Fatalf("objective: cold %g warm %g", coldChild.Objective, warmChild.Objective)
+	}
+	if warmChild.Iterations > coldChild.Iterations {
+		t.Fatalf("warm child took %d iterations, cold %d; warm start hurt",
+			warmChild.Iterations, coldChild.Iterations)
+	}
+}
+
+// TestWarmDegenerate: a heavily degenerate optimum (many ties) restarts
+// cleanly from its own basis.
+func TestWarmDegenerate(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, Inf, 2)
+	y := p.AddVar("y", 0, Inf, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddRow([]Term{{x, 1}}, LE, 4)
+	p.AddRow([]Term{{y, 1}}, LE, 4)
+	p.AddRow([]Term{{x, 1}, {y, 2}}, LE, 8)
+	_, warm := reSolveWarm(t, p)
+	if math.Abs(warm.Objective-8) > 1e-6 {
+		t.Fatalf("objective = %g, want 8", warm.Objective)
+	}
+}
+
+// TestWarmUpperBounded: bound-flip-heavy instances (finite ranges on both
+// sides) must round-trip through a warm restart.
+func TestWarmUpperBounded(t *testing.T) {
+	p := NewProblem(Minimize)
+	x := p.AddVar("x", -2, 3, 1)
+	y := p.AddVar("y", -1, 4, -2)
+	z := p.AddVar("z", 0, 1, 0.5)
+	p.AddRow([]Term{{x, 1}, {y, 1}, {z, 1}}, LE, 5)
+	p.AddRow([]Term{{x, 1}, {y, -1}}, GE, -4)
+	_, warm := reSolveWarm(t, p)
+	checkFeasible(t, p, warm.X, 1e-6)
+}
+
+// TestWarmInfeasible: a stale basis pointed at an infeasible child must
+// still prove infeasibility, exactly like a cold solve.
+func TestWarmInfeasible(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, Inf, 1)
+	y := p.AddVar("y", 0, Inf, 1)
+	p.AddRow([]Term{{x, 1}, {y, 1}}, LE, 10)
+	cold, err := Solve(p, Options{})
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("base solve: %v %v", err, cold.Status)
+	}
+	// Make the child infeasible: force x beyond what the row allows.
+	p.AddRow([]Term{{x, 1}}, GE, 20)
+	for _, opt := range []Options{{}, {WarmStart: cold.Basis}} {
+		sol, err := Solve(p, opt)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if sol.Status != StatusInfeasible {
+			t.Fatalf("warm=%v: status = %v, want infeasible", opt.WarmStart != nil, sol.Status)
+		}
+	}
+}
+
+// TestWarmBealeCycling: Beale's cycling LP solved from a warm basis still
+// terminates (the Bland fallback must survive the warm-start path).
+func TestWarmBealeCycling(t *testing.T) {
+	build := func() (*Problem, []VarID) {
+		p := NewProblem(Minimize)
+		x1 := p.AddVar("x1", 0, Inf, -0.75)
+		x2 := p.AddVar("x2", 0, Inf, 150)
+		x3 := p.AddVar("x3", 0, Inf, -0.02)
+		x4 := p.AddVar("x4", 0, Inf, 6)
+		p.AddRow([]Term{{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}}, LE, 0)
+		p.AddRow([]Term{{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}}, LE, 0)
+		p.AddRow([]Term{{x3, 1}}, LE, 1)
+		return p, []VarID{x1, x2, x3, x4}
+	}
+	p, _ := build()
+	cold, err := Solve(p, Options{})
+	if err != nil || cold.Status != StatusOptimal {
+		t.Fatalf("cold Beale: %v %v", err, cold.Status)
+	}
+	// Restart from a deliberately unhelpful basis: everything nonbasic
+	// except the slacks — then from the optimal one.
+	for _, b := range []*Basis{cold.Basis, {Vars: make([]BasisStatus, 4), Rows: []BasisStatus{BasisBasic, BasisBasic, BasisBasic}}} {
+		sol, err := Solve(p, Options{WarmStart: b})
+		if err != nil {
+			t.Fatalf("warm Beale: %v", err)
+		}
+		if sol.Status != StatusOptimal || math.Abs(sol.Objective+0.05) > 1e-6 {
+			t.Fatalf("warm Beale: %v obj %g, want optimal -0.05", sol.Status, sol.Objective)
+		}
+	}
+}
+
+// TestQuickWarmMatchesCold is the property-style equality check: over
+// random feasible LPs, branch-style bound tightenings solved warm and
+// cold must agree on status and objective.
+func TestQuickWarmMatchesCold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randFeasibleLP(rng)
+		base, err := Solve(p, Options{})
+		if err != nil || base.Status != StatusOptimal {
+			return true // skip: not a warm-start scenario
+		}
+		// Tighten a random variable's bounds around its solved value, as
+		// a branch-and-bound child would.
+		j := VarID(rng.Intn(p.NumVars()))
+		lo, hi := p.Bounds(j)
+		xv := base.Value(j)
+		if rng.Intn(2) == 0 {
+			nhi := math.Floor(xv)
+			if nhi < lo {
+				nhi = lo
+			}
+			p.SetBounds(j, lo, nhi)
+		} else {
+			nlo := math.Ceil(xv)
+			if nlo > hi {
+				nlo = hi
+			}
+			p.SetBounds(j, nlo, hi)
+		}
+		cold, err1 := Solve(p, Options{})
+		warm, err2 := Solve(p, Options{WarmStart: base.Basis})
+		if err1 != nil || err2 != nil {
+			t.Logf("seed %d: errors %v %v", seed, err1, err2)
+			return false
+		}
+		if cold.Status != warm.Status {
+			t.Logf("seed %d: cold %v warm %v", seed, cold.Status, warm.Status)
+			return false
+		}
+		if cold.Status == StatusOptimal && math.Abs(cold.Objective-warm.Objective) > 1e-6 {
+			t.Logf("seed %d: cold obj %g warm obj %g", seed, cold.Objective, warm.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmDimensionMismatchIgnored: a basis from an unrelated problem must
+// not corrupt the solve.
+func TestWarmDimensionMismatchIgnored(t *testing.T) {
+	small := NewProblem(Maximize)
+	small.AddVar("x", 0, 1, 1)
+	ssol, err := Solve(small, Options{})
+	if err != nil || ssol.Status != StatusOptimal {
+		t.Fatalf("small solve: %v %v", err, ssol.Status)
+	}
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, Inf, 3)
+	y := p.AddVar("y", 0, Inf, 5)
+	p.AddRow([]Term{{x, 1}}, LE, 4)
+	p.AddRow([]Term{{y, 2}}, LE, 12)
+	p.AddRow([]Term{{x, 3}, {y, 2}}, LE, 18)
+	sol, err := Solve(p, Options{WarmStart: ssol.Basis})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != StatusOptimal || math.Abs(sol.Objective-36) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 36", sol.Status, sol.Objective)
+	}
+}
+
+// TestRefactorizationCountReported: long solves must report at least the
+// initial factorization.
+func TestRefactorizationCountReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := bigLP(rng, 200, 150)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Refactorizations < 1 {
+		t.Fatalf("Refactorizations = %d, want >= 1", sol.Refactorizations)
+	}
+}

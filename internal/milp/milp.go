@@ -4,6 +4,14 @@
 // optimality-gap reporting (the primal-dual gap of §5), an early-stop gap
 // threshold (the paper stops Gurobi at a 30% gap for ALLGATHER), and time
 // limits (the paper applies a 2-hour timeout).
+//
+// Every node below the root resumes the simplex from its parent's basis
+// snapshot (lp.Options.WarmStart): after one branching bound change the
+// parent optimum is a few pivots from the child's, so per-node iteration
+// counts sit far below the root's (see Solution.RootIterations /
+// NodeIterations). The root itself can be seeded from a related solve via
+// Options.RootWarmStart, which the core layer uses to chain makespan
+// re-solves and A* rounds.
 package milp
 
 import (
@@ -73,6 +81,10 @@ type Options struct {
 	// warm-start pruning (a caller-verified heuristic solution). Its
 	// objective is computed from the problem's cost vector.
 	IncumbentX []float64
+	// RootWarmStart optionally seeds the root relaxation with a basis from
+	// an earlier related solve (e.g. the previous horizon in a makespan
+	// search, or the previous round of the A* decomposition).
+	RootWarmStart *lp.Basis
 }
 
 // Solution is the result of a MILP solve.
@@ -84,6 +96,16 @@ type Solution struct {
 	Gap       float64   // relative gap between Objective and Bound
 	Nodes     int       // branch-and-bound nodes explored
 	Elapsed   time.Duration
+
+	// RootIterations is the simplex iteration count of the root
+	// relaxation; NodeIterations is the total across all non-root node
+	// re-solves, each warm-started from its parent's basis, so
+	// NodeIterations/Nodes is typically far below RootIterations.
+	RootIterations int
+	NodeIterations int
+	// RootBasis is the root relaxation's final basis, reusable to
+	// warm-start a related MILP solve via Options.RootWarmStart.
+	RootBasis *lp.Basis
 }
 
 const intTol = 1e-6
@@ -93,6 +115,7 @@ const intTol = 1e-6
 type node struct {
 	bound   float64 // LP relaxation objective (problem direction)
 	changes *boundChange
+	basis   *lp.Basis // parent's optimal basis (warm-start hint)
 	id      int
 	depth   int
 }
@@ -215,8 +238,8 @@ func Solve(p *Problem, opt Options) *Solution {
 	h := &nodeHeap{max: isMax}
 	heap.Init(h)
 	nextID := 0
-	push := func(bound float64, changes *boundChange, depth int) {
-		heap.Push(h, &node{bound: bound, changes: changes, id: nextID, depth: depth})
+	push := func(bound float64, changes *boundChange, basis *lp.Basis, depth int) {
+		heap.Push(h, &node{bound: bound, changes: changes, basis: basis, id: nextID, depth: depth})
 		nextID++
 	}
 
@@ -228,7 +251,12 @@ func Solve(p *Problem, opt Options) *Solution {
 	}
 
 	// Root.
+	lpOpt.WarmStart = opt.RootWarmStart
 	rootSol, err := lp.Solve(p.LP, lpOpt)
+	if rootSol != nil {
+		sol.RootIterations = rootSol.Iterations
+		sol.RootBasis = rootSol.Basis
+	}
 	if err != nil || rootSol.Status == lp.StatusNumericalError {
 		sol.Status = StatusError
 		sol.Elapsed = time.Since(start)
@@ -260,7 +288,7 @@ func Solve(p *Problem, opt Options) *Solution {
 		sol.Elapsed = time.Since(start)
 		return sol
 	}
-	push(rootSol.Objective, nil, 0)
+	push(rootSol.Objective, nil, rootSol.Basis, 0)
 
 	nodes := 0
 	hitLimit := false
@@ -292,7 +320,14 @@ func Solve(p *Problem, opt Options) *Solution {
 
 		nodes++
 		applyChanges(nd.changes)
-		lpSol, err := lp.Solve(p.LP, lpOpt)
+		// Resume from the parent's basis: after a single bound change the
+		// parent optimum is a few phase-1/phase-2 pivots from the child's.
+		nodeOpt := lpOpt
+		nodeOpt.WarmStart = nd.basis
+		lpSol, err := lp.Solve(p.LP, nodeOpt)
+		if lpSol != nil {
+			sol.NodeIterations += lpSol.Iterations
+		}
 		if err != nil || lpSol.Status == lp.StatusNumericalError ||
 			lpSol.Status == lp.StatusIterLimit || lpSol.Status == lp.StatusUnbounded {
 			// Treat pathological subproblems as pruned but remember the
@@ -329,10 +364,10 @@ func Solve(p *Problem, opt Options) *Solution {
 		down := math.Floor(xv)
 		up := math.Ceil(xv)
 		if down >= elo-1e-9 {
-			push(lpSol.Objective, &boundChange{v: v, lo: elo, hi: down, parent: nd.changes}, nd.depth+1)
+			push(lpSol.Objective, &boundChange{v: v, lo: elo, hi: down, parent: nd.changes}, lpSol.Basis, nd.depth+1)
 		}
 		if up <= ehi+1e-9 {
-			push(lpSol.Objective, &boundChange{v: v, lo: up, hi: ehi, parent: nd.changes}, nd.depth+1)
+			push(lpSol.Objective, &boundChange{v: v, lo: up, hi: ehi, parent: nd.changes}, lpSol.Basis, nd.depth+1)
 		}
 	}
 
