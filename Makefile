@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench tables
+.PHONY: ci vet build test bench-smoke bench-smoke-short bench tables
 
 ci: vet build test bench-smoke
 
@@ -23,6 +23,11 @@ test:
 # micro-benchmarks; fast enough for CI, loud enough to catch a perf cliff.
 bench-smoke:
 	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$' -benchtime 1x .
+
+# The same smoke under -short (GitHub Actions): trimmed sweeps, and the
+# minutes-scale benches (e.g. NDv2AllToAll) skip themselves.
+bench-smoke-short:
+	$(GO) test -short -run xxx -bench 'Fig5SolverTime|SimplexTransport$$' -benchtime 1x .
 
 # The full benchmark suite (one iteration each; wall-clock heavy).
 bench:

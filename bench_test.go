@@ -140,6 +140,34 @@ func BenchmarkLPDGX1AllToAll(b *testing.B) {
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 }
 
+// BenchmarkNDv2AllToAll measures the NDv2 2-chassis ALLTOALL LP — the
+// multi-minute time-expanded instance (≈79k vars, ≈19k rows at K=70)
+// whose switch-serialized, massively degenerate structure motivated the
+// dual-simplex/presolve/anti-stall work. The PR 1 primal-only solver
+// never finished it: the auto horizon undershot (no relay serialization
+// term) and even at a pinned feasible horizon phase 2 walked a
+// degenerate plateau past a 20-minute budget. Skipped under -short; run
+// with -benchtime=1x.
+func BenchmarkNDv2AllToAll(b *testing.B) {
+	if testing.Short() {
+		b.Skip("minutes-scale LP; skipped in -short")
+	}
+	t := NDv2(2)
+	gpus := len(t.GPUs())
+	d := AllToAll(t, 1, 1e6/float64(gpus))
+	var iters, refactors int
+	for i := 0; i < b.N; i++ {
+		res, err := SolveLP(t, d, Options{EpochMode: SlowestLink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.RootIterations
+		refactors += res.Refactorizations
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
+	b.ReportMetric(float64(refactors)/float64(b.N), "refactors/op")
+}
+
 // BenchmarkLPInternal2AllToAll scales the LP microbenchmark to the
 // Internal-2 4-chassis topology (Table 4's short-mode instance).
 func BenchmarkLPInternal2AllToAll(b *testing.B) {

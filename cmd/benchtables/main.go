@@ -7,10 +7,12 @@
 //	benchtables            # run everything (slow)
 //	benchtables -short     # trimmed sweeps
 //	benchtables fig4and5   # one experiment
+//	benchtables -json      # machine-readable BENCH_*.json-style output
 //	benchtables -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +22,23 @@ import (
 	"teccl/internal/experiments"
 )
 
+// benchRecord is one experiment in -json mode: the benchmark identity,
+// its wall clock, the solver-effort counters, and the regenerated rows.
+type benchRecord struct {
+	Name             string     `json:"name"`
+	Title            string     `json:"title"`
+	NsPerOp          int64      `json:"ns_per_op"`
+	Iterations       float64    `json:"iterations"`
+	Refactorizations float64    `json:"refactorizations"`
+	Header           []string   `json:"header,omitempty"`
+	Rows             [][]string `json:"rows,omitempty"`
+	Notes            string     `json:"notes,omitempty"`
+}
+
 func main() {
 	short := flag.Bool("short", false, "trim sweeps for a quick run")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +50,7 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
+	var records []benchRecord
 	for _, id := range ids {
 		start := time.Now()
 		tab := experiments.ByID(id, *short)
@@ -41,7 +58,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtables: unknown experiment %q (try -list)\n", id)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		if *jsonOut {
+			records = append(records, benchRecord{
+				Name:             tab.ID,
+				Title:            tab.Title,
+				NsPerOp:          elapsed.Nanoseconds(),
+				Iterations:       tab.Metrics["iterations"],
+				Refactorizations: tab.Metrics["refactorizations"],
+				Header:           tab.Header,
+				Rows:             tab.Rows,
+				Notes:            tab.Notes,
+			})
+			continue
+		}
 		fmt.Println(tab.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, elapsed.Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

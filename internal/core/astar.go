@@ -513,11 +513,17 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint
 		}
 	}
 
-	msol := milp.Solve(&milp.Problem{LP: p, Integer: ints}, milp.Options{
+	aopt := milp.Options{
 		TimeLimit:     in.opt.TimeLimit,
 		GapLimit:      in.opt.GapLimit,
 		RootWarmStart: hint.basisFor(p),
-	})
+	}
+	if aopt.RootWarmStart != nil {
+		// Later A* rounds reoptimize from the previous round's basis with
+		// the dual simplex (falls back to primal when not dual feasible).
+		aopt.LP.Method = lp.MethodDual
+	}
+	msol := milp.Solve(&milp.Problem{LP: p, Integer: ints}, aopt)
 	switch msol.Status {
 	case milp.StatusOptimal, milp.StatusFeasible:
 	default:

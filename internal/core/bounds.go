@@ -25,8 +25,6 @@ func sendsFinishEpoch(in *instance, sends []schedule.Send) int {
 func lpGreedyBound(in *instance) int {
 	t := in.topo
 	d := in.demand
-	hop := in.hopDistances()
-	_ = hop
 
 	// Next-hop routing toward each destination along δ+κ shortest paths.
 	// Precompute per-destination next-hop link from each node.
@@ -58,52 +56,84 @@ func lpGreedyBound(in *instance) int {
 	}
 
 	linkUsed := map[[2]int]float64{}
-	windowFree := func(l, k int) bool {
+	windowFree := func(plan [][2]int, l, k int) bool {
 		kap := in.kappa[l]
 		used := 0.0
 		for kk := k - kap + 1; kk <= k; kk++ {
-			if kk >= 0 {
-				used += linkUsed[[2]int{l, kk}]
+			if kk < 0 {
+				continue
+			}
+			used += linkUsed[[2]int{l, kk}]
+			for _, h := range plan {
+				if h[0] == l && h[1] == kk {
+					used++
+				}
 			}
 		}
 		return used+1 <= in.capChunks[l]*float64(kap)+1e-9
 	}
 
+	// Each triple is planned hop-by-hop before anything is reserved:
+	// GPU hops can buffer and wait for a free window, but a switch must
+	// forward an arrival in the very next epoch, so a busy switch window
+	// invalidates the attempt — the whole path retries with a later
+	// departure instead of giving up (which previously made the bound
+	// unusable on any switch-centric topology).
 	horizon := 16*in.K + 64
 	finish := 0
+	var plan [][2]int
 	for s := 0; s < d.NumNodes(); s++ {
 		for c := 0; c < d.NumChunks(); c++ {
 			for dst := 0; dst < d.NumNodes(); dst++ {
 				if !d.Wants(s, c, dst) {
 					continue
 				}
-				at := 0
-				node := s
-				for node != dst {
-					l := next[dst][node]
-					if l < 0 {
-						return -1
-					}
-					k := at
-					if t.IsSwitch(topo.NodeID(node)) {
-						if !windowFree(l, k) {
-							return -1
+				routed := false
+				for t0 := 0; t0 <= horizon && !routed; t0++ {
+					plan = plan[:0]
+					at := t0
+					node := s
+					ok := true
+					for node != dst {
+						l := next[dst][node]
+						if l < 0 {
+							return -1 // no route at all
 						}
-					} else {
-						for !windowFree(l, k) {
-							k++
-							if k > horizon {
-								return -1
+						k := at
+						if t.IsSwitch(topo.NodeID(node)) {
+							if !windowFree(plan, l, k) {
+								ok = false
+								break
+							}
+						} else {
+							for !windowFree(plan, l, k) {
+								k++
+								if k > horizon {
+									// A GPU hop that exhausts the horizon
+									// only starts later for larger t0:
+									// retrying departures cannot help.
+									return -1
+								}
 							}
 						}
+						plan = append(plan, [2]int{l, k})
+						arr := k + in.delta[l] + in.kappa[l] - 1
+						at = arr + 1
+						node = int(t.Link(topo.LinkID(l)).Dst)
 					}
-					linkUsed[[2]int{l, k}]++
-					arr := k + in.delta[l] + in.kappa[l] - 1
-					if arr > finish {
-						finish = arr
+					if !ok {
+						continue
 					}
-					at = arr + 1
-					node = int(t.Link(topo.LinkID(l)).Dst)
+					for _, h := range plan {
+						linkUsed[h]++
+						if arr := h[1] + in.delta[h[0]] + in.kappa[h[0]] - 1; arr > finish {
+							finish = arr
+						}
+					}
+					routed = true
+				}
+				if !routed {
+					return -1
 				}
 			}
 		}

@@ -142,6 +142,10 @@ type Result struct {
 	Nodes          int
 	RootIterations int
 	NodeIterations int
+	// Refactorizations counts basis factorizations across the main
+	// solve's LP work (the LP path's single solve, or the MILP root plus
+	// all warm-started node re-solves).
+	Refactorizations int
 }
 
 // instance is the preprocessed solve context shared by the formulations.
@@ -407,6 +411,48 @@ func EstimateEpochs(t *topo.Topology, d *collective.Demand, tau float64) int {
 				if v := distinct / egress; v > serial {
 					serial = v
 				}
+			}
+		}
+	}
+
+	// Relay serialization: chunks that can only reach their destination
+	// THROUGH a node (e.g. the shared IB switch between NDv2 chassis) are
+	// serialized by that node's ingress/egress budget, which the per-node
+	// terms above miss because the relay itself demands nothing. Without
+	// this term the estimate undershoots on switch-centric topologies and
+	// the solve grinds on an infeasible horizon.
+	for relay := 0; relay < t.NumNodes(); relay++ {
+		reach := t.ReachableWithout(topo.NodeID(relay))
+		var mustCross float64
+		for s := 0; s < d.NumNodes(); s++ {
+			if s == relay {
+				continue
+			}
+			for c := 0; c < d.NumChunks(); c++ {
+				if !d.SourceHasChunk(s, c) {
+					continue
+				}
+				for dst := 0; dst < d.NumNodes(); dst++ {
+					if dst != relay && d.Wants(s, c, dst) && !reach[s][dst] {
+						mustCross++
+					}
+				}
+			}
+		}
+		if mustCross == 0 {
+			continue
+		}
+		var ingress, egress float64
+		for _, l := range t.In(topo.NodeID(relay)) {
+			ingress += t.Link(l).Capacity * tau / d.ChunkBytes
+		}
+		for _, l := range t.Out(topo.NodeID(relay)) {
+			egress += t.Link(l).Capacity * tau / d.ChunkBytes
+		}
+		budget := math.Min(ingress, egress)
+		if budget > 0 {
+			if v := mustCross / budget; v > serial {
+				serial = v
 			}
 		}
 	}

@@ -402,6 +402,13 @@ func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHin
 		lpOpt.Deadline = start.Add(opt.TimeLimit)
 	}
 	lpOpt.WarmStart = hint.basisFor(m.p)
+	if lpOpt.WarmStart != nil {
+		// Re-solves (shrunken MinimizeMakespan horizons) reoptimize with
+		// the dual simplex: the transferred basis is near dual feasible
+		// under the unchanged cost structure, and the dual falls back to
+		// the primal on its own when it is not.
+		lpOpt.Method = lp.MethodDual
+	}
 	sol, err := lp.Solve(m.p, lpOpt)
 	if err != nil {
 		return nil, nil, nil, err
@@ -421,13 +428,14 @@ func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHin
 		return nil, nil, nil, err
 	}
 	res := &Result{
-		Schedule:       s,
-		Objective:      sol.Objective,
-		Optimal:        true,
-		SolveTime:      time.Since(start),
-		Epochs:         in.K,
-		Tau:            in.tau,
-		RootIterations: sol.Iterations,
+		Schedule:         s,
+		Objective:        sol.Objective,
+		Optimal:          true,
+		SolveTime:        time.Since(start),
+		Epochs:           in.K,
+		Tau:              in.tau,
+		RootIterations:   sol.Iterations,
+		Refactorizations: sol.Refactorizations,
 	}
 	basis := sol.Basis
 	model := m

@@ -435,6 +435,12 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 		GapLimit:      opt.GapLimit,
 		RootWarmStart: hint.basisFor(m.p),
 	}
+	if mopt.RootWarmStart != nil {
+		// Horizon re-solves reoptimize the root relaxation with the dual
+		// simplex (safe: it falls back to the primal when the transferred
+		// basis is not dual feasible).
+		mopt.LP.Method = lp.MethodDual
+	}
 	if inc != nil {
 		if x := m.pointFromSends(inc); x != nil {
 			mopt.IncumbentX = x
@@ -455,16 +461,17 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 		return nil, nil, nil, err
 	}
 	res := &Result{
-		Schedule:       s,
-		Objective:      msol.Objective,
-		Gap:            msol.Gap,
-		Optimal:        msol.Status == milp.StatusOptimal,
-		SolveTime:      time.Since(start),
-		Epochs:         in.K,
-		Tau:            in.tau,
-		Nodes:          msol.Nodes,
-		RootIterations: msol.RootIterations,
-		NodeIterations: msol.NodeIterations,
+		Schedule:         s,
+		Objective:        msol.Objective,
+		Gap:              msol.Gap,
+		Optimal:          msol.Status == milp.StatusOptimal,
+		SolveTime:        time.Since(start),
+		Epochs:           in.K,
+		Tau:              in.tau,
+		Nodes:            msol.Nodes,
+		RootIterations:   msol.RootIterations,
+		NodeIterations:   msol.NodeIterations,
+		Refactorizations: msol.Refactorizations,
 	}
 	basis := msol.RootBasis
 	model := m

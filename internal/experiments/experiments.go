@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"teccl/internal/baseline"
@@ -28,6 +29,11 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Metrics carries solver-effort counters accumulated while the
+	// experiment ran (simplex iterations, basis refactorizations), for
+	// machine-readable bench output; best-effort — only solves routed
+	// through the run helper are counted.
+	Metrics map[string]float64
 }
 
 // String renders the table as aligned text.
@@ -74,6 +80,12 @@ func gpuInts(t *topo.Topology) []int {
 	return out
 }
 
+// solveCounters accumulates solver-effort counters while an experiment
+// regenerates; ByID snapshots them into the returned Table.Metrics.
+// Atomics keep concurrent solves race-free, though concurrent ByID calls
+// would still interleave their counts (experiments run serially today).
+var solveCounters struct{ iters, refactors atomic.Int64 }
+
 // run solves and simulates, returning (transferTime, solveTime). A failed
 // solve returns +Inf transfer time.
 func run(solve func() (*core.Result, error)) (float64, time.Duration) {
@@ -81,6 +93,8 @@ func run(solve func() (*core.Result, error)) (float64, time.Duration) {
 	if err != nil {
 		return math.Inf(1), 0
 	}
+	solveCounters.iters.Add(int64(res.RootIterations + res.NodeIterations))
+	solveCounters.refactors.Add(int64(res.Refactorizations))
 	r, err := sim.Run(res.Schedule)
 	if err != nil {
 		return math.Inf(1), res.SolveTime
@@ -173,8 +187,22 @@ func All(short bool) []*Table {
 	}
 }
 
-// ByID returns the experiment with the given ID, or nil.
+// ByID returns the experiment with the given ID, or nil. The returned
+// table's Metrics snapshot the solver-effort counters of the run.
 func ByID(id string, short bool) *Table {
+	solveCounters.iters.Store(0)
+	solveCounters.refactors.Store(0)
+	tab := byID(id, short)
+	if tab != nil {
+		tab.Metrics = map[string]float64{
+			"iterations":       float64(solveCounters.iters.Load()),
+			"refactorizations": float64(solveCounters.refactors.Load()),
+		}
+	}
+	return tab
+}
+
+func byID(id string, short bool) *Table {
 	switch strings.ToLower(id) {
 	case "fig2":
 		return Fig2(short)

@@ -27,6 +27,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -86,6 +87,11 @@ type Problem struct {
 	rows   [][]Term
 	senses []Sense
 	rhs    []float64
+
+	// scratch is the reusable sort/merge buffer of combineTerms, so the
+	// model-build hot path (AddRow per constraint, thousands per A* round)
+	// performs exactly one allocation per row: the stored row itself.
+	scratch []Term
 }
 
 // NewProblem returns an empty problem with the given direction.
@@ -135,44 +141,75 @@ func (p *Problem) Bounds(v VarID) (lo, hi float64) { return p.lo[v], p.hi[v] }
 func (p *Problem) Name(v VarID) string { return p.names[v] }
 
 // AddRow adds a constraint row. Terms with duplicate variables are summed.
-// Returns the row index.
+// Returns the row index. The terms slice is not retained (callers may
+// reuse it); the stored row holds the merged terms in variable order.
 func (p *Problem) AddRow(terms []Term, sense Sense, rhs float64) int {
-	row := combineTerms(terms)
+	row := p.combineTerms(terms)
 	p.rows = append(p.rows, row)
 	p.senses = append(p.senses, sense)
 	p.rhs = append(p.rhs, rhs)
 	return len(p.rows) - 1
 }
 
-// combineTerms merges duplicate variables and drops zero coefficients.
-func combineTerms(terms []Term) []Term {
-	if len(terms) < 2 {
-		out := make([]Term, 0, len(terms))
-		for _, t := range terms {
-			if t.Coeff != 0 {
-				out = append(out, t)
+// combineTerms merges duplicate variables and drops zero coefficients,
+// returning a fresh exact-size slice in variable order. The sort+merge
+// runs in place on a reusable scratch buffer — no map, and the only
+// allocation is the stored row. Model builders emit terms in near-variable
+// order, so the insertion sort is effectively linear; genuinely shuffled
+// long rows fall back to sort.Slice.
+func (p *Problem) combineTerms(terms []Term) []Term {
+	if len(terms) == 0 {
+		return nil
+	}
+	if len(terms) == 1 {
+		if terms[0].Coeff == 0 {
+			return nil
+		}
+		return []Term{terms[0]}
+	}
+	sc := p.scratch[:0]
+	sc = append(sc, terms...)
+	sorted := true
+	for i := 1; i < len(sc); i++ {
+		if sc[i-1].Var > sc[i].Var {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		if len(sc) > 64 {
+			sort.Slice(sc, func(a, b int) bool { return sc[a].Var < sc[b].Var })
+		} else {
+			for i := 1; i < len(sc); i++ {
+				t := sc[i]
+				j := i - 1
+				for j >= 0 && sc[j].Var > t.Var {
+					sc[j+1] = sc[j]
+					j--
+				}
+				sc[j+1] = t
 			}
 		}
-		return out
-	}
-	seen := make(map[VarID]int, len(terms))
-	out := make([]Term, 0, len(terms))
-	for _, t := range terms {
-		if i, ok := seen[t.Var]; ok {
-			out[i].Coeff += t.Coeff
-			continue
-		}
-		seen[t.Var] = len(out)
-		out = append(out, t)
 	}
 	w := 0
-	for _, t := range out {
-		if t.Coeff != 0 {
-			out[w] = t
+	for i := 0; i < len(sc); {
+		v := sc[i].Var
+		c := sc[i].Coeff
+		for i++; i < len(sc) && sc[i].Var == v; i++ {
+			c += sc[i].Coeff
+		}
+		if c != 0 {
+			sc[w] = Term{Var: v, Coeff: c}
 			w++
 		}
 	}
-	return out[:w]
+	p.scratch = sc[:0]
+	if w == 0 {
+		return nil
+	}
+	out := make([]Term, w)
+	copy(out, sc[:w])
+	return out
 }
 
 // Status is the outcome of a solve.
@@ -233,6 +270,13 @@ type Solution struct {
 	// during the feasibility phase yields no point).
 	X          []float64
 	Iterations int
+	// Duals holds one dual value per constraint row, in AddRow order and
+	// in the problem's stated direction, populated when the solve reaches
+	// an optimal basis. Rows presolve proved redundant report a zero
+	// dual; rows presolve folded away but that bind at the optimum
+	// (forcing rows, active singleton bounds, doubleton substitutions)
+	// get their duals reconstructed during postsolve.
+	Duals []float64
 	// Refactorizations counts basis factorizations (including the initial
 	// one), a measure of numerical churn alongside Iterations.
 	Refactorizations int
@@ -245,6 +289,25 @@ type Solution struct {
 
 // Value returns the solved value of v.
 func (s *Solution) Value(v VarID) float64 { return s.X[v] }
+
+// Method selects the simplex variant driving a solve.
+type Method int8
+
+const (
+	// MethodAuto picks per solve: the dual simplex when a warm-start
+	// basis prices out dual feasible (the branch-and-bound reoptimization
+	// case — a parent optimum stays dual feasible after a bound change),
+	// the primal simplex otherwise.
+	MethodAuto Method = iota
+	// MethodPrimal forces the primal simplex.
+	MethodPrimal
+	// MethodDual asks for the dual simplex. Boxed nonbasic variables are
+	// bound-flipped to restore dual feasibility of the starting basis
+	// where possible; if no dual-feasible start exists (or the dual
+	// stalls), the solve falls back to the primal method, so MethodDual
+	// is always safe to request.
+	MethodDual
+)
 
 // Options tunes the solver. The zero value uses defaults.
 type Options struct {
@@ -261,10 +324,23 @@ type Options struct {
 	// the composite phase 1, so any snapshot of a related problem is a
 	// safe hint.
 	WarmStart *Basis
+	// Method selects the simplex variant; the default MethodAuto uses
+	// the dual simplex exactly when a warm-start basis is dual feasible.
+	Method Method
+	// NoPresolve disables the presolve/scaling layer and solves the
+	// problem as stated. Presolve is on by default: fixed variables,
+	// empty/singleton/forcing/redundant rows, and safe doubleton
+	// substitutions are eliminated and the remaining matrix is
+	// equilibrated before the simplex runs; the solution (X, Duals, and
+	// Basis) is mapped back to the original problem afterwards.
+	NoPresolve bool
 }
 
 // Solve optimizes the problem. The problem is not modified.
 func Solve(p *Problem, opt Options) (*Solution, error) {
+	if !opt.NoPresolve {
+		return solvePresolved(p, opt)
+	}
 	s := newSimplex(p, opt)
 	return s.solve()
 }

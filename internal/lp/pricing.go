@@ -1,20 +1,33 @@
 package lp
 
-// pricing.go implements entering-variable selection. Instead of scanning
-// every column each iteration (Dantzig pricing, O(n·nnz) per iteration),
-// the pricer scans a rotating window of candidate columns starting where
-// the previous scan left off, and only falls back to a full pass when the
-// window yields no improving candidate. Optimality is still exact: the
-// solver only concludes "optimal" after a complete wrap of the variable
-// space finds no candidate. Under the Bland anti-cycling fallback the
-// pricer degrades to a full least-index scan, preserving the termination
-// guarantee.
+// pricing.go implements entering-variable selection for the primal
+// simplex. Candidates come from a rotating partial-pricing window (so an
+// iteration does not touch all n columns; optimality is still exact
+// because the scan wraps the full variable space before concluding), and
+// candidates are ranked by devex reference-framework weights: each
+// column's score is d_j² / γ_j where γ_j approximates the steepest-edge
+// norm ‖B⁻¹a_j‖² relative to the reference framework, updated after every
+// pivot from the priced pivot row. Devex pricing is what keeps the
+// iteration count in check on massively degenerate time-expanded flow
+// LPs, where static weights walk long plateaus. Under the Bland
+// anti-cycling fallback the pricer degrades to a full least-index scan,
+// preserving the termination guarantee.
 
 import "math"
 
 // minPriceWindow is the smallest number of columns examined per pricing
 // pass; small problems are effectively fully priced.
 const minPriceWindow = 256
+
+// devexReset is the weight growth bound: when a weight passes it, the
+// reference framework restarts from the current basis (all weights 1).
+const devexReset = 1e10
+
+// devexMinRows gates the dynamic devex update: below this row count the
+// pricer keeps its static column-norm weights — the per-pivot BTRAN and
+// row pass of the devex recurrence cost more than the iterations they
+// save on small problems.
+const devexMinRows = 2048
 
 // priceWindow returns the partial-pricing window for n columns: a fixed
 // fraction of the variable space, floored at minPriceWindow.
@@ -57,10 +70,11 @@ func (s *simplex) price(cost []float64, y []float64, useBland bool) (int, float6
 		d, dir := s.priceOne(j, cost, y)
 		scanned++
 		if dir != 0 {
-			// Scale-invariant score (static devex-style reference weights):
-			// d_j^2 / ||a_j||^2 rather than raw |d_j|, so long columns do
-			// not dominate entering choices they barely improve.
-			if score := d * d / s.colWeight[j]; score > bestScore {
+			// Devex score: d_j² / γ_j, the reference-framework estimate
+			// of the objective rate per unit of actual (edge-normalized)
+			// movement, so long columns do not dominate entering choices
+			// they barely improve.
+			if score := d * d / s.gamma[j]; score > bestScore {
 				bestScore, enter, enterDir = score, j, dir
 			}
 		}
@@ -107,4 +121,50 @@ func (s *simplex) priceOne(j int, cost []float64, y []float64) (float64, float64
 		}
 	}
 	return 0, 0
+}
+
+// devexUpdate refreshes the reference weights after a pivot where column
+// enter (weight γ_q) replaced basis position leaveRow with FTRAN pivot
+// wr. It prices the pivot row ρ = B⁻ᵀe_r against A (the same sparse
+// row pass the dual simplex uses) and applies the devex recurrence
+// γ_j = max(γ_j, (α_j/α_q)²·γ_q) to every touched nonbasic column; the
+// leaving variable, now nonbasic, gets the transformed entering weight.
+// Must run against the pre-pivot factorization (before the eta append).
+func (s *simplex) devexUpdate(enter, leaveRow int, wr float64) {
+	s.buildCSR()
+	gq := s.gamma[enter]
+	rho := s.y
+	for i := range rho {
+		rho[i] = 0
+	}
+	rho[leaveRow] = 1
+	s.lu.btran(rho)
+	s.pivotRow(rho)
+	inv2 := gq / (wr * wr)
+	grew := false
+	for _, j32 := range s.alphaNnz {
+		j := int(j32)
+		if j == enter || s.status[j] == basic {
+			continue
+		}
+		a := s.alpha[j]
+		if cand := a * a * inv2; cand > s.gamma[j] {
+			s.gamma[j] = cand
+			if cand > devexReset {
+				grew = true
+			}
+		}
+	}
+	out := s.basis[leaveRow] // still the pre-pivot occupant
+	if w := inv2; w > 1 {
+		s.gamma[out] = w
+	} else {
+		s.gamma[out] = 1
+	}
+	s.gamma[enter] = 1 // becomes basic; reset for its next nonbasic spell
+	if grew || s.gamma[out] > devexReset {
+		for j := range s.gamma {
+			s.gamma[j] = 1 // new reference framework
+		}
+	}
 }

@@ -9,8 +9,9 @@ package lp
 // skips phase 1 in a handful of iterations.
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -79,8 +80,14 @@ type simplex struct {
 	refactors int
 	degenRun  int // consecutive degenerate pivots (Bland trigger)
 
+	// Anti-stall bound perturbation state (see perturbBounds).
+	pertRound    int
+	perturbed    bool
+	trueLo       []float64 // pristine bounds while perturbed
+	trueHi       []float64
+
 	priceCursor int       // partial-pricing rotation state
-	colWeight   []float64 // static pricing weights: 1 + ||a_j||^2
+	gamma       []float64 // devex reference weights, one per column
 
 	// scratch buffers
 	y        []float64 // duals (BTRAN result)
@@ -89,6 +96,19 @@ type simplex struct {
 	resid    []float64
 	wNnz     []int32
 	p1events []p1event
+
+	// Dual-simplex state (dual.go), allocated on first dual use.
+	d         []float64 // reduced costs of nonbasic columns
+	dwt       []float64 // devex reference weights, one per basis row
+	alpha     []float64 // priced pivot row ρᵀA (full index space)
+	alphaSeen []bool
+	alphaNnz  []int32
+	cand      []dualCand
+	flipBuf   []int32
+	// Row-wise (CSR) copy of the structural matrix for pivotRow.
+	rowStart []int32
+	rowColJ  []int32
+	rowValR  []float64
 
 	// per-position basis column views handed to the factorization
 	fcolIdx [][]int32
@@ -269,14 +289,17 @@ func (s *simplex) install() {
 	}
 	s.fcolIdx = make([][]int32, m)
 	s.fcolVal = make([][]float64, m)
-	s.colWeight = make([]float64, s.nTotal)
+	// Pricing weights: static scale-invariant column norms by default
+	// (cheap, adequate on small problems), upgraded in place by the devex
+	// recurrence on large instances (see devexUpdate's caller).
+	s.gamma = make([]float64, s.nTotal)
 	for j := 0; j < s.nTotal; j++ {
 		w := 1.0
 		_, val := s.column(j)
 		for _, v := range val {
 			w += v * v
 		}
-		s.colWeight[j] = w
+		s.gamma[j] = w
 	}
 	s.lu = newLUFactor(m)
 	for j := range s.inBrow {
@@ -451,6 +474,70 @@ func (s *simplex) computeXB() {
 	}
 }
 
+// perturbBounds breaks ratio-test ties by shifting every non-fixed
+// finite bound outward by a tiny deterministic pseudo-random amount —
+// the standard anti-degeneracy device: on the massively degenerate
+// polytopes of time-expanded flow LPs, exact bound ties let the simplex
+// walk objective plateaus indefinitely, and distinct perturbed vertices
+// make every step strictly improving again. The shifts only RELAX the
+// problem, so an infeasibility verdict under perturbation still stands
+// for the true problem; an optimality verdict is cleaned up by
+// restoreBounds plus a short reoptimization. Each round uses fresh
+// offsets (deterministic in the round number, preserving solve
+// determinism).
+func (s *simplex) perturbBounds() {
+	if !s.perturbed {
+		s.trueLo = append([]float64(nil), s.lo...)
+		s.trueHi = append([]float64(nil), s.hi...)
+		s.perturbed = true
+	}
+	s.pertRound++
+	const pertScale = 1e-6
+	seed := uint64(0x9e3779b97f4a7c15) * uint64(s.pertRound)
+	next := func(j int) float64 {
+		x := seed + uint64(j)*0xbf58476d1ce4e5b9
+		x ^= x >> 31
+		x *= 0x94d049bb133111eb
+		x ^= x >> 29
+		return 0.5 + float64(x>>40)/(2*float64(1<<24)) // in [0.5, 1)
+	}
+	for j := 0; j < s.nTotal; j++ {
+		lo, hi := s.trueLo[j], s.trueHi[j]
+		if lo == hi {
+			continue // fixed (EQ slacks included): semantics must not move
+		}
+		if !math.IsInf(lo, -1) {
+			s.lo[j] = lo - pertScale*(1+math.Abs(lo))*next(2*j)
+		}
+		if !math.IsInf(hi, 1) {
+			s.hi[j] = hi + pertScale*(1+math.Abs(hi))*next(2*j+1)
+		}
+		if s.status[j] != basic {
+			s.value[j] = s.restValue(j)
+		}
+	}
+	s.computeXB()
+}
+
+// restoreBounds undoes perturbBounds: pristine bounds return, nonbasic
+// variables snap back onto them, and the basic values are recomputed.
+// The follow-up phase-1/phase-2 pass repairs the ~perturbation-sized
+// violations and re-certifies optimality on the exact problem.
+func (s *simplex) restoreBounds() {
+	if !s.perturbed {
+		return
+	}
+	copy(s.lo, s.trueLo)
+	copy(s.hi, s.trueHi)
+	s.perturbed = false
+	for j := 0; j < s.nTotal; j++ {
+		if s.status[j] != basic {
+			s.value[j] = s.restValue(j)
+		}
+	}
+	s.computeXB()
+}
+
 // totalInfeas sums the bound violations of the basic variables, ignoring
 // sub-tolerance noise (which can otherwise accumulate across thousands of
 // rows into an apparent infeasibility).
@@ -489,66 +576,121 @@ func (s *simplex) solve() (*Solution, error) {
 		}, nil
 	}
 
-	// Phase 1: drive the basic bound violations to zero (a no-op when the
-	// starting basis — cold or warm — is already primal feasible). An
-	// infeasibility verdict is only accepted after it survives a fresh
-	// factorization, so accumulated floating drift cannot fake one.
-phase1:
-	for tries := 0; ; tries++ {
-		switch st := s.iterate(true, nil, maxIter); st {
-		case StatusOptimal:
-			break phase1 // feasible
-		case StatusInfeasible:
-			// Priced out at minimal infeasibility; decide by magnitude.
-			if s.totalInfeas() <= feasTol*float64(1+s.m) {
-				break phase1
-			}
-			if tries < 2 {
-				if !s.factorizeBasis() {
-					return done(StatusNumericalError)
-				}
-				s.computeXB()
-				continue
-			}
-			return done(StatusInfeasible)
-		case StatusUnbounded:
-			// The phase-1 objective is bounded below by zero; unbounded
-			// here can only mean numerical trouble.
-			return done(StatusNumericalError)
+	// Method selection: the dual simplex runs first when requested (or,
+	// under MethodAuto, when a warm-start basis prices out dual feasible
+	// — the reoptimization case it exists for). Whatever the dual
+	// concludes, the primal phases below still run from the basis it
+	// leaves behind: after a dual optimum they certify and return in a
+	// handful of iterations; after a dual-unboundedness verdict the
+	// composite phase 1 independently confirms infeasibility; after a
+	// stall the primal simply finishes the job.
+	useDual := false
+	switch s.opt.Method {
+	case MethodPrimal:
+	case MethodDual:
+		useDual = s.prepareDual(true)
+	default:
+		useDual = s.opt.WarmStart != nil && s.prepareDual(false)
+	}
+	if useDual {
+		switch st := s.dualIterate(maxIter); st {
+		case StatusOptimal, StatusInfeasible, statusDualStall:
+			// Fall through to the primal phases for certification,
+			// confirmation, or completion respectively.
 		default:
 			return done(st)
 		}
 	}
 
-	// Phase 2: the real objective. An optimality verdict must describe a
-	// primal-feasible point: a mid-phase singular-basis repair (or plain
-	// drift) can silently kick the iterate out of feasibility, so re-check
-	// and loop back through phase 1 if violations reappeared.
+	// The phase pair below may run under anti-stall bound perturbation
+	// (see perturbBounds); an optimum found on perturbed bounds is cleaned
+	// up by restoring the exact bounds and reoptimizing — normally a
+	// handful of pivots from the adjacent perturbed vertex.
 	var st Status
-	for tries := 0; ; tries++ {
-		st = s.iterate(false, s.cost, maxIter)
-		if st != StatusOptimal || s.totalInfeas() <= feasTol*float64(1+s.m) {
-			break
-		}
-		if tries >= 2 {
-			st = StatusNumericalError
-			break
-		}
-		p1 := s.iterate(true, nil, maxIter)
-		if p1 == StatusInfeasible && s.totalInfeas() <= feasTol*float64(1+s.m) {
-			p1 = StatusOptimal
-		}
-		if p1 != StatusOptimal {
-			// The iterate was feasible when phase 2 started, so failing to
-			// restore feasibility now is numerical trouble (or an expired
-			// budget, which passes through).
-			if p1 == StatusIterLimit {
-				st = p1
-			} else {
-				st = StatusNumericalError
+restart:
+	for restores := 0; ; restores++ {
+		// Phase 1: drive the basic bound violations to zero (a no-op when
+		// the starting basis — cold or warm — is already primal feasible).
+		// An infeasibility verdict is only accepted after it survives a
+		// fresh factorization, so accumulated floating drift cannot fake
+		// one. (Perturbation only relaxes bounds, so an infeasibility
+		// verdict under perturbation stands for the true problem.)
+	phase1:
+		for tries := 0; ; tries++ {
+			switch st := s.iterate(true, nil, maxIter); st {
+			case StatusOptimal:
+				break phase1 // feasible
+			case StatusInfeasible:
+				// Priced out at minimal infeasibility; decide by magnitude.
+				if s.totalInfeas() <= feasTol*float64(1+s.m) {
+					break phase1
+				}
+				if tries < 2 {
+					if !s.factorizeBasis() {
+						return done(StatusNumericalError)
+					}
+					s.computeXB()
+					continue
+				}
+				return done(StatusInfeasible)
+			case StatusUnbounded:
+				// The phase-1 objective is bounded below by zero; unbounded
+				// here can only mean numerical trouble.
+				return done(StatusNumericalError)
+			default:
+				return done(st)
 			}
-			break
 		}
+
+		// Phase 2: the real objective. An optimality verdict must describe
+		// a primal-feasible point: a mid-phase singular-basis repair (or
+		// plain drift) can silently kick the iterate out of feasibility, so
+		// re-check and loop back through phase 1 if violations reappeared.
+		// A statusPerturbed hand-back (anti-stall bound perturbation) also
+		// routes through phase 1, which mops the perturbation-sized
+		// violations in a few pivots.
+		for tries, perts := 0, 0; ; {
+			st = s.iterate(false, s.cost, maxIter)
+			if st == StatusOptimal && s.totalInfeas() > feasTol*float64(1+s.m) {
+				if tries++; tries > 2 {
+					st = StatusNumericalError
+					break
+				}
+			} else if st == statusPerturbed {
+				if perts++; perts > 4 {
+					st = StatusNumericalError
+					break
+				}
+			} else {
+				break
+			}
+			p1 := s.iterate(true, nil, maxIter)
+			if p1 == StatusInfeasible && s.totalInfeas() <= feasTol*float64(1+s.m) {
+				p1 = StatusOptimal
+			}
+			if p1 != StatusOptimal {
+				// The iterate was feasible when phase 2 started, so failing
+				// to restore feasibility now is numerical trouble (or an
+				// expired budget, which passes through).
+				if p1 == StatusIterLimit {
+					st = p1
+				} else {
+					st = StatusNumericalError
+				}
+				break
+			}
+		}
+
+		if st == StatusOptimal && s.perturbed && restores < 3 {
+			s.restoreBounds()
+			continue restart
+		}
+		break
+	}
+	if s.perturbed {
+		// Non-optimal exit while perturbed (budget, numerical): report
+		// against the true bounds.
+		s.restoreBounds()
 	}
 
 	sol, _ := done(st)
@@ -564,6 +706,27 @@ phase1:
 			objv += s.p.obj[j] * v
 		}
 		sol.Objective = objv
+	}
+	if st == StatusOptimal && s.m > 0 {
+		// Row duals y = B⁻ᵀc_B, converted from the internal minimization
+		// form back to the problem's stated direction.
+		for i := 0; i < s.m; i++ {
+			s.cb[i] = s.cost[s.basis[i]]
+		}
+		copy(s.y, s.cb)
+		s.lu.btran(s.y)
+		sign := 1.0
+		if s.p.Dir == Maximize {
+			sign = -1.0
+		}
+		sol.Duals = make([]float64, s.m)
+		for i := range sol.Duals {
+			d := sign * s.y[i]
+			if math.Abs(d) < zeroTol {
+				d = 0
+			}
+			sol.Duals[i] = d
+		}
 	}
 	return sol, nil
 }
@@ -606,9 +769,67 @@ func (s *simplex) iterate(phase1 bool, cost []float64, maxIter int) Status {
 	useBland := false
 	checkDeadline := !s.opt.Deadline.IsZero()
 	m := s.m
+
+	// Stall escalation: massively degenerate instances can walk objective
+	// plateaus forever with nonzero-length steps, which the per-step
+	// degeneracy counter below never sees (each step resets it). Track
+	// the actual phase objective over fixed windows; a windowful of no
+	// progress first forces a fresh factorization (drift can manufacture
+	// phantom candidates), and a second consecutive one pins Bland's rule
+	// on until progress resumes, restoring guaranteed termination.
+	const stallWindow = 512
+	phaseObj := func() float64 {
+		if phase1 {
+			return s.totalInfeas()
+		}
+		// Full objective, nonbasic values included: bound-flip progress
+		// must register, or flip-heavy windows would read as stalls.
+		var v float64
+		for j := 0; j < s.nTotal; j++ {
+			if x := s.value[j]; x != 0 {
+				v += cost[j] * x
+			}
+		}
+		return v
+	}
+	lastObj := math.Inf(1)
+	stallWins := 0
+	sinceCheck := 0
+
 	for {
 		if s.iter >= maxIter {
 			return StatusIterLimit
+		}
+		if sinceCheck++; sinceCheck >= stallWindow {
+			sinceCheck = 0
+			cur := phaseObj()
+			if cur >= lastObj-1e-9*(1+math.Abs(lastObj)) {
+				stallWins++
+				switch {
+				case stallWins == 1:
+					// Drift can manufacture phantom candidates; refresh.
+					if !s.factorizeBasis() {
+						return StatusNumericalError
+					}
+					s.computeXB()
+				case stallWins == 2 && s.pertRound < 3:
+					s.perturbBounds()
+					if !phase1 {
+						// The shifted bounds leave perturbation-sized
+						// violations on the basics; hand control back so
+						// a phase-1 mop-up runs before phase 2 resumes.
+						return statusPerturbed
+					}
+					stallWins = 0
+					cur = phaseObj() // bounds moved; rebase the window
+				}
+			} else {
+				stallWins = 0
+			}
+			lastObj = cur
+		}
+		if stallWins >= 2 {
+			useBland = true // sticky until the windowed objective moves
 		}
 		if checkDeadline && s.iter%64 == 0 && time.Now().After(s.opt.Deadline) {
 			return StatusIterLimit
@@ -714,6 +935,15 @@ func (s *simplex) iterate(phase1 bool, cost []float64, maxIter int) Status {
 				s.value[enter] = s.lo[enter]
 			}
 			continue
+		}
+
+		// Devex weight refresh from the pivot row, against the pre-pivot
+		// factorization and statuses (skipped for unusable pivots, which
+		// refactorize below anyway). The extra BTRAN + row pass per pivot
+		// only pays for itself on large, degenerate instances; small
+		// problems stay on the static norm weights.
+		if m >= devexMinRows && math.Abs(s.w[leave]) >= pivotTol {
+			s.devexUpdate(enter, leave, s.w[leave])
 		}
 
 		// Pivot: enter replaces basis[leave].
@@ -901,7 +1131,7 @@ func (s *simplex) ratioTestPhase1(enter int, dir float64, slope0 float64, useBla
 			ev[k].t = 0
 		}
 	}
-	sort.Slice(ev, func(a, b int) bool { return ev[a].t < ev[b].t })
+	slices.SortFunc(ev, func(a, b p1event) int { return cmp.Compare(a.t, b.t) })
 
 	if useBland {
 		// Short-step Bland rule: the first breakpoint blocks; among

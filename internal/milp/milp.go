@@ -103,6 +103,9 @@ type Solution struct {
 	// NodeIterations/Nodes is typically far below RootIterations.
 	RootIterations int
 	NodeIterations int
+	// Refactorizations counts basis factorizations across the root and
+	// every node re-solve.
+	Refactorizations int
 	// RootBasis is the root relaxation's final basis, reusable to
 	// warm-start a related MILP solve via Options.RootWarmStart.
 	RootBasis *lp.Basis
@@ -250,11 +253,24 @@ func Solve(p *Problem, opt Options) *Solution {
 		lpOpt.Deadline = start.Add(opt.TimeLimit)
 	}
 
+	// Child-node LP options: reoptimize from the parent basis with the
+	// dual simplex — a parent optimum stays dual feasible after the
+	// branching bound change, so the dual walks back to the child optimum
+	// with no feasibility phase — and skip presolve, since a node LP
+	// differs from its parent by a single bound, far too little to repay
+	// a fresh reduction pass.
+	childOpt := lpOpt
+	if childOpt.Method == lp.MethodAuto {
+		childOpt.Method = lp.MethodDual
+	}
+	childOpt.NoPresolve = true
+
 	// Root.
 	lpOpt.WarmStart = opt.RootWarmStart
 	rootSol, err := lp.Solve(p.LP, lpOpt)
 	if rootSol != nil {
 		sol.RootIterations = rootSol.Iterations
+		sol.Refactorizations = rootSol.Refactorizations
 		sol.RootBasis = rootSol.Basis
 	}
 	if err != nil || rootSol.Status == lp.StatusNumericalError {
@@ -321,12 +337,13 @@ func Solve(p *Problem, opt Options) *Solution {
 		nodes++
 		applyChanges(nd.changes)
 		// Resume from the parent's basis: after a single bound change the
-		// parent optimum is a few phase-1/phase-2 pivots from the child's.
-		nodeOpt := lpOpt
+		// parent optimum is a few dual pivots from the child's.
+		nodeOpt := childOpt
 		nodeOpt.WarmStart = nd.basis
 		lpSol, err := lp.Solve(p.LP, nodeOpt)
 		if lpSol != nil {
 			sol.NodeIterations += lpSol.Iterations
+			sol.Refactorizations += lpSol.Refactorizations
 		}
 		if err != nil || lpSol.Status == lp.StatusNumericalError ||
 			lpSol.Status == lp.StatusIterLimit || lpSol.Status == lp.StatusUnbounded {

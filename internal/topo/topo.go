@@ -223,6 +223,39 @@ func (t *Topology) AlphaDistances() [][]float64 {
 	return t.FloydWarshall(func(l Link) float64 { return l.Alpha })
 }
 
+// ReachableWithout returns the all-pairs reachability of the topology
+// with the given node (and its links) removed: reach[s][d] reports
+// whether d can be reached from s avoiding skip. Pairs that lose
+// reachability identify traffic that must relay through skip, which
+// epoch estimation uses to account for relay serialization (e.g. the
+// shared IB switch between NDv2 chassis).
+func (t *Topology) ReachableWithout(skip NodeID) [][]bool {
+	n := len(t.nodes)
+	reach := make([][]bool, n)
+	queue := make([]NodeID, 0, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		if NodeID(s) == skip {
+			continue
+		}
+		reach[s][s] = true
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, lid := range t.out[u] {
+				v := t.links[lid].Dst
+				if v == skip || reach[s][v] {
+					continue
+				}
+				reach[s][v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reach
+}
+
 // topologyJSON is the serialized form.
 type topologyJSON struct {
 	Name  string `json:"name"`
