@@ -6,12 +6,18 @@
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench-smoke-short bench tables
+.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables
 
-ci: vet build test bench-smoke
+ci: vet build test race bench-smoke
 
+# vet gates on both the analyzer and formatting: a gofmt diff anywhere
+# fails the target (and with it the CI vet+build job).
 vet:
 	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -19,19 +25,25 @@ build:
 test:
 	$(GO) test ./...
 
-# One iteration of the Fig 5 solver-time sweep plus the solver
-# micro-benchmarks; fast enough for CI, loud enough to catch a perf cliff.
+# The race detector over every package: the concurrent branch-and-bound
+# and batched sweep solving are only trustworthy if this stays clean.
+race:
+	$(GO) test -race ./...
+
+# One iteration of the Fig 5 solver-time sweep plus the solver and
+# concurrency micro-benchmarks across all packages; fast enough for CI,
+# loud enough to catch a perf cliff.
 bench-smoke:
-	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$' -benchtime 1x .
+	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)' -benchtime 1x ./...
 
 # The same smoke under -short (GitHub Actions): trimmed sweeps, and the
 # minutes-scale benches (e.g. NDv2AllToAll) skip themselves.
 bench-smoke-short:
-	$(GO) test -short -run xxx -bench 'Fig5SolverTime|SimplexTransport$$' -benchtime 1x .
+	$(GO) test -short -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)' -benchtime 1x ./...
 
 # The full benchmark suite (one iteration each; wall-clock heavy).
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 # Regenerate every paper table/figure via the CLI harness.
 tables:

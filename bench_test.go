@@ -185,6 +185,53 @@ func BenchmarkLPInternal2AllToAll(b *testing.B) {
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 }
 
+// sweepSizes is the batched-vs-rebuilt sweep workload: an alpha-free
+// DGX1 ALLTOALL size sweep in power-of-two steps, so the chunk-unit LPs
+// coincide bit-for-bit and BatchSolveLP replays every point after the
+// first (see internal/core/batch.go).
+var sweepSizes = []float64{64e3, 256e3, 1024e3, 4096e3, 16384e3}
+
+func sweepBenchDemands() (*Topology, []*Demand) {
+	t := ZeroAlpha(DGX1())
+	ds := make([]*Demand, len(sweepSizes))
+	for i, size := range sweepSizes {
+		ds[i] = AllToAll(t, 1, size/float64(len(t.GPUs())))
+	}
+	return t, ds
+}
+
+// BenchmarkSweepRebuilt solves the sweep the pre-batching way: every
+// point rebuilds and re-solves the full time-expanded model.
+func BenchmarkSweepRebuilt(b *testing.B) {
+	t, ds := sweepBenchDemands()
+	for i := 0; i < b.N; i++ {
+		for _, d := range ds {
+			if _, err := SolveLP(t, d, Options{EpochMode: FastestLink}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepBatched solves the same sweep through BatchSolveLP,
+// reporting how many points were replayed from structure reuse.
+func BenchmarkSweepBatched(b *testing.B) {
+	t, ds := sweepBenchDemands()
+	var reused int
+	for i := 0; i < b.N; i++ {
+		rs, errs := BatchSolveLP(t, ds, Options{EpochMode: FastestLink}, BatchOptions{})
+		for j := range rs {
+			if errs[j] != nil {
+				b.Fatal(errs[j])
+			}
+			if rs[j].Reused {
+				reused++
+			}
+		}
+	}
+	b.ReportMetric(float64(reused)/float64(b.N), "reused/op")
+}
+
 // BenchmarkTACCLBaseline measures the TACCL-like heuristic on the same
 // instance for solver-time comparisons.
 func BenchmarkTACCLBaseline(b *testing.B) {

@@ -8,6 +8,7 @@
 //	benchtables -short     # trimmed sweeps
 //	benchtables fig4and5   # one experiment
 //	benchtables -json      # machine-readable BENCH_*.json-style output
+//	benchtables -workers 4 # evaluate B&B nodes and sweep points concurrently
 //	benchtables -list
 package main
 
@@ -39,7 +40,10 @@ func main() {
 	short := flag.Bool("short", false, "trim sweeps for a quick run")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
+	workers := flag.Int("workers", 0, "solver worker-pool size (branch-and-bound nodes and batched sweep points evaluated concurrently; 0 = serial)")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

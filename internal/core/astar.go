@@ -516,6 +516,7 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint
 	aopt := milp.Options{
 		TimeLimit:     in.opt.TimeLimit,
 		GapLimit:      in.opt.GapLimit,
+		Workers:       in.opt.Workers,
 		RootWarmStart: hint.basisFor(p),
 	}
 	if aopt.RootWarmStart != nil {

@@ -1,0 +1,200 @@
+package core
+
+// batch.go is the schedule-layer batching of sweep solves: the
+// experiment harness (Fig 5's size sweeps, Table 4's chunk-size
+// columns) solves the same topology over and over with demands that
+// differ only in scale, and rebuilding the full time-expanded model per
+// point throws away everything the previous point learned. BatchSolveLP
+// solves such a sweep against shared state instead:
+//
+//   - Structurally identical points are solved once. Under a
+//     proportional epoch mode the LP is stated in chunk units, so a
+//     chunk-size sweep whose tau scales with the chunk produces
+//     bit-identical models that differ only in the epoch duration; the
+//     optimal schedule is replayed with the new tau for free. Identity
+//     is established by lp.Problem.Fingerprint plus an exact EqualTo
+//     confirmation, and every replayed schedule is re-validated against
+//     its own demand before being trusted.
+//   - The remaining points chain bases: each worker's chain passes the
+//     previous point's optimal basis (matched by variable name, as the
+//     MinimizeMakespan loop already does across horizons) into the next
+//     solve, which then reoptimizes with the dual simplex instead of
+//     starting cold.
+//   - Points fan out over a worker pool (BatchOptions.Workers), the
+//     same knob that parallelizes branch-and-bound node evaluation.
+
+import (
+	"sync"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/lp"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// BatchOptions tunes a batched sweep solve.
+type BatchOptions struct {
+	// Workers fans the sweep points out over this many goroutines; 0 or
+	// 1 solves the whole sweep as one serial chain. Points are assigned
+	// to workers in contiguous blocks so neighboring points (the ones
+	// most likely to share structure) stay in one basis chain.
+	Workers int
+}
+
+// batchEntry caches the outcome of one solved sweep point for replay by
+// structurally identical later points. The schedule is stored in chunk
+// units (sends, epochs), which is exactly the part that coincides; only
+// the epoch duration differs between identical points.
+type batchEntry struct {
+	base      *lp.Problem // the built base model (pre-makespan), for exact identity checks
+	sends     []schedule.Send
+	numEpochs int
+	epc       []int // EpochsPerChunk of the solved schedule
+	objective float64
+	gap       float64
+	optimal   bool
+}
+
+// batchCache indexes solved points by model fingerprint.
+type batchCache struct {
+	mu      sync.Mutex
+	entries map[uint64][]*batchEntry
+}
+
+func (c *batchCache) lookup(fp uint64, base *lp.Problem) *batchEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries[fp] {
+		if e.base.EqualTo(base) {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *batchCache) store(fp uint64, e *batchEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[uint64][]*batchEntry)
+	}
+	c.entries[fp] = append(c.entries[fp], e)
+}
+
+// BatchSolveLP solves the LP form (§4.1) for every demand in the sweep,
+// reusing solver state across points as described at the top of the
+// file. Results and errors are returned per point, aligned with demands;
+// points fail independently. opt applies to every point (opt.Workers is
+// the default pool size when bo.Workers is zero).
+func BatchSolveLP(t *topo.Topology, demands []*collective.Demand, opt Options, bo BatchOptions) ([]*Result, []error) {
+	results := make([]*Result, len(demands))
+	errs := make([]error, len(demands))
+	if len(demands) == 0 {
+		return results, errs
+	}
+	workers := bo.Workers
+	if workers == 0 {
+		workers = opt.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(demands) {
+		workers = len(demands)
+	}
+
+	cache := &batchCache{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(demands) / workers
+		hi := (w + 1) * len(demands) / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var prevModel *lpModel
+			var prevBasis *lp.Basis
+			for i := lo; i < hi; i++ {
+				var hint *basisHint
+				if prevModel != nil {
+					hint = hintFromSolve(prevModel.p, prevBasis)
+				}
+				res, m, b, err := cache.solvePoint(t, demands[i], opt, hint)
+				results[i], errs[i] = res, err
+				if err == nil && m != nil {
+					prevModel, prevBasis = m, b
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// solvePoint solves one sweep point: replayed from the cache when a
+// structurally identical point was already solved, otherwise solved for
+// real (warm-started from hint) and cached.
+func (c *batchCache) solvePoint(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
+	start := time.Now()
+	pr := prepLP(t, d, opt)
+	if pr.m == nil {
+		r := emptyResult(pr.in, start)
+		r.Schedule.AllowCopy = false
+		return r, nil, nil, nil
+	}
+	fp := pr.m.p.Fingerprint()
+	if e := c.lookup(fp, pr.m.p); e != nil {
+		if res := replayEntry(t, pr, e, start); res != nil {
+			return res, nil, nil, nil
+		}
+		// A replay that fails validation (e.g. a demand whose chunk
+		// numbering differs despite the identical model) falls through
+		// to an honest solve.
+	}
+	res, m, b, err := solvePrepped(t, pr, opt, hint, start)
+	if err == nil && res != nil && res.Optimal && res.Schedule != nil {
+		c.store(fp, &batchEntry{
+			base:      pr.m.p,
+			sends:     res.Schedule.Sends,
+			numEpochs: res.Schedule.NumEpochs,
+			epc:       res.Schedule.EpochsPerChunk,
+			objective: res.Objective,
+			gap:       res.Gap,
+			optimal:   res.Optimal,
+		})
+	}
+	return res, m, b, err
+}
+
+// replayEntry re-issues a cached point's schedule under this point's
+// epoch duration and demand. The sweep points coincide in chunk units,
+// so only tau (and the demand the schedule serves) changes; a validation
+// pass confirms the transplanted schedule really satisfies this demand,
+// returning nil (solve for real) if anything disagrees.
+func replayEntry(t *topo.Topology, pr *lpPrep, e *batchEntry, start time.Time) *Result {
+	sch := &schedule.Schedule{
+		Topo:           t,
+		Demand:         pr.d,
+		Tau:            pr.in.tau,
+		NumEpochs:      e.numEpochs,
+		Sends:          e.sends,
+		AllowCopy:      false,
+		EpochsPerChunk: e.epc,
+	}
+	if err := sch.Validate(); err != nil {
+		return nil
+	}
+	return &Result{
+		Schedule:  sch,
+		Objective: e.objective,
+		Gap:       e.gap,
+		Optimal:   e.optimal,
+		SolveTime: time.Since(start),
+		Epochs:    e.numEpochs,
+		Tau:       pr.in.tau,
+		Reused:    true,
+	}
+}

@@ -88,6 +88,14 @@ type Options struct {
 	// intermediate ones; this switch pins the makespan.
 	MinimizeMakespan bool
 
+	// Workers is the number of branch-and-bound nodes the MILP and A*
+	// solvers evaluate concurrently (and the default fan-out of
+	// BatchSolveLP sweeps); 0 or 1 solves serially. The parallel search
+	// is opportunistic: it proves the same optimum but may return a
+	// different one of several equally optimal schedules run to run —
+	// see milp.Options.Deterministic for the reproducible variant.
+	Workers int
+
 	// RoundEpochs is the number of epochs per A* round (§4.2); 0 derives
 	// a round long enough that in-flight chunks land within one round.
 	RoundEpochs int
@@ -146,6 +154,11 @@ type Result struct {
 	// solve's LP work (the LP path's single solve, or the MILP root plus
 	// all warm-started node re-solves).
 	Refactorizations int
+
+	// Reused marks a BatchSolveLP sweep point whose schedule was replayed
+	// from a structurally identical, already-solved point instead of
+	// running the simplex again (its solver counters are therefore zero).
+	Reused bool
 }
 
 // instance is the preprocessed solve context shared by the formulations.

@@ -370,11 +370,22 @@ func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, erro
 	return res, err
 }
 
-// solveLP is SolveLP plus warm-start plumbing: hint seeds the simplex
-// basis, and the returned model/basis let MinimizeMakespan's re-solves
-// chain each horizon's basis into the next.
-func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
-	start := time.Now()
+// lpPrep is a built-but-unsolved LP-form instance: the per-destination
+// expanded demand, the preprocessed context (with an auto horizon already
+// tightened by the greedy bound), and the constructed model. m is nil
+// when the demand has no commodities.
+type lpPrep struct {
+	d  *collective.Demand
+	in *instance
+	m  *lpModel
+}
+
+// prepLP performs everything of an LP solve that precedes the simplex:
+// multicast expansion, instance preprocessing, greedy horizon tightening,
+// and model construction. Split out so the batch layer can fingerprint
+// the built model (and reuse an identical point's solution) before
+// paying for a solve.
+func prepLP(t *topo.Topology, d *collective.Demand, opt Options) *lpPrep {
 	// Without copy, a chunk wanted by several destinations is physically
 	// several transfers; give each its own commodity so schedules stay
 	// expressible (the result's Schedule.Demand is the expanded form).
@@ -383,9 +394,7 @@ func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHin
 	}
 	in := newInstance(t, d, opt)
 	if len(in.comms) == 0 {
-		r := emptyResult(in, start)
-		r.Schedule.AllowCopy = false
-		return r, nil, nil, nil
+		return &lpPrep{d: d, in: in}
 	}
 	// Tighten an auto-estimated horizon with a quick greedy upper bound:
 	// the LP optimum finishes no later than the greedy schedule.
@@ -396,7 +405,28 @@ func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHin
 			in = newInstance(t, d, opt2)
 		}
 	}
-	m := buildLP(in)
+	return &lpPrep{d: d, in: in, m: buildLP(in)}
+}
+
+// solveLP is SolveLP plus warm-start plumbing: hint seeds the simplex
+// basis, and the returned model/basis let MinimizeMakespan's re-solves
+// chain each horizon's basis into the next.
+func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
+	// The clock starts before model construction: SolveTime and the
+	// TimeLimit deadline cover the build, as they always have.
+	start := time.Now()
+	return solvePrepped(t, prepLP(t, d, opt), opt, hint, start)
+}
+
+// solvePrepped runs the simplex (and the MinimizeMakespan refinement) on
+// an already-built LP-form instance.
+func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, start time.Time) (*Result, *lpModel, *lp.Basis, error) {
+	d, in, m := pr.d, pr.in, pr.m
+	if m == nil {
+		r := emptyResult(in, start)
+		r.Schedule.AllowCopy = false
+		return r, nil, nil, nil
+	}
 	var lpOpt lp.Options
 	if opt.TimeLimit > 0 {
 		lpOpt.Deadline = start.Add(opt.TimeLimit)

@@ -433,6 +433,7 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 	mopt := milp.Options{
 		TimeLimit:     opt.TimeLimit,
 		GapLimit:      opt.GapLimit,
+		Workers:       opt.Workers,
 		RootWarmStart: hint.basisFor(m.p),
 	}
 	if mopt.RootWarmStart != nil {

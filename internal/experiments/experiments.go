@@ -86,10 +86,28 @@ func gpuInts(t *topo.Topology) []int {
 // would still interleave their counts (experiments run serially today).
 var solveCounters struct{ iters, refactors atomic.Int64 }
 
+// workersKnob is the harness-wide solver concurrency setting: the worker
+// count experiments pass into core.Options.Workers (branch-and-bound
+// node evaluation) and BatchSolveLP fan-outs. Zero means serial.
+var workersKnob atomic.Int32
+
+// SetWorkers sets the harness worker-pool size (cmd/benchtables
+// -workers); 0 restores serial solves.
+func SetWorkers(n int) { workersKnob.Store(int32(n)) }
+
+// Workers reports the configured harness worker count.
+func Workers() int { return int(workersKnob.Load()) }
+
 // run solves and simulates, returning (transferTime, solveTime). A failed
 // solve returns +Inf transfer time.
 func run(solve func() (*core.Result, error)) (float64, time.Duration) {
 	res, err := solve()
+	return account(res, err)
+}
+
+// account folds one solve into the harness bookkeeping and simulates
+// its schedule; shared by run and the batched sweep paths.
+func account(res *core.Result, err error) (float64, time.Duration) {
 	if err != nil {
 		return math.Inf(1), 0
 	}
@@ -184,6 +202,7 @@ func All(short bool) []*Table {
 		AStarVsOpt(short),
 		Table7(short),
 		Table8(short),
+		WorkersSweep(short),
 	}
 }
 
@@ -226,6 +245,8 @@ func byID(id string, short bool) *Table {
 		return Table7(short)
 	case "table8":
 		return Table8(short)
+	case "workers":
+		return WorkersSweep(short)
 	}
 	return nil
 }
@@ -233,5 +254,5 @@ func byID(id string, short bool) *Table {
 // IDs lists the available experiment identifiers.
 func IDs() []string {
 	return []string{"fig2", "table3", "fig4and5", "fig6", "table4",
-		"fig7", "fig8", "fig9", "astar", "table7", "table8"}
+		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers"}
 }

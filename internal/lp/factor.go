@@ -324,7 +324,7 @@ func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, fa
 		// entry with the fewest column occupants subject to the stability
 		// threshold (a Markowitz (r-1)(c-1) approximation).
 		w := 0
-		bestRow, bestLen := -1, m + 1
+		bestRow, bestLen := -1, m+1
 		for _, r32 := range activeRows {
 			if rowDone[r32] {
 				continue

@@ -156,8 +156,8 @@ func TestPresolveSingletonRows(t *testing.T) {
 	p := NewProblem(Maximize)
 	x := p.AddVar("x", 0, Inf, 3)
 	y := p.AddVar("y", 0, Inf, 5)
-	p.AddRow([]Term{{x, 1}}, LE, 4)     // singleton: x <= 4
-	p.AddRow([]Term{{y, 2}}, LE, 12)    // singleton: y <= 6
+	p.AddRow([]Term{{x, 1}}, LE, 4)  // singleton: x <= 4
+	p.AddRow([]Term{{y, 2}}, LE, 12) // singleton: y <= 6
 	p.AddRow([]Term{{x, 3}, {y, 2}}, LE, 18)
 	sol, err := Solve(p, Options{})
 	if err != nil || sol.Status != StatusOptimal {
@@ -211,7 +211,7 @@ func TestPresolveFixedAndForcing(t *testing.T) {
 func TestPresolveDoubleton(t *testing.T) {
 	p := NewProblem(Minimize)
 	x := p.AddVar("x", 0, 10, 1)
-	y := p.AddVar("y", -100, 100, 3) // implied free: bounds never bind
+	y := p.AddVar("y", -100, 100, 3)        // implied free: bounds never bind
 	p.AddRow([]Term{{x, 1}, {y, 1}}, EQ, 8) // y = 8 - x, appears nowhere else
 	p.AddRow([]Term{{x, 1}}, GE, 2)
 	sol, err := Solve(p, Options{})

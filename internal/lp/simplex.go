@@ -81,10 +81,10 @@ type simplex struct {
 	degenRun  int // consecutive degenerate pivots (Bland trigger)
 
 	// Anti-stall bound perturbation state (see perturbBounds).
-	pertRound    int
-	perturbed    bool
-	trueLo       []float64 // pristine bounds while perturbed
-	trueHi       []float64
+	pertRound int
+	perturbed bool
+	trueLo    []float64 // pristine bounds while perturbed
+	trueHi    []float64
 
 	priceCursor int       // partial-pricing rotation state
 	gamma       []float64 // devex reference weights, one per column

@@ -2,8 +2,9 @@
 // solver on top of the internal/lp simplex. It provides the pieces of the
 // Gurobi feature set that TE-CCL relies on: exact solves, relative
 // optimality-gap reporting (the primal-dual gap of §5), an early-stop gap
-// threshold (the paper stops Gurobi at a 30% gap for ALLGATHER), and time
-// limits (the paper applies a 2-hour timeout).
+// threshold (the paper stops Gurobi at a 30% gap for ALLGATHER), time
+// limits (the paper applies a 2-hour timeout), and — like Gurobi — a
+// concurrent tree search (Options.Workers).
 //
 // Every node below the root resumes the simplex from its parent's basis
 // snapshot (lp.Options.WarmStart): after one branching bound change the
@@ -12,11 +13,26 @@
 // NodeIterations). The root itself can be seeded from a related solve via
 // Options.RootWarmStart, which the core layer uses to chain makespan
 // re-solves and A* rounds.
+//
+// With Workers > 1 open nodes are evaluated concurrently: each worker
+// owns a private clone of the problem (bound chains are applied to the
+// clone, never the caller's LP) and resumes from a deep copy of the
+// parent basis, so no two LP solves share mutable state. The default
+// search is opportunistic — workers pull the best open node from a
+// mutex-guarded heap and publish incumbents through an atomic for
+// lock-free best-bound pruning — which maximizes throughput but lets
+// equal-objective ties resolve by arrival order. Options.Deterministic
+// instead evaluates nodes in synchronized rounds with a fixed ordering
+// and a value-then-lexicographic incumbent rule, making the returned
+// objective and point bit-identical for every worker count (see
+// Options.Deterministic for the exact guarantee).
 package milp
 
 import (
 	"container/heap"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"teccl/internal/lp"
@@ -64,7 +80,8 @@ func (s Status) String() string {
 	return "unknown"
 }
 
-// Options tunes the search. The zero value searches to optimality.
+// Options tunes the search. The zero value searches to optimality,
+// serially.
 type Options struct {
 	// TimeLimit stops the search after this wall-clock duration; 0 means
 	// no limit.
@@ -73,8 +90,29 @@ type Options struct {
 	// to or below this value (e.g. 0.3 reproduces the paper's Gurobi
 	// early-stop). 0 means solve to optimality.
 	GapLimit float64
-	// MaxNodes caps branch-and-bound nodes; 0 means no limit.
+	// MaxNodes caps branch-and-bound nodes; 0 means no limit. With
+	// Workers > 1 the cap is approximate: up to one extra round (at most
+	// Workers-1 nodes) may be evaluated past it.
 	MaxNodes int
+	// Workers is the number of branch-and-bound nodes evaluated
+	// concurrently; 0 or 1 evaluates serially. Each worker owns a private
+	// clone of the LP (the caller's problem is never mutated) and a
+	// private simplex instance warm-started from a deep copy of the
+	// parent's basis, so worker count only changes scheduling, never what
+	// any single node solve computes.
+	Workers int
+	// Deterministic makes the search result independent of Workers: open
+	// nodes are evaluated in synchronized rounds in a fixed best-first
+	// order, incumbents are applied in node order with a
+	// value-then-lexicographic tie-break, and bound pruning is exact
+	// (a node survives whenever its bound strictly beats the incumbent,
+	// so equal-valued optima are always visited and the tie-break sees
+	// the same candidate set regardless of evaluation order). For solves
+	// run to optimality with no time/node limit, any Workers count
+	// returns a bit-identical Objective and X. The price is a barrier
+	// per round and the loss of equal-bound pruning; leave it off for
+	// raw throughput.
+	Deterministic bool
 	// LP tunes the per-node LP solves.
 	LP lp.Options
 	// IncumbentX optionally provides a known integer-feasible point to
@@ -156,101 +194,233 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-// Solve runs branch and bound. The problem's LP is temporarily mutated
-// (variable bounds) during the search and restored before returning.
+// atomicFloat publishes a float64 through an atomic word, for the
+// lock-free incumbent reads of the opportunistic search.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// search is the shared state of one branch-and-bound run. In the serial
+// and deterministic drivers it is touched by one goroutine at a time; in
+// the opportunistic driver every field below mu is guarded by it, and
+// incObj mirrors the incumbent objective for lock-free pruning.
+type search struct {
+	p     *Problem
+	opt   Options
+	isMax bool
+	start time.Time
+
+	childOpt lp.Options // per-node LP options (dual reopt, no presolve)
+
+	sol *Solution
+
+	mu         sync.Mutex
+	h          *nodeHeap
+	nextID     int
+	incumbent  float64 // worst value when incumbentX == nil
+	incumbentX []float64
+	bestBound  float64 // bound of the best node popped so far
+	nodes      int
+	hitLimit   bool
+
+	incObj atomicFloat // mirrors incumbent for lock-free pruning
+}
+
+// worker owns the private problem clone one node evaluator uses. The
+// clone's integer-variable bounds are reset to the root's and the node's
+// bound chain applied before every solve, so evaluations on different
+// workers never share mutable state.
+type worker struct {
+	prob           *lp.Problem
+	origLo, origHi []float64 // root bounds per s.p.Integer entry
+}
+
+func (s *search) newWorker() *worker {
+	w := &worker{
+		prob:   s.p.LP.Clone(),
+		origLo: make([]float64, len(s.p.Integer)),
+		origHi: make([]float64, len(s.p.Integer)),
+	}
+	for i, v := range s.p.Integer {
+		w.origLo[i], w.origHi[i] = w.prob.Bounds(v)
+	}
+	return w
+}
+
+// eval solves one node's LP on the worker's private clone, resuming from
+// a deep copy of the parent basis.
+func (w *worker) eval(s *search, nd *node) (*lp.Solution, error) {
+	for i, v := range s.p.Integer {
+		w.prob.SetBounds(v, w.origLo[i], w.origHi[i])
+	}
+	var stack []*boundChange
+	for c := nd.changes; c != nil; c = c.parent {
+		stack = append(stack, c)
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		w.prob.SetBounds(stack[i].v, stack[i].lo, stack[i].hi)
+	}
+	o := s.childOpt
+	o.WarmStart = nd.basis.Clone()
+	return lp.Solve(w.prob, o)
+}
+
+func (s *search) better(a, b float64) bool {
+	if s.isMax {
+		return a > b
+	}
+	return a < b
+}
+
+// pruned reports whether a node bound cannot beat the incumbent value
+// inc. Exact pruning (the deterministic mode) discards only strictly
+// worse bounds, keeping equal-bound nodes alive so every equal-valued
+// optimum is visited and the lexicographic tie-break sees the same
+// candidate set in every run; the slop variant additionally discards
+// ties and bounds within 1e-9 of the incumbent.
+func (s *search) pruned(bound, inc float64, exact bool) bool {
+	if exact {
+		if s.isMax {
+			return bound < inc
+		}
+		return bound > inc
+	}
+	if s.isMax {
+		return bound <= inc+1e-9
+	}
+	return bound >= inc-1e-9
+}
+
+func (s *search) relGap(bound, inc float64) float64 {
+	return math.Abs(bound-inc) / math.Max(1e-9, math.Abs(inc))
+}
+
+// pickBranch selects the branching variable of x: fractionality-driven,
+// with the same running-best rule the search has always used (the
+// comparison key deliberately matches the historical implementation so
+// the explored tree — and therefore which of several equally optimal
+// schedules is returned — stays stable across refactors).
+func (s *search) pickBranch(x []float64) (lp.VarID, bool) {
+	bestV, bestKey, found := lp.VarID(-1), -1.0, false
+	for _, v := range s.p.Integer {
+		xv := x[v]
+		f := xv - math.Floor(xv)
+		frac := math.Min(f, 1-f)
+		if frac <= intTol {
+			continue
+		}
+		if frac > bestKey {
+			bestV, bestKey, found = v, xv, true
+		}
+	}
+	return bestV, found
+}
+
+// push enqueues a subproblem. Callers hold mu in the opportunistic driver.
+func (s *search) push(bound float64, changes *boundChange, basis *lp.Basis, depth int) {
+	heap.Push(s.h, &node{bound: bound, changes: changes, basis: basis, id: s.nextID, depth: depth})
+	s.nextID++
+}
+
+// branch expands an evaluated node: updates the incumbent on an integer-
+// feasible point, or pushes the two children of the branching variable.
+// Callers hold mu in the opportunistic driver. effLo/effHi report the
+// node's effective bounds for the branching variable.
+func (s *search) branch(nd *node, lpSol *lp.Solution, exact bool) {
+	v, frac := s.pickBranch(lpSol.X)
+	if !frac {
+		s.offerIncumbent(lpSol.Objective, lpSol.X, exact)
+		return
+	}
+	xv := lpSol.X[v]
+	elo, ehi := s.effBounds(nd, v)
+	down := math.Floor(xv)
+	up := math.Ceil(xv)
+	if down >= elo-1e-9 {
+		s.push(lpSol.Objective, &boundChange{v: v, lo: elo, hi: down, parent: nd.changes}, lpSol.Basis, nd.depth+1)
+	}
+	if up <= ehi+1e-9 {
+		s.push(lpSol.Objective, &boundChange{v: v, lo: up, hi: ehi, parent: nd.changes}, lpSol.Basis, nd.depth+1)
+	}
+}
+
+// effBounds resolves the effective bounds of v under nd's change chain
+// (the chain may have tightened bounds; the caller's problem is pristine).
+func (s *search) effBounds(nd *node, v lp.VarID) (float64, float64) {
+	for c := nd.changes; c != nil; c = c.parent {
+		if c.v == v {
+			return c.lo, c.hi
+		}
+	}
+	return s.p.LP.Bounds(v)
+}
+
+// offerIncumbent installs a candidate integer-feasible point. In exact
+// (deterministic) mode equal-valued candidates are tie-broken toward the
+// lexicographically smaller point, so the final incumbent does not depend
+// on the order candidates arrive in.
+func (s *search) offerIncumbent(obj float64, x []float64, exact bool) {
+	replace := false
+	if s.incumbentX == nil || s.better(obj, s.incumbent) {
+		replace = true
+	} else if exact && obj == s.incumbent && lexLess(x, s.incumbentX) {
+		replace = true
+	}
+	if replace {
+		s.incumbent = obj
+		s.incumbentX = append([]float64(nil), x...)
+		s.incObj.Store(obj)
+	}
+}
+
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Solve runs branch and bound. The problem is treated as read-only: node
+// bound changes are applied to private clones, so concurrent Solve calls
+// may even share one Problem.
 func Solve(p *Problem, opt Options) *Solution {
-	start := time.Now()
-	isMax := p.LP.Dir == lp.Maximize
-
-	better := func(a, b float64) bool {
-		if isMax {
-			return a > b
-		}
-		return a < b
+	s := &search{
+		p:     p,
+		opt:   opt,
+		isMax: p.LP.Dir == lp.Maximize,
+		start: time.Now(),
+		sol:   &Solution{Status: StatusNoSolution},
 	}
 
-	// Save original bounds of integer variables so we can restore them.
-	origLo := make(map[lp.VarID]float64, len(p.Integer))
-	origHi := make(map[lp.VarID]float64, len(p.Integer))
-	for _, v := range p.Integer {
-		lo, hi := p.LP.Bounds(v)
-		origLo[v], origHi[v] = lo, hi
-	}
-	defer func() {
-		for _, v := range p.Integer {
-			p.LP.SetBounds(v, origLo[v], origHi[v])
-		}
-	}()
-
-	applyChanges := func(c *boundChange) {
-		// Reset then apply the chain root-to-leaf. Chains are short
-		// (one entry per branching depth).
-		for _, v := range p.Integer {
-			p.LP.SetBounds(v, origLo[v], origHi[v])
-		}
-		var stack []*boundChange
-		for ; c != nil; c = c.parent {
-			stack = append(stack, c)
-		}
-		for i := len(stack) - 1; i >= 0; i-- {
-			p.LP.SetBounds(stack[i].v, stack[i].lo, stack[i].hi)
-		}
-	}
-
-	sol := &Solution{Status: StatusNoSolution}
 	worst := math.Inf(-1)
-	if !isMax {
+	if !s.isMax {
 		worst = math.Inf(1)
 	}
-	incumbent := worst
-	var incumbentX []float64
-	bestBound := worst // tightest bound proven so far (from open nodes)
+	s.incumbent = worst
+	s.bestBound = worst
+	s.incObj.Store(worst)
 	if opt.IncumbentX != nil {
-		incumbentX = append([]float64(nil), opt.IncumbentX...)
-		incumbent = 0
+		x := append([]float64(nil), opt.IncumbentX...)
+		obj := 0.0
 		for j := 0; j < p.LP.NumVars(); j++ {
-			incumbent += p.LP.Obj(lp.VarID(j)) * incumbentX[j]
+			obj += p.LP.Obj(lp.VarID(j)) * x[j]
 		}
-	}
-
-	relGap := func() float64 {
-		if incumbentX == nil {
-			return math.Inf(1)
-		}
-		return math.Abs(bestBound-incumbent) / math.Max(1e-9, math.Abs(incumbent))
-	}
-
-	// Fractionality-based branching variable selection.
-	pickBranch := func(x []float64) (lp.VarID, float64, bool) {
-		bestV, bestFrac, found := lp.VarID(-1), -1.0, false
-		for _, v := range p.Integer {
-			xv := x[v]
-			f := xv - math.Floor(xv)
-			frac := math.Min(f, 1-f)
-			if frac <= intTol {
-				continue
-			}
-			if frac > bestFrac {
-				bestV, bestFrac, found = v, xv, true
-			}
-		}
-		return bestV, bestFrac, found
-	}
-	_ = pickBranch
-
-	h := &nodeHeap{max: isMax}
-	heap.Init(h)
-	nextID := 0
-	push := func(bound float64, changes *boundChange, basis *lp.Basis, depth int) {
-		heap.Push(h, &node{bound: bound, changes: changes, basis: basis, id: nextID, depth: depth})
-		nextID++
+		s.incumbentX = x
+		s.incumbent = obj
+		s.incObj.Store(obj)
 	}
 
 	// Propagate the wall-clock limit into individual LP solves so a
 	// single slow relaxation cannot blow past the budget.
 	lpOpt := opt.LP
 	if opt.TimeLimit > 0 && lpOpt.Deadline.IsZero() {
-		lpOpt.Deadline = start.Add(opt.TimeLimit)
+		lpOpt.Deadline = s.start.Add(opt.TimeLimit)
 	}
 
 	// Child-node LP options: reoptimize from the parent basis with the
@@ -259,164 +429,344 @@ func Solve(p *Problem, opt Options) *Solution {
 	// with no feasibility phase — and skip presolve, since a node LP
 	// differs from its parent by a single bound, far too little to repay
 	// a fresh reduction pass.
-	childOpt := lpOpt
-	if childOpt.Method == lp.MethodAuto {
-		childOpt.Method = lp.MethodDual
+	s.childOpt = lpOpt
+	if s.childOpt.Method == lp.MethodAuto {
+		s.childOpt.Method = lp.MethodDual
 	}
-	childOpt.NoPresolve = true
+	s.childOpt.NoPresolve = true
 
 	// Root.
 	lpOpt.WarmStart = opt.RootWarmStart
 	rootSol, err := lp.Solve(p.LP, lpOpt)
 	if rootSol != nil {
-		sol.RootIterations = rootSol.Iterations
-		sol.Refactorizations = rootSol.Refactorizations
-		sol.RootBasis = rootSol.Basis
+		s.sol.RootIterations = rootSol.Iterations
+		s.sol.Refactorizations = rootSol.Refactorizations
+		s.sol.RootBasis = rootSol.Basis
 	}
 	if err != nil || rootSol.Status == lp.StatusNumericalError {
-		sol.Status = StatusError
-		sol.Elapsed = time.Since(start)
-		return sol
+		s.sol.Status = StatusError
+		s.sol.Elapsed = time.Since(s.start)
+		return s.sol
 	}
 	switch rootSol.Status {
 	case lp.StatusInfeasible:
-		sol.Status = StatusInfeasible
-		sol.Elapsed = time.Since(start)
-		return sol
+		s.sol.Status = StatusInfeasible
+		s.sol.Elapsed = time.Since(s.start)
+		return s.sol
 	case lp.StatusUnbounded:
-		sol.Status = StatusError
-		sol.Elapsed = time.Since(start)
-		return sol
+		s.sol.Status = StatusError
+		s.sol.Elapsed = time.Since(s.start)
+		return s.sol
 	case lp.StatusIterLimit:
 		// The root relaxation ran out of budget. With a caller-provided
 		// incumbent the search can still answer (gap unknown); without
 		// one there is nothing to return.
-		if incumbentX != nil {
-			sol.Status = StatusFeasible
-			sol.Objective = incumbent
-			sol.X = incumbentX
-			sol.Bound = bestBound
-			sol.Gap = math.Inf(1)
-			sol.Elapsed = time.Since(start)
-			return sol
+		if s.incumbentX != nil {
+			s.sol.Status = StatusFeasible
+			s.sol.Objective = s.incumbent
+			s.sol.X = s.incumbentX
+			s.sol.Bound = s.bestBound
+			s.sol.Gap = math.Inf(1)
+			s.sol.Elapsed = time.Since(s.start)
+			return s.sol
 		}
-		sol.Status = StatusError
-		sol.Elapsed = time.Since(start)
-		return sol
-	}
-	push(rootSol.Objective, nil, rootSol.Basis, 0)
-
-	nodes := 0
-	hitLimit := false
-	for h.Len() > 0 {
-		if opt.MaxNodes > 0 && nodes >= opt.MaxNodes {
-			hitLimit = true
-			break
-		}
-		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
-			hitLimit = true
-			break
-		}
-
-		nd := heap.Pop(h).(*node)
-		bestBound = nd.bound
-		// Prune by bound.
-		if incumbentX != nil {
-			if isMax && nd.bound <= incumbent+1e-9 {
-				continue
-			}
-			if !isMax && nd.bound >= incumbent-1e-9 {
-				continue
-			}
-		}
-		if incumbentX != nil && opt.GapLimit > 0 && relGap() <= opt.GapLimit {
-			hitLimit = true
-			break
-		}
-
-		nodes++
-		applyChanges(nd.changes)
-		// Resume from the parent's basis: after a single bound change the
-		// parent optimum is a few dual pivots from the child's.
-		nodeOpt := childOpt
-		nodeOpt.WarmStart = nd.basis
-		lpSol, err := lp.Solve(p.LP, nodeOpt)
-		if lpSol != nil {
-			sol.NodeIterations += lpSol.Iterations
-			sol.Refactorizations += lpSol.Refactorizations
-		}
-		if err != nil || lpSol.Status == lp.StatusNumericalError ||
-			lpSol.Status == lp.StatusIterLimit || lpSol.Status == lp.StatusUnbounded {
-			// Treat pathological subproblems as pruned but remember the
-			// search is no longer exhaustive.
-			hitLimit = true
-			continue
-		}
-		if lpSol.Status == lp.StatusInfeasible {
-			continue
-		}
-		// Re-prune with the fresh (tighter) LP bound.
-		if incumbentX != nil {
-			if isMax && lpSol.Objective <= incumbent+1e-9 {
-				continue
-			}
-			if !isMax && lpSol.Objective >= incumbent-1e-9 {
-				continue
-			}
-		}
-
-		v, _, frac := pickBranch(lpSol.X)
-		if !frac {
-			// Integer feasible: candidate incumbent.
-			if better(lpSol.Objective, incumbent) {
-				incumbent = lpSol.Objective
-				incumbentX = append([]float64(nil), lpSol.X...)
-			}
-			continue
-		}
-
-		xv := lpSol.X[v]
-		// The chain may have tightened bounds; read the effective ones.
-		elo, ehi := p.LP.Bounds(v)
-		down := math.Floor(xv)
-		up := math.Ceil(xv)
-		if down >= elo-1e-9 {
-			push(lpSol.Objective, &boundChange{v: v, lo: elo, hi: down, parent: nd.changes}, lpSol.Basis, nd.depth+1)
-		}
-		if up <= ehi+1e-9 {
-			push(lpSol.Objective, &boundChange{v: v, lo: up, hi: ehi, parent: nd.changes}, lpSol.Basis, nd.depth+1)
-		}
+		s.sol.Status = StatusError
+		s.sol.Elapsed = time.Since(s.start)
+		return s.sol
 	}
 
-	sol.Nodes = nodes
-	sol.Elapsed = time.Since(start)
+	s.h = &nodeHeap{max: s.isMax}
+	heap.Init(s.h)
+	s.push(rootSol.Objective, nil, rootSol.Basis, 0)
 
-	if h.Len() == 0 && !hitLimit {
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	switch {
+	case opt.Deterministic:
+		s.runDeterministic(workers)
+	case workers > 1:
+		s.runOpportunistic(workers)
+	default:
+		s.runSerial()
+	}
+
+	s.sol.Nodes = s.nodes
+	s.sol.Elapsed = time.Since(s.start)
+
+	if s.h.Len() == 0 && !s.hitLimit {
 		// Tree exhausted: incumbent (if any) is optimal.
-		if incumbentX == nil {
-			sol.Status = StatusInfeasible
-			return sol
+		if s.incumbentX == nil {
+			s.sol.Status = StatusInfeasible
+			return s.sol
 		}
-		sol.Status = StatusOptimal
-		sol.Objective = incumbent
-		sol.X = incumbentX
-		sol.Bound = incumbent
-		sol.Gap = 0
-		return sol
+		s.sol.Status = StatusOptimal
+		s.sol.Objective = s.incumbent
+		s.sol.X = s.incumbentX
+		s.sol.Bound = s.incumbent
+		s.sol.Gap = 0
+		return s.sol
 	}
 
-	if incumbentX == nil {
-		sol.Status = StatusNoSolution
-		return sol
+	if s.incumbentX == nil {
+		s.sol.Status = StatusNoSolution
+		return s.sol
 	}
-	sol.Status = StatusFeasible
-	sol.Objective = incumbent
-	sol.X = incumbentX
-	sol.Bound = bestBound
-	sol.Gap = relGap()
-	if sol.Gap <= 1e-9 {
-		sol.Status = StatusOptimal
-		sol.Gap = 0
+	s.sol.Status = StatusFeasible
+	s.sol.Objective = s.incumbent
+	s.sol.X = s.incumbentX
+	s.sol.Bound = s.bestBound
+	s.sol.Gap = s.relGap(s.bestBound, s.incumbent)
+	if s.sol.Gap <= 1e-9 {
+		s.sol.Status = StatusOptimal
+		s.sol.Gap = 0
 	}
-	return sol
+	return s.sol
+}
+
+// limitsHit checks the node and wall-clock budgets.
+func (s *search) limitsHit() bool {
+	if s.opt.MaxNodes > 0 && s.nodes >= s.opt.MaxNodes {
+		return true
+	}
+	if s.opt.TimeLimit > 0 && time.Since(s.start) > s.opt.TimeLimit {
+		return true
+	}
+	return false
+}
+
+// integrate folds one evaluated node back into the search: counters,
+// pathological-status handling, re-pruning against the fresh LP bound,
+// and incumbent update or branching. Callers hold mu in the opportunistic
+// driver.
+func (s *search) integrate(nd *node, lpSol *lp.Solution, err error, exact bool) {
+	if lpSol != nil {
+		s.sol.NodeIterations += lpSol.Iterations
+		s.sol.Refactorizations += lpSol.Refactorizations
+	}
+	if err != nil || lpSol.Status == lp.StatusNumericalError ||
+		lpSol.Status == lp.StatusIterLimit || lpSol.Status == lp.StatusUnbounded {
+		// Treat pathological subproblems as pruned but remember the
+		// search is no longer exhaustive.
+		s.hitLimit = true
+		return
+	}
+	if lpSol.Status == lp.StatusInfeasible {
+		return
+	}
+	// Re-prune with the fresh (tighter) LP bound. In exact mode an
+	// equal-valued node survives: an integer-feasible point must reach
+	// the tie-break, and a fractional one may still hide one below it.
+	if s.incumbentX != nil && s.pruned(lpSol.Objective, s.incumbent, exact) {
+		return
+	}
+	s.branch(nd, lpSol, exact)
+}
+
+// runSerial is the single-threaded driver: the classic best-first loop,
+// evaluating nodes one at a time on one private clone.
+func (s *search) runSerial() {
+	w := s.newWorker()
+	for s.h.Len() > 0 {
+		if s.limitsHit() {
+			s.hitLimit = true
+			return
+		}
+		nd := heap.Pop(s.h).(*node)
+		s.bestBound = nd.bound
+		if s.incumbentX != nil {
+			if s.pruned(nd.bound, s.incumbent, false) {
+				continue
+			}
+			if s.opt.GapLimit > 0 && s.relGap(s.bestBound, s.incumbent) <= s.opt.GapLimit {
+				s.hitLimit = true
+				return
+			}
+		}
+		s.nodes++
+		lpSol, err := w.eval(s, nd)
+		s.integrate(nd, lpSol, err, false)
+	}
+}
+
+// runDeterministic is the reproducible parallel driver: nodes are pulled
+// in best-first order into rounds of up to `workers` entries, evaluated
+// concurrently on private clones, and integrated in node order behind a
+// barrier. Exact pruning plus the lexicographic incumbent tie-break make
+// the result a pure function of the problem (see Options.Deterministic).
+func (s *search) runDeterministic(workers int) {
+	pool := make([]*worker, workers)
+	for i := range pool {
+		pool[i] = s.newWorker()
+	}
+	type slot struct {
+		nd    *node
+		lpSol *lp.Solution
+		err   error
+	}
+	batch := make([]slot, 0, workers)
+	for s.h.Len() > 0 {
+		if s.limitsHit() {
+			s.hitLimit = true
+			return
+		}
+		batch = batch[:0]
+		for len(batch) < workers && s.h.Len() > 0 {
+			nd := heap.Pop(s.h).(*node)
+			if len(batch) == 0 {
+				s.bestBound = nd.bound // best-first: the round's first pop is the best open bound
+			}
+			if s.incumbentX != nil && s.pruned(nd.bound, s.incumbent, true) {
+				continue
+			}
+			batch = append(batch, slot{nd: nd})
+		}
+		if len(batch) == 0 {
+			return // every open node pruned: tree exhausted
+		}
+		if s.incumbentX != nil && s.opt.GapLimit > 0 &&
+			s.relGap(s.bestBound, s.incumbent) <= s.opt.GapLimit {
+			s.hitLimit = true
+			return
+		}
+		if len(batch) == 1 {
+			// No point paying goroutine fan-out for a singleton round.
+			batch[0].lpSol, batch[0].err = pool[0].eval(s, batch[0].nd)
+		} else {
+			var wg sync.WaitGroup
+			for i := range batch {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					batch[i].lpSol, batch[i].err = pool[i].eval(s, batch[i].nd)
+				}(i)
+			}
+			wg.Wait()
+		}
+		for i := range batch {
+			s.nodes++
+			s.integrate(batch[i].nd, batch[i].lpSol, batch[i].err, true)
+		}
+	}
+}
+
+// runOpportunistic is the throughput driver: a free-running pool where
+// each worker repeatedly pops the best open node under the heap mutex,
+// evaluates it on its private clone, and folds the result back in. The
+// incumbent objective is mirrored through an atomic so a worker returning
+// from a long LP solve can notice it lost the race and drop its node
+// without touching the lock ordering guarantees.
+func (s *search) runOpportunistic(workers int) {
+	cond := sync.NewCond(&s.mu)
+	inFlight := make([]float64, workers)
+	for i := range inFlight {
+		inFlight[i] = math.NaN()
+	}
+	stopped := false
+
+	// openBound is the tightest provable bound on the optimum: the best
+	// of the open heap and the nodes currently being evaluated.
+	openBound := func() float64 {
+		best := math.NaN()
+		if s.h.Len() > 0 {
+			best = s.h.nodes[0].bound
+		}
+		for _, b := range inFlight {
+			if math.IsNaN(b) {
+				continue
+			}
+			if math.IsNaN(best) || s.better(b, best) {
+				best = b
+			}
+		}
+		return best
+	}
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := s.newWorker()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for {
+				if stopped {
+					return
+				}
+				if s.limitsHit() {
+					s.hitLimit = true
+					stopped = true
+					if b := openBound(); !math.IsNaN(b) {
+						s.bestBound = b
+					}
+					cond.Broadcast()
+					return
+				}
+				if s.h.Len() == 0 {
+					idle := true
+					for _, b := range inFlight {
+						if !math.IsNaN(b) {
+							idle = false
+							break
+						}
+					}
+					if idle {
+						cond.Broadcast() // everyone done: release the waiters
+						return
+					}
+					cond.Wait()
+					continue
+				}
+				nd := heap.Pop(s.h).(*node)
+				s.bestBound = nd.bound
+				// The popped node counts as in flight from here on, so
+				// openBound() (and the gap check below) never forgets the
+				// bound it still has to disprove.
+				inFlight[wi] = nd.bound
+				if s.incumbentX != nil {
+					if s.pruned(nd.bound, s.incumbent, false) {
+						inFlight[wi] = math.NaN()
+						continue
+					}
+					if s.opt.GapLimit > 0 {
+						if b := openBound(); !math.IsNaN(b) && s.relGap(b, s.incumbent) <= s.opt.GapLimit {
+							s.bestBound = b
+							s.hitLimit = true
+							stopped = true
+							cond.Broadcast()
+							return
+						}
+					}
+				}
+				s.nodes++
+				s.mu.Unlock()
+
+				lpSol, err := w.eval(s, nd)
+
+				// Lock-free last-chance prune: if a better incumbent
+				// landed while this node was solving, drop it before
+				// re-entering the critical section.
+				drop := false
+				if err == nil && lpSol.Status == lp.StatusOptimal {
+					if inc := s.incObj.Load(); !math.IsInf(inc, 0) && s.pruned(lpSol.Objective, inc, false) {
+						drop = true
+					}
+				}
+
+				s.mu.Lock()
+				inFlight[wi] = math.NaN()
+				if drop {
+					s.sol.NodeIterations += lpSol.Iterations
+					s.sol.Refactorizations += lpSol.Refactorizations
+					cond.Broadcast()
+					continue
+				}
+				s.integrate(nd, lpSol, err, false)
+				cond.Broadcast()
+			}
+		}(wi)
+	}
+	wg.Wait()
 }

@@ -105,6 +105,9 @@ var (
 	Line     = topo.Line
 	FullMesh = topo.FullMesh
 	Star     = topo.Star
+	// ZeroAlpha copies a topology with every link latency zeroed (the
+	// alpha-blind comparisons of Figure 2, and exactly-scaling sweeps).
+	ZeroAlpha = topo.ZeroAlpha
 )
 
 // gpuInts converts a topology's GPU list to int indexes.
@@ -180,6 +183,18 @@ func SolveMILP(t *Topology, d *Demand, opt Options) (*Result, error) {
 // SolveLP solves with the linear-program form (§4.1).
 func SolveLP(t *Topology, d *Demand, opt Options) (*Result, error) {
 	return core.SolveLP(t, d, opt)
+}
+
+// BatchOptions tunes a BatchSolveLP sweep.
+type BatchOptions = core.BatchOptions
+
+// BatchSolveLP solves the LP form for a whole sweep of demand variants
+// (e.g. a chunk-size sweep) against shared solver state: structurally
+// identical points are solved once and replayed, the rest chain optimal
+// bases point-to-point, and the points fan out over a worker pool.
+// Results and errors are aligned with demands; points fail independently.
+func BatchSolveLP(t *Topology, demands []*Demand, opt Options, bo BatchOptions) ([]*Result, []error) {
+	return core.BatchSolveLP(t, demands, opt, bo)
 }
 
 // SolveAStar solves with the A* round partitioning (§4.2).
