@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables
+.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables api-compat
 
-ci: vet build test race bench-smoke
+ci: vet build test race api-compat bench-smoke
 
 # vet gates on both the analyzer and formatting: a gofmt diff anywhere
 # fails the target (and with it the CI vet+build job).
@@ -22,6 +22,14 @@ vet:
 build:
 	$(GO) build ./...
 
+# The API-compatibility gate: every downstream caller of the public
+# facade — the examples and both binaries — must build and vet cleanly,
+# so a facade change that breaks callers fails CI even if the library
+# itself still compiles.
+api-compat:
+	$(GO) build ./examples/... ./cmd/...
+	$(GO) vet ./examples/... ./cmd/...
+
 test:
 	$(GO) test ./...
 
@@ -34,12 +42,12 @@ race:
 # concurrency micro-benchmarks across all packages; fast enough for CI,
 # loud enough to catch a perf cliff.
 bench-smoke:
-	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)' -benchtime 1x ./...
+	$(GO) test -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)|PlannerReuse' -benchtime 1x ./...
 
 # The same smoke under -short (GitHub Actions): trimmed sweeps, and the
 # minutes-scale benches (e.g. NDv2AllToAll) skip themselves.
 bench-smoke-short:
-	$(GO) test -short -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)' -benchtime 1x ./...
+	$(GO) test -short -run xxx -bench 'Fig5SolverTime|SimplexTransport$$|MILPWorkers|Sweep(Rebuilt|Batched)|PlannerReuse' -benchtime 1x ./...
 
 # The full benchmark suite (one iteration each; wall-clock heavy).
 bench:

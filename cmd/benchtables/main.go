@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -44,6 +46,13 @@ func main() {
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
+
+	// Regenerations run under a signal-aware context: Ctrl-C cancels the
+	// in-flight solve (mid-simplex, mid-branch, or between A* rounds)
+	// instead of killing the process with a table half-printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	experiments.SetContext(ctx)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -63,24 +65,24 @@ func main() {
 	var solveTime time.Duration
 	switch *solver {
 	case "auto", "milp", "lp", "astar":
-		var res *teccl.Result
-		var err error
-		switch *solver {
-		case "auto":
-			res, err = teccl.Solve(t, d, opt)
-		case "milp":
-			res, err = teccl.SolveMILP(t, d, opt)
-		case "lp":
-			res, err = teccl.SolveLP(t, d, opt)
-		case "astar":
-			res, err = teccl.SolveAStar(t, d, opt)
-		}
+		// The optimizer runs as a Planner session under a signal-aware
+		// context: Ctrl-C cancels the solve mid-iteration instead of
+		// killing the process, and -timeout is the TimeLimit budget
+		// enforced uniformly across all three solvers.
+		force := map[string]teccl.Solver{
+			"auto": teccl.SolverAuto, "milp": teccl.SolverMILP,
+			"lp": teccl.SolverLP, "astar": teccl.SolverAStar,
+		}[*solver]
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		planner := teccl.NewPlanner(t, teccl.PlannerOptions{Defaults: opt})
+		plan, err := planner.Plan(ctx, teccl.Request{Demand: d, Solver: force})
 		if err != nil {
 			fatal(err)
 		}
-		sched, solveTime = res.Schedule, res.SolveTime
+		sched, solveTime = plan.Schedule, plan.SolveTime
 		fmt.Printf("solver: %s  optimal: %v  gap: %.1f%%  epochs: %d  tau: %.3g s\n",
-			*solver, res.Optimal, 100*res.Gap, res.Epochs, res.Tau)
+			plan.Solver, plan.Optimal, 100*plan.Gap, plan.Epochs, plan.Tau)
 	case "taccl":
 		r := teccl.BaselineTACCL(t, d, teccl.TACCLOptions{Seed: 1, Restarts: 100})
 		if !r.Feasible {

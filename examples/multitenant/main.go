@@ -1,10 +1,14 @@
 // Command multitenant demonstrates §5's multi-tenant support: two
 // training jobs share one switched cluster, their demands are unioned,
 // and a single joint solve schedules both without violating capacity.
-// Compare against solving each tenant as if it owned the network.
+// Compare against solving each tenant as if it owned the network. The
+// four MILP solves share one Planner session — exactly the serving shape
+// the session API exists for: one topology, a stream of demands, warm
+// bases carried between them.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,17 +37,20 @@ func main() {
 		tenantB.Set(int(s), 0, int(gpus[3]))
 	}
 
+	ctx := context.Background()
+	planner := teccl.NewPlanner(t, teccl.PlannerOptions{Policy: teccl.ForceMILP})
+
 	solo := func(name string, d *teccl.Demand) float64 {
-		res, err := teccl.SolveMILP(t, d, teccl.Options{})
+		plan, err := planner.Plan(ctx, teccl.Request{Demand: d})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		sim, err := teccl.Simulate(res.Schedule)
+		sim, err := teccl.Simulate(plan.Schedule)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("%s alone: %d epochs, %.2f us\n",
-			name, res.Schedule.FinishEpoch()+1, sim.FinishTime*1e6)
+			name, plan.Schedule.FinishEpoch()+1, sim.FinishTime*1e6)
 		return sim.FinishTime
 	}
 	ta := solo("tenant A", tenantA)
@@ -53,7 +60,7 @@ func main() {
 	// capacity-feasible plan (§5 "Use in multi-tenant clusters").
 	joint := tenantA.Clone()
 	joint.Or(tenantB)
-	res, err := teccl.SolveMILP(t, joint, teccl.Options{})
+	res, err := planner.Plan(ctx, teccl.Request{Demand: joint})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,17 +76,21 @@ func main() {
 
 	// Tenant priority (§5): weight tenant B's deliveries 10x and watch its
 	// chunks ship first on contended links.
-	prio, err := teccl.SolveMILP(t, joint, teccl.Options{
+	prioOpt := teccl.Options{
 		Priority: func(src, chunk, dst int) float64 {
 			if tenantB.Wants(src, chunk, dst) {
 				return 10
 			}
 			return 1
 		},
-	})
+	}
+	prio, err := planner.Plan(ctx, teccl.Request{Demand: joint, Options: &prioOpt})
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := planner.Stats()
+	fmt.Printf("\nsession served %d solves: %d warm starts, %d epoch-estimate cache hits\n",
+		st.Requests, st.WarmStartHits, st.EpochCacheHits)
 	bFinish := 0
 	for _, snd := range prio.Schedule.Sends {
 		l := t.Link(snd.Link)

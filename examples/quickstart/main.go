@@ -1,10 +1,18 @@
 // Command quickstart solves a small ALLGATHER with TE-CCL and prints the
 // schedule and its cost — the minimal end-to-end use of the library.
+//
+// The entry point is a Planner session: NewPlanner pins a topology and
+// caches per-topology state, Plan answers one request under a context.
+// (The old free functions — Solve, SolveLP, SolveMILP, SolveAStar —
+// still work and now route through a single-use session; hold a Planner
+// like this when you solve more than once per topology.)
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"teccl"
 )
@@ -13,35 +21,52 @@ func main() {
 	// A single DGX1 box: 8 GPUs, 16 NVLinks, no switch.
 	t := teccl.DGX1()
 
-	// Every GPU shares one 25 KB chunk with every other GPU.
-	demand := teccl.AllGather(t, 1, 25e3)
-
-	// Solve lets the library pick the right formulation (the general
+	// A long-lived session for this topology. PlannerOptions carries the
+	// default solve options and the solver-selection policy; the zero
+	// value means paper defaults and the automatic policy (the general
 	// MILP here, since ALLGATHER benefits from in-network copy).
-	res, err := teccl.Solve(t, demand, teccl.Options{})
+	planner := teccl.NewPlanner(t, teccl.PlannerOptions{})
+
+	// Every GPU shares one 25 KB chunk with every other GPU. The context
+	// bounds the solve: cancellation and deadlines reach all the way into
+	// the solver inner loops.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	plan, err := planner.Plan(ctx, teccl.Request{
+		Demand: teccl.AllGather(t, 1, 25e3),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("solved %s in %v (optimal=%v, gap=%.1f%%)\n",
-		t.Name, res.SolveTime, res.Optimal, 100*res.Gap)
+	fmt.Printf("solved %s via %v in %v (optimal=%v, gap=%.1f%%)\n",
+		t.Name, plan.Solver, plan.SolveTime, plan.Optimal, 100*plan.Gap)
 	fmt.Printf("epochs used: %d of %d horizon, tau=%.2g s\n",
-		res.Schedule.FinishEpoch()+1, res.Epochs, res.Tau)
+		plan.Schedule.FinishEpoch()+1, plan.Epochs, plan.Tau)
+
+	// A second, identical request demonstrates session reuse: the
+	// planner warm-starts from (or outright replays) the first solve.
+	again, err := planner.Plan(ctx, teccl.Request{
+		Demand: teccl.AllGather(t, 1, 25e3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat request: %v (cache hit=%v, warm start=%v)\n",
+		again.SolveTime, again.CacheHit, again.WarmStart)
 
 	// Execute the schedule in continuous time under the alpha-beta model.
-	sim, err := teccl.Simulate(res.Schedule)
+	sim, err := teccl.Simulate(plan.Schedule)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("transfer time: %.2f us\n", sim.FinishTime*1e6)
 	fmt.Printf("algorithmic bandwidth: %.2f GB/s\n", sim.AlgoBandwidth/1e9)
-	fmt.Printf("total bytes on wire: %.0f (demand: %.0f)\n",
-		sim.TotalBytes, demand.TotalBytes())
 
 	// Print the schedule, epoch by epoch.
 	fmt.Println("\nschedule:")
-	for epoch := 0; epoch <= res.Schedule.FinishEpoch(); epoch++ {
-		for _, snd := range res.Schedule.Sends {
+	for epoch := 0; epoch <= plan.Schedule.FinishEpoch(); epoch++ {
+		for _, snd := range plan.Schedule.Sends {
 			if snd.Epoch != epoch {
 				continue
 			}

@@ -1,10 +1,13 @@
 // Command scale exercises the two scaling paths of §4 on a topology too
 // large for the one-shot MILP: the LP form for an ALLTOALL and the A*
 // round partitioning for an ALLGATHER, finishing with an MSCCL-style XML
-// export of the A* schedule.
+// export of the A* schedule. Both requests go through one Planner
+// session, so the second solve reuses the session's cached epoch
+// estimates and tau derivations.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,42 +22,49 @@ func main() {
 		t.Name, len(t.GPUs()), t.NumLinks())
 
 	const chunk = 4 << 20 // 4 MiB
+	ctx := context.Background()
+
+	// One session, default options tuned for this scale: slowest-link
+	// epochs with an epoch multiplier trade schedule granularity for
+	// solver time (the EM column of Table 4).
+	planner := teccl.NewPlanner(t, teccl.PlannerOptions{
+		Defaults: teccl.Options{EpochMode: teccl.SlowestLink, EpochMultiplier: 2},
+	})
 
 	// ALLTOALL scales through the LP (§4.1): copy cannot help, so the
-	// linear program is exact and fast. Slowest-link epochs with an epoch
-	// multiplier trade schedule granularity for solver time at this scale
-	// (the EM column of Table 4).
+	// linear program is exact and fast. The automatic policy picks it on
+	// its own; Request.Solver is spelled out here for the narrative.
 	atoa := teccl.AllToAll(t, 1, chunk)
-	lpRes, err := teccl.SolveLP(t, atoa, teccl.Options{
-		EpochMode: teccl.SlowestLink, EpochMultiplier: 2,
-	})
+	lpPlan, err := planner.Plan(ctx, teccl.Request{Demand: atoa, Solver: teccl.SolverLP})
 	if err != nil {
 		log.Fatal(err)
 	}
-	lpSim, err := teccl.Simulate(lpRes.Schedule)
+	lpSim, err := teccl.Simulate(lpPlan.Schedule)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ALLTOALL  via LP: solve %v, transfer %.1f us, %.2f GB/s algo bw\n",
-		lpRes.SolveTime.Round(1e6), lpSim.FinishTime*1e6, lpSim.AlgoBandwidth/1e9)
+	fmt.Printf("ALLTOALL  via %v: solve %v, transfer %.1f us, %.2f GB/s algo bw\n",
+		lpPlan.Solver, lpPlan.SolveTime.Round(1e6), lpSim.FinishTime*1e6, lpSim.AlgoBandwidth/1e9)
 
-	// ALLGATHER needs copy, so it scales through A* rounds (§4.2).
+	// ALLGATHER needs copy, so it scales through A* rounds (§4.2). The
+	// per-request options override the session defaults.
 	ag := teccl.AllGather(t, 1, chunk)
-	asRes, err := teccl.SolveAStar(t, ag, teccl.Options{
-		EpochMode: teccl.SlowestLink, GapLimit: 0.2,
+	asOpt := teccl.Options{EpochMode: teccl.SlowestLink, GapLimit: 0.2}
+	asPlan, err := planner.Plan(ctx, teccl.Request{
+		Demand: ag, Solver: teccl.SolverAStar, Options: &asOpt,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	asSim, err := teccl.Simulate(asRes.Schedule)
+	asSim, err := teccl.Simulate(asPlan.Schedule)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ALLGATHER via A*: solve %v (%d rounds), transfer %.1f us, %.2f GB/s algo bw\n",
-		asRes.SolveTime.Round(1e6), asRes.Rounds, asSim.FinishTime*1e6, asSim.AlgoBandwidth/1e9)
+	fmt.Printf("ALLGATHER via %v: solve %v (%d rounds), transfer %.1f us, %.2f GB/s algo bw\n",
+		asPlan.Solver, asPlan.SolveTime.Round(1e6), asPlan.Rounds, asSim.FinishTime*1e6, asSim.AlgoBandwidth/1e9)
 
 	// Export the A* schedule for an MSCCL-style runtime.
-	xml, err := teccl.ExportMSCCL(asRes.Schedule, "allgather")
+	xml, err := teccl.ExportMSCCL(asPlan.Schedule, "allgather")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,10 @@
 package collective
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/maphash"
+	"math"
 )
 
 // Demand is a demand matrix over n nodes with up to c chunks per source.
@@ -148,6 +151,45 @@ func (d *Demand) Clone() *Demand {
 	out := New(d.n, d.c, d.ChunkBytes)
 	copy(out.want, d.want)
 	return out
+}
+
+// fpSeed makes Fingerprint comparable across demands within one process
+// — the same convention as lp.Problem.Fingerprint, which is all the
+// session caches keying on it need.
+var fpSeed = maphash.MakeSeed()
+
+// Fingerprint returns a hash of the demand's full content — dimensions,
+// chunk size (bit pattern), and the want set. Two demands with equal
+// fingerprints are almost certainly identical; session caches use it to
+// key per-demand derived state (e.g. epoch estimates) without holding
+// the demand itself.
+func (d *Demand) Fingerprint() uint64 {
+	var h maphash.Hash
+	h.SetSeed(fpSeed)
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU64(uint64(d.n))
+	writeU64(uint64(d.c))
+	writeU64(math.Float64bits(d.ChunkBytes))
+	var word uint64
+	bits := 0
+	for _, w := range d.want {
+		word <<= 1
+		if w {
+			word |= 1
+		}
+		if bits++; bits == 64 {
+			writeU64(word)
+			word, bits = 0, 0
+		}
+	}
+	if bits > 0 {
+		writeU64(word)
+	}
+	return h.Sum64()
 }
 
 // AllGather builds an ALLGATHER demand: every GPU wants every chunk of

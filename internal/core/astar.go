@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -39,6 +40,19 @@ type pendingArrival struct {
 // demand is met. Sub-optimal but far more scalable than the one-shot MILP,
 // and still copy-capable.
 func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	return SolveAStarContext(context.Background(), t, d, opt)
+}
+
+// SolveAStarContext is SolveAStar under a context: the round loop checks
+// ctx before every round, and each round's MILP (its node loop, worker
+// pool, and LP relaxations) watches the same ctx, so cancellation
+// interrupts the solve promptly with an error wrapping
+// context.Cause(ctx). Options.TimeLimit is layered onto ctx as a derived
+// deadline covering the whole round sequence — not, as before the
+// context plumbing, one budget per round.
+func SolveAStarContext(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
 	start := time.Now()
 	in := newInstance(t, d, opt)
 	if len(in.comms) == 0 {
@@ -95,8 +109,20 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 			return nil, fmt.Errorf("core: A* did not finish within %d rounds (%d demands left)",
 				maxRounds, st.remaining)
 		}
+		if budgetExpired(ctx) {
+			if ierr := interrupted(ctx); ierr != nil {
+				return nil, fmt.Errorf("core: A* cancelled at round %d with %d demands left: %w",
+					rounds, st.remaining, ierr)
+			}
+			return nil, fmt.Errorf("core: A* hit its time limit at round %d with %d demands left; raise TimeLimit",
+				rounds, st.remaining)
+		}
+		opt.Progress.emit(Progress{
+			Solver: "astar", Phase: "round", Round: rounds + 1,
+			Incumbent: math.NaN(), Bound: math.NaN(), Gap: math.Inf(1),
+		})
 		off := rounds * Kr
-		roundSends, gap, roundHint, err := solveRound(in, st, hop, Kr, off, hint)
+		roundSends, gap, roundHint, err := solveRound(ctx, in, st, hop, Kr, off, hint)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +165,7 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 // solveRound builds and solves one A* round MILP. hint optionally seeds
 // the root relaxation from the previous round's basis; the returned hint
 // carries this round's basis forward.
-func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint *basisHint) ([]schedule.Send, float64, *basisHint, error) {
+func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float64, Kr, off int, hint *basisHint) ([]schedule.Send, float64, *basisHint, error) {
 	t := in.topo
 	nL := t.NumLinks()
 	nN := t.NumNodes()
@@ -514,10 +540,11 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint
 	}
 
 	aopt := milp.Options{
-		TimeLimit:     in.opt.TimeLimit,
+		Context:       ctx,
 		GapLimit:      in.opt.GapLimit,
 		Workers:       in.opt.Workers,
 		RootWarmStart: hint.basisFor(p),
+		Progress:      in.opt.Progress.milpHook("astar", off/Kr+1),
 	}
 	if aopt.RootWarmStart != nil {
 		// Later A* rounds reoptimize from the previous round's basis with
@@ -528,6 +555,12 @@ func solveRound(in *instance, st *astarState, hop [][]float64, Kr, off int, hint
 	switch msol.Status {
 	case milp.StatusOptimal, milp.StatusFeasible:
 	default:
+		if ierr := interrupted(ctx); ierr != nil {
+			return nil, 0, nil, fmt.Errorf("core: A* round %d interrupted: %w", off/Kr+1, ierr)
+		}
+		if budgetExpired(ctx) {
+			return nil, 0, nil, fmt.Errorf("core: A* hit its time limit in round %d; raise TimeLimit", off/Kr+1)
+		}
 		return nil, 0, nil, fmt.Errorf("core: A* round failed: %v", msol.Status)
 	}
 

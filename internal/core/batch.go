@@ -24,6 +24,7 @@ package core
 //     same knob that parallelizes branch-and-bound node evaluation.
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -54,19 +55,32 @@ type batchEntry struct {
 	objective float64
 	gap       float64
 	optimal   bool
+	// makespan records whether the entry was solved with
+	// MinimizeMakespan. The flag is consumed after the model is built,
+	// so it is invisible to the fingerprint; a Planner session mixing
+	// per-request options must not replay an unrefined schedule into a
+	// request that asked for the refinement (or vice versa).
+	makespan bool
 }
 
-// batchCache indexes solved points by model fingerprint.
+// batchCache indexes solved points by model fingerprint. With a zero
+// limit it grows with the sweep it serves (one bounded call); a
+// long-lived Planner session sets a limit, past which storing evicts an
+// arbitrary fingerprint bucket (each retained entry holds a full
+// lp.Problem, so an unbounded serving session would otherwise grow
+// linearly with distinct request shapes).
 type batchCache struct {
 	mu      sync.Mutex
 	entries map[uint64][]*batchEntry
+	limit   int
+	size    int
 }
 
-func (c *batchCache) lookup(fp uint64, base *lp.Problem) *batchEntry {
+func (c *batchCache) lookup(fp uint64, base *lp.Problem, makespan bool) *batchEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range c.entries[fp] {
-		if e.base.EqualTo(base) {
+		if e.makespan == makespan && e.base.EqualTo(base) {
 			return e
 		}
 	}
@@ -79,7 +93,18 @@ func (c *batchCache) store(fp uint64, e *batchEntry) {
 	if c.entries == nil {
 		c.entries = make(map[uint64][]*batchEntry)
 	}
+	if c.limit > 0 && c.size >= c.limit {
+		for k := range c.entries {
+			if k == fp {
+				continue
+			}
+			c.size -= len(c.entries[k])
+			delete(c.entries, k)
+			break
+		}
+	}
 	c.entries[fp] = append(c.entries[fp], e)
+	c.size++
 }
 
 // BatchSolveLP solves the LP form (§4.1) for every demand in the sweep,
@@ -88,6 +113,18 @@ func (c *batchCache) store(fp uint64, e *batchEntry) {
 // points fail independently. opt applies to every point (opt.Workers is
 // the default pool size when bo.Workers is zero).
 func BatchSolveLP(t *topo.Topology, demands []*collective.Demand, opt Options, bo BatchOptions) ([]*Result, []error) {
+	return BatchSolveLPContext(context.Background(), t, demands, opt, bo)
+}
+
+// BatchSolveLPContext is BatchSolveLP under a context: the fan-out stops
+// picking up new points once ctx is done (each unsolved point's error
+// wraps context.Cause), and in-flight solves are interrupted through the
+// same ctx. Options.TimeLimit remains a per-point budget, as it was when
+// each point was a separate SolveLP call.
+func BatchSolveLPContext(ctx context.Context, t *topo.Topology, demands []*collective.Demand, opt Options, bo BatchOptions) ([]*Result, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*Result, len(demands))
 	errs := make([]error, len(demands))
 	if len(demands) == 0 {
@@ -118,11 +155,15 @@ func BatchSolveLP(t *topo.Topology, demands []*collective.Demand, opt Options, b
 			var prevModel *lpModel
 			var prevBasis *lp.Basis
 			for i := lo; i < hi; i++ {
+				if err := context.Cause(ctx); err != nil && ctx.Err() != nil {
+					errs[i] = err
+					continue
+				}
 				var hint *basisHint
 				if prevModel != nil {
 					hint = hintFromSolve(prevModel.p, prevBasis)
 				}
-				res, m, b, err := cache.solvePoint(t, demands[i], opt, hint)
+				res, m, b, err := cache.solvePoint(ctx, t, demands[i], opt, hint)
 				results[i], errs[i] = res, err
 				if err == nil && m != nil {
 					prevModel, prevBasis = m, b
@@ -136,8 +177,11 @@ func BatchSolveLP(t *topo.Topology, demands []*collective.Demand, opt Options, b
 
 // solvePoint solves one sweep point: replayed from the cache when a
 // structurally identical point was already solved, otherwise solved for
-// real (warm-started from hint) and cached.
-func (c *batchCache) solvePoint(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
+// real (warm-started from hint) and cached. Options.TimeLimit is layered
+// onto ctx per point.
+func (c *batchCache) solvePoint(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
 	start := time.Now()
 	pr := prepLP(t, d, opt)
 	if pr.m == nil {
@@ -146,7 +190,7 @@ func (c *batchCache) solvePoint(t *topo.Topology, d *collective.Demand, opt Opti
 		return r, nil, nil, nil
 	}
 	fp := pr.m.p.Fingerprint()
-	if e := c.lookup(fp, pr.m.p); e != nil {
+	if e := c.lookup(fp, pr.m.p, opt.MinimizeMakespan); e != nil {
 		if res := replayEntry(t, pr, e, start); res != nil {
 			return res, nil, nil, nil
 		}
@@ -154,7 +198,7 @@ func (c *batchCache) solvePoint(t *topo.Topology, d *collective.Demand, opt Opti
 		// numbering differs despite the identical model) falls through
 		// to an honest solve.
 	}
-	res, m, b, err := solvePrepped(t, pr, opt, hint, start)
+	res, m, b, err := solvePrepped(ctx, t, pr, opt, hint, start)
 	if err == nil && res != nil && res.Optimal && res.Schedule != nil {
 		c.store(fp, &batchEntry{
 			base:      pr.m.p,
@@ -164,6 +208,7 @@ func (c *batchCache) solvePoint(t *topo.Topology, d *collective.Demand, opt Opti
 			objective: res.Objective,
 			gap:       res.Gap,
 			optimal:   res.Optimal,
+			makespan:  opt.MinimizeMakespan,
 		})
 	}
 	return res, m, b, err

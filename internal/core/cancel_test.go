@@ -1,0 +1,245 @@
+package core
+
+// Cancellation property tests: a cancelled context interrupts all three
+// solvers promptly — mid-root-LP, deep in the branch-and-bound tree, and
+// between A* rounds — the error wraps context.Canceled, and no solver
+// goroutines outlive the call. The suite runs under -race in CI (make
+// race), which is what makes the worker-pool cancellation trustworthy.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// testGPUs lists a topology's GPUs as ints.
+func testGPUs(t *topo.Topology) []int {
+	var out []int
+	for _, g := range t.GPUs() {
+		out = append(out, int(g))
+	}
+	return out
+}
+
+// hardLPInstance is an NDv2-scale ALLTOALL whose fastest-link LP grinds
+// for minutes if left alone — the canonical instance a deadline or
+// cancellation must be able to interrupt.
+func hardLPInstance() (*topo.Topology, *collective.Demand) {
+	t := topo.NDv2Mini(2)
+	return t, collective.AllToAll(t.NumNodes(), testGPUs(t), 1, 25e3)
+}
+
+// promptly asserts the solve returned well before it could have finished
+// on its own. The bound is generous (shared CI runners): promptness here
+// means "cut a minutes-long solve to seconds", not a scheduling SLA.
+func promptly(t *testing.T, start time.Time) {
+	t.Helper()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("solve returned only after %v; cancellation not prompt", elapsed)
+	}
+}
+
+// noGoroutineLeak asserts the goroutine count settles back to the
+// baseline (plus slack for runtime helpers).
+func noGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestCancelRootLP(t *testing.T) {
+	tt, d := hardLPInstance()
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := SolveLPContext(ctx, tt, d, Options{})
+	promptly(t, start)
+	if res != nil {
+		t.Fatalf("cancelled LP returned a result (the simplex cannot have finished)")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+	noGoroutineLeak(t, before)
+}
+
+func TestCancelDeepBranchAndBound(t *testing.T) {
+	// DGX1 ALLGATHER with 2 chunks per GPU branches long past the root.
+	// Cancel from the progress hook once the tree is a few nodes deep, so
+	// the test is deterministic about WHERE the cancellation lands. The
+	// greedy incumbent is left on: a cancelled search with an incumbent
+	// must return it as a partial result alongside the error.
+	tt := topo.DGX1()
+	d := collective.AllGather(tt.NumNodes(), testGPUs(tt), 2, 25e3)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{
+		Workers: 4,
+		Progress: func(p Progress) {
+			if p.Solver == "milp" && p.Nodes >= 3 {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	res, err := SolveMILPContext(ctx, tt, d, opt)
+	promptly(t, start)
+	if err == nil {
+		// The search may prove optimality before the third node on a fast
+		// machine; that is a complete solve, not a failed cancellation.
+		if res == nil || !res.Optimal {
+			t.Fatalf("nil error without an optimal result (res=%v)", res)
+		}
+	} else {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrap of context.Canceled", err)
+		}
+		if res != nil {
+			// Partial incumbent: must be a valid schedule with a gap.
+			if res.Optimal {
+				t.Fatalf("cancelled partial result claims optimality")
+			}
+			if verr := res.Schedule.Validate(); verr != nil {
+				t.Fatalf("partial incumbent schedule invalid: %v", verr)
+			}
+		}
+	}
+	noGoroutineLeak(t, before)
+}
+
+func TestCancelAStarRoundTwo(t *testing.T) {
+	// Internal2(4) ALLGATHER takes multiple A* rounds; cancel exactly when
+	// round 2 is announced, before its MILP solves.
+	tt := topo.Internal2(4)
+	d := collective.AllGather(tt.NumNodes(), testGPUs(tt), 1, 1<<20)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{
+		EpochMode: SlowestLink,
+		Progress: func(p Progress) {
+			if p.Solver == "astar" && p.Phase == "round" && p.Round == 2 {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	res, err := SolveAStarContext(ctx, tt, d, opt)
+	promptly(t, start)
+	if err == nil {
+		if res != nil && res.Rounds < 2 {
+			t.Skipf("instance solved in %d round(s); round-2 cancellation never armed", res.Rounds)
+		}
+		t.Fatalf("A* completed (%d rounds) despite the round-2 cancellation", res.Rounds)
+	}
+	if res != nil {
+		t.Fatalf("cancelled A* returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+	noGoroutineLeak(t, before)
+}
+
+func TestCancelDuringMakespanRefinement(t *testing.T) {
+	// Cancel right after the base LP solves, so the cancellation lands in
+	// the MinimizeMakespan re-solve chain: the last complete schedule
+	// must come back alongside an error wrapping context.Canceled.
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := Options{
+		MinimizeMakespan: true,
+		Progress: func(p Progress) {
+			if p.Solver == "lp" && p.Phase == "simplex" {
+				cancel()
+			}
+		},
+	}
+	start := time.Now()
+	res, err := SolveLPContext(ctx, tt, d, opt)
+	promptly(t, start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled refinement dropped the completed schedule")
+	}
+	if verr := res.Schedule.Validate(); verr != nil {
+		t.Fatalf("returned schedule invalid: %v", verr)
+	}
+}
+
+func TestCancelBatchSolve(t *testing.T) {
+	// A cancelled batch stops picking up points; unsolved points carry
+	// the cancellation cause.
+	tt, d := hardLPInstance()
+	demands := []*collective.Demand{d, d.Clone(), d.Clone()}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, errs := BatchSolveLPContext(ctx, tt, demands, Options{}, BatchOptions{})
+	promptly(t, start)
+	sawCancel := false
+	for _, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			sawCancel = true
+		}
+	}
+	if !sawCancel {
+		t.Fatalf("no point reported context.Canceled: %v", errs)
+	}
+}
+
+func TestCancelledContextFailsFast(t *testing.T) {
+	// An already-cancelled context never starts the simplex.
+	tt, d := hardLPInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, solve := range map[string]func() error{
+		"lp": func() error {
+			_, err := SolveLPContext(ctx, tt, d, Options{})
+			return err
+		},
+		"milp": func() error {
+			_, err := SolveMILPContext(ctx, tt, d, Options{})
+			return err
+		},
+		"astar": func() error {
+			_, err := SolveAStarContext(ctx, tt, d, Options{})
+			return err
+		},
+	} {
+		start := time.Now()
+		err := solve()
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("%s: pre-cancelled solve ran %v", name, elapsed)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want wrap of context.Canceled", name, err)
+		}
+	}
+}

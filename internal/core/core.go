@@ -112,6 +112,18 @@ type Options struct {
 	// one epoch to the next"). The returned multiplier must be in [0, 1];
 	// 0 disables the link for that epoch.
 	LinkCapacity func(link topo.LinkID, epoch int) float64
+
+	// Progress, when non-nil, receives observability samples while the
+	// solve runs: model build, simplex completion, every branch-and-bound
+	// node, each A* round, and makespan re-solves. See ProgressFunc for
+	// the calling discipline.
+	Progress ProgressFunc
+
+	// estimates, when non-nil, memoizes DeriveTau and EstimateEpochs
+	// results across solves. Set by a Planner session; never by callers
+	// directly (the field is unexported on purpose — per-topology caching
+	// is only sound while the session pins one topology).
+	estimates *estimateCache
 }
 
 // priorityOf returns the priority weight for a triple (1 when unset).
@@ -159,6 +171,11 @@ type Result struct {
 	// from a structurally identical, already-solved point instead of
 	// running the simplex again (its solver counters are therefore zero).
 	Reused bool
+	// WarmStarted marks a solve whose main simplex run (the LP solve, or
+	// the MILP root relaxation) resumed from a basis of an earlier
+	// related solve instead of starting cold — the signature of
+	// cross-request state reuse through a Planner or BatchSolveLP chain.
+	WarmStarted bool
 }
 
 // instance is the preprocessed solve context shared by the formulations.
@@ -218,7 +235,11 @@ func newInstance(t *topo.Topology, d *collective.Demand, opt Options) *instance 
 
 	in.tau = opt.Tau
 	if in.tau == 0 {
-		in.tau = DeriveTau(t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+		if opt.estimates != nil {
+			in.tau = opt.estimates.deriveTau(t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+		} else {
+			in.tau = DeriveTau(t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+		}
 	}
 
 	nL := t.NumLinks()
@@ -257,7 +278,11 @@ func newInstance(t *topo.Topology, d *collective.Demand, opt Options) *instance 
 
 	in.K = opt.Epochs
 	if in.K == 0 {
-		in.K = EstimateEpochs(t, d, in.tau)
+		if opt.estimates != nil {
+			in.K = opt.estimates.estimateEpochs(t, d, in.tau)
+		} else {
+			in.K = EstimateEpochs(t, d, in.tau)
+		}
 	}
 
 	// Reachability: hop cost in epochs for link l is delta+kappa (a chunk

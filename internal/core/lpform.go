@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -366,7 +367,18 @@ func buildLP(in *instance) *lpModel {
 // the MILP. The resulting rate allocation is decomposed into per-chunk
 // fractional paths to produce an executable schedule.
 func SolveLP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
-	res, _, _, err := solveLP(t, d, opt, nil)
+	return SolveLPContext(context.Background(), t, d, opt)
+}
+
+// SolveLPContext is SolveLP under a context: the simplex checks ctx
+// between iterations, so cancellation (or a caller deadline) interrupts
+// the solve promptly with an error wrapping context.Cause(ctx).
+// Options.TimeLimit is layered onto ctx as a derived deadline covering
+// model build, the solve, and any MinimizeMakespan re-solves together.
+func SolveLPContext(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
+	res, _, _, err := solveLP(ctx, t, d, opt, nil)
 	return res, err
 }
 
@@ -410,27 +422,25 @@ func prepLP(t *topo.Topology, d *collective.Demand, opt Options) *lpPrep {
 
 // solveLP is SolveLP plus warm-start plumbing: hint seeds the simplex
 // basis, and the returned model/basis let MinimizeMakespan's re-solves
-// chain each horizon's basis into the next.
-func solveLP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
+// chain each horizon's basis into the next. The caller has already
+// layered Options.TimeLimit onto ctx.
+func solveLP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *lpModel, *lp.Basis, error) {
 	// The clock starts before model construction: SolveTime and the
 	// TimeLimit deadline cover the build, as they always have.
 	start := time.Now()
-	return solvePrepped(t, prepLP(t, d, opt), opt, hint, start)
+	return solvePrepped(ctx, t, prepLP(t, d, opt), opt, hint, start)
 }
 
 // solvePrepped runs the simplex (and the MinimizeMakespan refinement) on
 // an already-built LP-form instance.
-func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, start time.Time) (*Result, *lpModel, *lp.Basis, error) {
+func solvePrepped(ctx context.Context, t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, start time.Time) (*Result, *lpModel, *lp.Basis, error) {
 	d, in, m := pr.d, pr.in, pr.m
 	if m == nil {
 		r := emptyResult(in, start)
 		r.Schedule.AllowCopy = false
 		return r, nil, nil, nil
 	}
-	var lpOpt lp.Options
-	if opt.TimeLimit > 0 {
-		lpOpt.Deadline = start.Add(opt.TimeLimit)
-	}
+	lpOpt := lp.Options{Context: ctx}
 	lpOpt.WarmStart = hint.basisFor(m.p)
 	if lpOpt.WarmStart != nil {
 		// Re-solves (shrunken MinimizeMakespan horizons) reoptimize with
@@ -439,6 +449,7 @@ func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, st
 		// the primal on its own when it is not.
 		lpOpt.Method = lp.MethodDual
 	}
+	opt.Progress.emit(lpSample("model", 0, 0, false))
 	sol, err := lp.Solve(m.p, lpOpt)
 	if err != nil {
 		return nil, nil, nil, err
@@ -448,10 +459,14 @@ func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, st
 	case lp.StatusInfeasible:
 		return nil, nil, nil, fmt.Errorf("core: LP infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
 	case lp.StatusIterLimit:
+		if ierr := interrupted(ctx); ierr != nil {
+			return nil, nil, nil, fmt.Errorf("core: LP solve interrupted after %d iterations: %w", sol.Iterations, ierr)
+		}
 		return nil, nil, nil, fmt.Errorf("core: LP hit its time/iteration budget with K=%d (tau=%g); raise TimeLimit or EpochMultiplier", in.K, in.tau)
 	default:
 		return nil, nil, nil, fmt.Errorf("core: LP solve failed: %v", sol.Status)
 	}
+	opt.Progress.emit(lpSample("simplex", sol.Iterations, sol.Objective, true))
 
 	s, err := m.decompose(sol.X)
 	if err != nil {
@@ -466,14 +481,32 @@ func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, st
 		Tau:              in.tau,
 		RootIterations:   sol.Iterations,
 		Refactorizations: sol.Refactorizations,
+		WarmStarted:      lpOpt.WarmStart != nil,
 	}
 	basis := sol.Basis
 	model := m
 	if opt.MinimizeMakespan {
 		// Each shrunken-horizon re-solve resumes from the previous
 		// horizon's optimal basis (matched by variable name, since the
-		// variable set changes with K).
+		// variable set changes with K). An expired TimeLimit stops the
+		// refinement and keeps the last complete schedule (valid, just
+		// not proven makespan-minimal); a caller cancellation returns
+		// that schedule alongside an error wrapping the cause, honoring
+		// the cancellation contract.
+		rootWarm := lpOpt.WarmStart != nil
+		cancelled := func() (*Result, *lpModel, *lp.Basis, error) {
+			res.WarmStarted = rootWarm
+			return res, model, basis, fmt.Errorf(
+				"core: makespan refinement cancelled; returning last complete schedule (finish epoch %d): %w",
+				res.Schedule.FinishEpoch(), interrupted(ctx))
+		}
 		for {
+			if interrupted(ctx) != nil {
+				return cancelled()
+			}
+			if budgetExpired(ctx) {
+				break // TimeLimit: keep the result, no error
+			}
 			fe := res.Schedule.FinishEpoch()
 			if fe < 1 {
 				break
@@ -486,16 +519,24 @@ func solvePrepped(t *topo.Topology, pr *lpPrep, opt Options, hint *basisHint, st
 			if model != nil {
 				h = hintFromSolve(model.p, basis)
 			}
-			tighter, m2, b2, err := solveLP(t, d, opt2, h)
+			tighter, m2, b2, err := solveLP(ctx, t, d, opt2, h)
 			if err != nil {
-				break
+				if interrupted(ctx) != nil {
+					return cancelled()
+				}
+				break // infeasible at the tighter horizon: minimal
 			}
 			if tighter.Schedule.FinishEpoch() >= fe {
 				break
 			}
 			tighter.SolveTime = time.Since(start)
 			res, model, basis = tighter, m2, b2
+			opt.Progress.emit(lpSample("makespan", tighter.RootIterations, tighter.Objective, true))
 		}
+		// WarmStarted reports whether THIS REQUEST started from prior
+		// state; the re-solves above are always internally warm-started
+		// and must not overwrite that.
+		res.WarmStarted = rootWarm
 	}
 	return res, model, basis, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"time"
@@ -389,14 +390,28 @@ func (m *milpModel) extractSchedule(x []float64) (*schedule.Schedule, error) {
 // SolveMILP solves the general formulation (§3.1): optimal collective
 // schedules with copy and store-and-forward support.
 func SolveMILP(t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
-	res, _, _, err := solveMILP(t, d, opt, nil)
+	return SolveMILPContext(context.Background(), t, d, opt)
+}
+
+// SolveMILPContext is SolveMILP under a context: the branch-and-bound
+// node loop, its worker pool, and every node's LP relaxation watch ctx,
+// so cancellation interrupts the search promptly. When the search is
+// cancelled with an incumbent in hand the partial result is returned
+// alongside an error wrapping context.Cause(ctx); Options.TimeLimit is
+// layered onto ctx as a derived deadline and keeps its historical
+// budget semantics (incumbent returned as a feasible result, no error).
+func SolveMILPContext(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
+	res, _, _, err := solveMILP(ctx, t, d, opt, nil)
 	return res, err
 }
 
 // solveMILP is SolveMILP plus warm-start plumbing: hint seeds the root
 // relaxation's basis, and the returned model/root basis let
 // MinimizeMakespan's re-solves chain each horizon's basis into the next.
-func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *milpModel, *lp.Basis, error) {
+// The caller has already layered Options.TimeLimit onto ctx.
+func solveMILP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options, hint *basisHint) (*Result, *milpModel, *lp.Basis, error) {
 	start := time.Now()
 	in := newInstance(t, d, opt)
 	if len(in.comms) == 0 {
@@ -430,11 +445,13 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 		return nil, nil, nil, err
 	}
 
+	opt.Progress.emit(Progress{Solver: "milp", Phase: "model"})
 	mopt := milp.Options{
-		TimeLimit:     opt.TimeLimit,
+		Context:       ctx,
 		GapLimit:      opt.GapLimit,
 		Workers:       opt.Workers,
 		RootWarmStart: hint.basisFor(m.p),
+		Progress:      opt.Progress.milpHook("milp", 0),
 	}
 	if mopt.RootWarmStart != nil {
 		// Horizon re-solves reoptimize the root relaxation with the dual
@@ -454,6 +471,14 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 	case milp.StatusInfeasible:
 		return nil, nil, nil, fmt.Errorf("core: infeasible with K=%d epochs (tau=%g); increase Epochs", in.K, in.tau)
 	default:
+		if ierr := interrupted(ctx); ierr != nil {
+			return nil, nil, nil, fmt.Errorf("core: MILP solve interrupted before any incumbent (%v after %d nodes): %w",
+				msol.Status, msol.Nodes, ierr)
+		}
+		if budgetExpired(ctx) {
+			return nil, nil, nil, fmt.Errorf("core: MILP hit its time limit before any incumbent (%v after %d nodes); raise TimeLimit",
+				msol.Status, msol.Nodes)
+		}
 		return nil, nil, nil, fmt.Errorf("core: MILP solve failed: %v", msol.Status)
 	}
 
@@ -473,6 +498,7 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 		RootIterations:   msol.RootIterations,
 		NodeIterations:   msol.NodeIterations,
 		Refactorizations: msol.Refactorizations,
+		WarmStarted:      mopt.RootWarmStart != nil,
 	}
 	basis := msol.RootBasis
 	model := m
@@ -481,7 +507,23 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 		// (the paper's binary search on epochs). Pin tau so quantization
 		// stays comparable across horizons, and resume each re-solve from
 		// the previous horizon's root basis (matched by variable name).
+		// An expired TimeLimit stops the refinement and keeps the last
+		// complete schedule; a caller cancellation returns that schedule
+		// alongside an error wrapping the cause.
+		rootWarm := mopt.RootWarmStart != nil
+		cancelled := func() (*Result, *milpModel, *lp.Basis, error) {
+			res.WarmStarted = rootWarm
+			return res, model, basis, fmt.Errorf(
+				"core: makespan refinement cancelled; returning last complete schedule (finish epoch %d): %w",
+				res.Schedule.FinishEpoch(), interrupted(ctx))
+		}
 		for {
+			if interrupted(ctx) != nil {
+				return cancelled()
+			}
+			if budgetExpired(ctx) {
+				break // TimeLimit: keep the result, no error
+			}
 			fe := res.Schedule.FinishEpoch()
 			if fe < 1 {
 				break
@@ -494,8 +536,11 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 			if model != nil {
 				h = hintFromSolve(model.p, basis)
 			}
-			tighter, m2, b2, err := solveMILP(t, d, opt2, h)
+			tighter, m2, b2, err := solveMILP(ctx, t, d, opt2, h)
 			if err != nil {
+				if interrupted(ctx) != nil {
+					return cancelled()
+				}
 				break // infeasible: current finish is minimal
 			}
 			if tighter.Schedule.FinishEpoch() >= fe {
@@ -503,6 +548,19 @@ func solveMILP(t *topo.Topology, d *collective.Demand, opt Options, hint *basisH
 			}
 			tighter.SolveTime = time.Since(start)
 			res, model, basis = tighter, m2, b2
+		}
+		// WarmStarted reports whether THIS REQUEST started from prior
+		// state; the re-solves above are always internally warm-started
+		// and must not overwrite that.
+		res.WarmStarted = rootWarm
+	}
+	if !res.Optimal {
+		// A cancelled search that still produced an incumbent returns it
+		// as a partial result alongside the cancellation cause; a plain
+		// TimeLimit expiry keeps the historical no-error budget semantics.
+		if ierr := interrupted(ctx); ierr != nil {
+			return res, model, basis, fmt.Errorf("core: MILP solve cancelled with incumbent in hand (gap %.1f%%): %w",
+				100*res.Gap, ierr)
 		}
 	}
 	return res, model, basis, nil

@@ -1,0 +1,344 @@
+package core
+
+// planner.go is the session layer: a long-lived Planner pinned to one
+// topology that answers a stream of solve requests, reusing everything
+// expensive that survives from one request to the next — tau
+// derivations, epoch estimates (Algorithm 1 runs Floyd–Warshall), solved
+// schedules of structurally identical LP models, and warm-start bases
+// keyed by problem fingerprint or chained by variable name. The free
+// functions (SolveLP and friends) remain as stateless one-shot wrappers;
+// a service holding a Planner per topology gets the same answers with
+// the cold-start work amortized across its request stream.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"teccl/internal/collective"
+	"teccl/internal/lp"
+	"teccl/internal/topo"
+)
+
+// PlannerOptions configures a session.
+type PlannerOptions struct {
+	// Defaults are the session's base solve options, used for every
+	// request that does not carry its own.
+	Defaults Options
+	// Policy picks the formulation for requests that do not force one;
+	// nil means DefaultPolicy{}.
+	Policy Policy
+}
+
+// Request is one unit of work for a Planner session.
+type Request struct {
+	// Demand is the collective demand to schedule. Required.
+	Demand *collective.Demand
+	// Options, when non-nil, replaces the session defaults for this
+	// request (it is a full replacement, not a merge).
+	Options *Options
+	// Solver forces a formulation for this request; SolverAuto defers
+	// to the session policy.
+	Solver Solver
+	// Progress, when non-nil, overrides the options' progress hook.
+	Progress ProgressFunc
+}
+
+// Plan is a solved request: the Result plus provenance about how the
+// session produced it.
+type Plan struct {
+	*Result
+	// Solver is the formulation that produced the result.
+	Solver Solver
+	// CacheHit marks a request served by replaying the schedule of a
+	// structurally identical earlier request (no simplex ran).
+	CacheHit bool
+	// WarmStart marks a solve whose main simplex run resumed from a
+	// basis of an earlier request instead of starting cold.
+	WarmStart bool
+}
+
+// PlannerStats are cumulative session counters, retrievable at any time
+// via Planner.Stats.
+type PlannerStats struct {
+	// Requests counts Plan calls that reached a solver.
+	Requests int
+	// ScheduleReplays counts requests served from the schedule cache
+	// (Plan.CacheHit).
+	ScheduleReplays int
+	// WarmStartHits counts solves that resumed from an earlier
+	// request's basis (Plan.WarmStart).
+	WarmStartHits int
+	// ExactBasisHits counts warm starts served verbatim from the
+	// fingerprint-keyed basis store (a subset of WarmStartHits).
+	ExactBasisHits int
+	// TauCacheHits / EpochCacheHits count derived-state cache hits.
+	TauCacheHits   int
+	EpochCacheHits int
+}
+
+// Planner is a long-lived solving session pinned to one topology.
+// Methods are safe for concurrent use; the topology must not be mutated
+// while the session is alive (cached tau derivations and epoch estimates
+// would go stale silently).
+type Planner struct {
+	t      *topo.Topology
+	opt    PlannerOptions
+	numGPU int
+
+	est       *estimateCache
+	lpCache   *batchCache // exact-structure schedule replay
+	warmBases *basisStore // exact-fingerprint warm bases
+
+	mu       sync.Mutex
+	lastLP   sessionBasis // name-matched warm-start chain, LP form
+	lastMILP sessionBasis // name-matched warm-start chain, MILP form
+	stats    PlannerStats
+}
+
+// sessionBasis remembers the most recent solved model of one form for
+// name-matched basis transfer into the next request.
+type sessionBasis struct {
+	prob  *lp.Problem
+	basis *lp.Basis
+}
+
+// NewPlanner opens a session on a topology. The topology is retained and
+// must not be mutated while the session is in use.
+func NewPlanner(t *topo.Topology, opt PlannerOptions) *Planner {
+	return &Planner{
+		t:      t,
+		opt:    opt,
+		numGPU: len(t.GPUs()),
+		est:    newEstimateCache(),
+		// Sessions are long-lived: bound the schedule-replay cache (each
+		// entry retains a full model) the same way the basis store is.
+		lpCache:   &batchCache{limit: basisStoreLimit},
+		warmBases: newBasisStore(),
+	}
+}
+
+// Topology returns the session topology.
+func (pl *Planner) Topology() *topo.Topology { return pl.t }
+
+// Stats snapshots the session counters.
+func (pl *Planner) Stats() PlannerStats {
+	pl.mu.Lock()
+	st := pl.stats
+	pl.mu.Unlock()
+	st.ExactBasisHits = pl.warmBases.hitCount()
+	tauHits, epochHits := pl.est.hitCounts()
+	st.TauCacheHits, st.EpochCacheHits = tauHits, epochHits
+	return st
+}
+
+// Plan solves one request. The context is honored end to end: the
+// simplex iteration loops, the branch-and-bound node loop and worker
+// pool, and the A* round loop all watch it, so a cancellation (or the
+// caller's deadline) interrupts the solve promptly with an error
+// wrapping context.Cause(ctx) — alongside a partial Plan when the
+// search had an incumbent in hand. Options.TimeLimit is layered onto
+// ctx as a derived deadline, so the budget is enforced identically for
+// all three formulations.
+func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
+	if req.Demand == nil {
+		return nil, errors.New("core: Plan requires a Demand")
+	}
+	opt := pl.opt.Defaults
+	if req.Options != nil {
+		opt = *req.Options
+	}
+	if req.Progress != nil {
+		opt.Progress = req.Progress
+	}
+	opt.estimates = pl.est
+
+	solver := req.Solver
+	if solver == SolverAuto {
+		solver = pl.choose(req.Demand, opt)
+	}
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
+	opt.TimeLimit = 0 // already layered onto ctx; avoid re-derivation below
+
+	pl.mu.Lock()
+	pl.stats.Requests++
+	pl.mu.Unlock()
+
+	switch solver {
+	case SolverLP:
+		return pl.planLP(ctx, req.Demand, opt)
+	case SolverMILP:
+		return pl.planMILP(ctx, req.Demand, opt)
+	case SolverAStar:
+		res, err := SolveAStarContext(ctx, pl.t, req.Demand, opt)
+		if res == nil {
+			return nil, err
+		}
+		return &Plan{Result: res, Solver: SolverAStar}, err
+	default:
+		return nil, fmt.Errorf("core: policy chose unknown solver %v", solver)
+	}
+}
+
+// choose resolves the session policy for one request.
+func (pl *Planner) choose(d *collective.Demand, opt Options) Solver {
+	tau := opt.Tau
+	if tau == 0 {
+		tau = pl.est.deriveTau(pl.t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+	}
+	in := PolicyInput{
+		Topology:  pl.t,
+		Demand:    d,
+		Options:   opt,
+		NumGPUs:   pl.numGPU,
+		Multicast: d.HasMulticast(),
+		Tau:       tau,
+		EstimateEpochs: func() int {
+			if opt.Epochs > 0 {
+				return opt.Epochs
+			}
+			return pl.est.estimateEpochs(pl.t, d, tau)
+		},
+	}
+	p := pl.opt.Policy
+	if p == nil {
+		p = DefaultPolicy{}
+	}
+	s := p.Choose(in)
+	if s == SolverAuto {
+		s = DefaultPolicy{}.Choose(in)
+	}
+	return s
+}
+
+// planLP serves an LP-form request through the session caches: an
+// identical model replays its schedule, anything else warm-starts from
+// the fingerprint store or the previous LP's basis by name.
+func (pl *Planner) planLP(ctx context.Context, d *collective.Demand, opt Options) (*Plan, error) {
+	pl.mu.Lock()
+	last := pl.lastLP
+	pl.mu.Unlock()
+	hint := sessionHint(last.prob, last.basis, pl.warmBases)
+
+	res, m, b, err := pl.lpCache.solvePoint(ctx, pl.t, d, opt, hint)
+
+	pl.mu.Lock()
+	if err == nil && m != nil {
+		pl.lastLP = sessionBasis{prob: m.p, basis: b}
+	}
+	if res != nil {
+		if res.Reused {
+			pl.stats.ScheduleReplays++
+		}
+		if res.WarmStarted {
+			pl.stats.WarmStartHits++
+		}
+	}
+	pl.mu.Unlock()
+	if err == nil && m != nil {
+		pl.warmBases.record(m.p, b)
+	}
+	if res == nil {
+		return nil, err
+	}
+	// A cancelled makespan refinement returns the last complete schedule
+	// alongside the cancellation error; pass both through.
+	return &Plan{Result: res, Solver: SolverLP, CacheHit: res.Reused, WarmStart: res.WarmStarted}, err
+}
+
+// planMILP serves a MILP-form request, warm-starting the root relaxation
+// from the fingerprint store or the previous MILP's root basis by name.
+func (pl *Planner) planMILP(ctx context.Context, d *collective.Demand, opt Options) (*Plan, error) {
+	pl.mu.Lock()
+	last := pl.lastMILP
+	pl.mu.Unlock()
+	hint := sessionHint(last.prob, last.basis, pl.warmBases)
+
+	res, m, b, err := solveMILP(ctx, pl.t, d, opt, hint)
+
+	pl.mu.Lock()
+	if m != nil && b != nil {
+		pl.lastMILP = sessionBasis{prob: m.p, basis: b}
+	}
+	if res != nil && res.WarmStarted {
+		pl.stats.WarmStartHits++
+	}
+	pl.mu.Unlock()
+	if m != nil && b != nil {
+		pl.warmBases.record(m.p, b)
+	}
+	if res == nil {
+		return nil, err
+	}
+	return &Plan{Result: res, Solver: SolverMILP, WarmStart: res.WarmStarted}, err
+}
+
+// estimateCache memoizes the per-topology derived quantities of a
+// session: tau derivations and epoch estimates (the latter run
+// Floyd–Warshall plus per-node load scans). Keys do not include the
+// topology — the session pins one.
+type estimateCache struct {
+	mu        sync.Mutex
+	tau       map[tauKey]float64
+	epochs    map[epochKey]int
+	tauHits   int
+	epochHits int
+}
+
+type tauKey struct {
+	chunkBytes float64
+	mode       EpochMode
+	multiplier float64
+}
+
+type epochKey struct {
+	demand uint64 // collective.Demand.Fingerprint
+	tau    float64
+}
+
+func newEstimateCache() *estimateCache {
+	return &estimateCache{
+		tau:    make(map[tauKey]float64),
+		epochs: make(map[epochKey]int),
+	}
+}
+
+func (c *estimateCache) deriveTau(t *topo.Topology, chunkBytes float64, mode EpochMode, multiplier float64) float64 {
+	k := tauKey{chunkBytes, mode, multiplier}
+	c.mu.Lock()
+	if v, ok := c.tau[k]; ok {
+		c.tauHits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := DeriveTau(t, chunkBytes, mode, multiplier)
+	c.mu.Lock()
+	c.tau[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *estimateCache) estimateEpochs(t *topo.Topology, d *collective.Demand, tau float64) int {
+	k := epochKey{d.Fingerprint(), tau}
+	c.mu.Lock()
+	if v, ok := c.epochs[k]; ok {
+		c.epochHits++
+		c.mu.Unlock()
+		return v
+	}
+	c.mu.Unlock()
+	v := EstimateEpochs(t, d, tau)
+	c.mu.Lock()
+	c.epochs[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *estimateCache) hitCounts() (tau, epochs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tauHits, c.epochHits
+}

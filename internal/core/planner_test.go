@@ -1,0 +1,226 @@
+package core
+
+// Planner session tests: cross-request reuse (schedule replay, warm
+// bases, epoch-estimate caching), policy routing, per-request overrides,
+// and context handling through the session entry point.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+func TestPlannerReplaysIdenticalLPRequest(t *testing.T) {
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+
+	first, err := pl.Plan(context.Background(), Request{Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Solver != SolverLP {
+		t.Fatalf("solver = %v, want lp", first.Solver)
+	}
+	if first.CacheHit {
+		t.Fatal("first request claims a cache hit")
+	}
+	second, err := pl.Plan(context.Background(), Request{Demand: d.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical second request was not replayed")
+	}
+	if second.Objective != first.Objective {
+		t.Fatalf("replayed objective %g != solved %g", second.Objective, first.Objective)
+	}
+	if err := second.Schedule.Validate(); err != nil {
+		t.Fatalf("replayed schedule invalid: %v", err)
+	}
+	st := pl.Stats()
+	if st.Requests != 2 || st.ScheduleReplays != 1 {
+		t.Fatalf("stats = %+v, want 2 requests / 1 replay", st)
+	}
+	if st.EpochCacheHits == 0 {
+		t.Fatalf("stats = %+v, want epoch-estimate cache hits on the repeat", st)
+	}
+}
+
+func TestPlannerWarmStartsRelatedLPRequests(t *testing.T) {
+	// Different chunk counts produce different models (no replay), but
+	// the variable names overlap, so the second request must resume from
+	// the first's basis.
+	tt := topo.DGX1()
+	pl := NewPlanner(tt, PlannerOptions{})
+	for i, chunks := range []int{1, 2} {
+		d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), chunks, 25e3)
+		plan, err := pl.Plan(context.Background(), Request{Demand: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.CacheHit {
+			t.Fatalf("request %d replayed despite a different model", i)
+		}
+		if i == 0 && plan.WarmStart {
+			t.Fatal("first request claims a warm start")
+		}
+		if i == 1 && !plan.WarmStart {
+			t.Fatal("second request did not warm-start from the first")
+		}
+	}
+	if st := pl.Stats(); st.WarmStartHits != 1 {
+		t.Fatalf("stats = %+v, want 1 warm-start hit", st)
+	}
+}
+
+func TestPlannerWarmStartsRepeatedMILPRequest(t *testing.T) {
+	tt := topo.DGX1()
+	d := collective.AllGather(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+
+	first, err := pl.Plan(context.Background(), Request{Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Solver != SolverMILP {
+		t.Fatalf("solver = %v, want milp", first.Solver)
+	}
+	second, err := pl.Plan(context.Background(), Request{Demand: d.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.WarmStart {
+		t.Fatal("repeated MILP request did not warm-start its root")
+	}
+	if second.Objective != first.Objective {
+		t.Fatalf("objectives diverge: %g vs %g", second.Objective, first.Objective)
+	}
+	if st := pl.Stats(); st.ExactBasisHits == 0 {
+		t.Fatalf("stats = %+v, want an exact-fingerprint basis hit", st)
+	}
+}
+
+func TestPlannerMatchesFreeFunctions(t *testing.T) {
+	// The session must change the economics, never the answers.
+	tt := topo.DGX1()
+	pl := NewPlanner(tt, PlannerOptions{})
+	atoa := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	ag := collective.AllGather(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+
+	lpRes, err := SolveLP(tt, atoa, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpPlan, err := pl.Plan(context.Background(), Request{Demand: atoa, Solver: SolverLP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpPlan.Objective != lpRes.Objective {
+		t.Fatalf("LP objective: planner %g, free %g", lpPlan.Objective, lpRes.Objective)
+	}
+
+	milpRes, err := SolveMILP(tt, ag, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	milpPlan, err := pl.Plan(context.Background(), Request{Demand: ag, Solver: SolverMILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if milpPlan.Objective != milpRes.Objective {
+		t.Fatalf("MILP objective: planner %g, free %g", milpPlan.Objective, milpRes.Objective)
+	}
+}
+
+func TestPlannerSolverOverrideAndPolicy(t *testing.T) {
+	tt := topo.DGX1()
+	ag := collective.AllGather(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+
+	// Session policy pins A*; the request override forces the MILP.
+	pl := NewPlanner(tt, PlannerOptions{Policy: ForceAStar})
+	plan, err := pl.Plan(context.Background(), Request{Demand: ag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Solver != SolverAStar {
+		t.Fatalf("policy routing: got %v, want astar", plan.Solver)
+	}
+	plan, err = pl.Plan(context.Background(), Request{Demand: ag, Solver: SolverMILP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Solver != SolverMILP {
+		t.Fatalf("request override: got %v, want milp", plan.Solver)
+	}
+}
+
+func TestPlannerRequestOptionsOverride(t *testing.T) {
+	tt := topo.DGX1()
+	d := collective.AllGather(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{Defaults: Options{GapLimit: 0.3}})
+	opt := Options{} // exact solve for this one request
+	plan, err := pl.Plan(context.Background(), Request{Demand: d, Options: &opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Optimal {
+		t.Fatalf("per-request exact solve returned gap %g", plan.Gap)
+	}
+}
+
+func TestPlannerCancelledContext(t *testing.T) {
+	tt, d := hardLPInstance()
+	pl := NewPlanner(tt, PlannerOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pl.Plan(ctx, Request{Demand: d})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrap of context.Canceled", err)
+	}
+}
+
+func TestPlannerReplayRespectsMinimizeMakespan(t *testing.T) {
+	// The replay cache keys on the built model, which MinimizeMakespan
+	// does not alter — the flag drives post-solve refinement. A request
+	// asking for the refinement must not be served an earlier unrefined
+	// schedule (and vice versa).
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+
+	plain, err := pl.Plan(context.Background(), Request{Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := Options{MinimizeMakespan: true}
+	refined, err := pl.Plan(context.Background(), Request{Demand: d.Clone(), Options: &mk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.CacheHit {
+		t.Fatal("MinimizeMakespan request replayed a non-makespan schedule")
+	}
+	if refined.Schedule.FinishEpoch() > plain.Schedule.FinishEpoch() {
+		t.Fatalf("refined finish %d worse than plain %d",
+			refined.Schedule.FinishEpoch(), plain.Schedule.FinishEpoch())
+	}
+	// A repeat of the refined request may replay — from the refined entry.
+	again, err := pl.Plan(context.Background(), Request{Demand: d.Clone(), Options: &mk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Schedule.FinishEpoch() != refined.Schedule.FinishEpoch() {
+		t.Fatalf("repeat refined finish %d != %d", again.Schedule.FinishEpoch(), refined.Schedule.FinishEpoch())
+	}
+}
+
+func TestPlannerRequiresDemand(t *testing.T) {
+	pl := NewPlanner(topo.DGX1(), PlannerOptions{})
+	if _, err := pl.Plan(context.Background(), Request{}); err == nil {
+		t.Fatal("nil demand accepted")
+	}
+}

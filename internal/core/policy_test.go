@@ -1,0 +1,172 @@
+package core
+
+// Table-driven tests for the solver-selection policies — the Solve
+// auto-pick heuristic, formerly inlined in teccl.go, now DefaultPolicy.
+
+import (
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// policyInputFor builds a PolicyInput the way a Planner session does.
+func policyInputFor(t *topo.Topology, d *collective.Demand, opt Options) PolicyInput {
+	tau := opt.Tau
+	if tau == 0 {
+		tau = DeriveTau(t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+	}
+	return PolicyInput{
+		Topology:  t,
+		Demand:    d,
+		Options:   opt,
+		NumGPUs:   len(t.GPUs()),
+		Multicast: d.HasMulticast(),
+		Tau:       tau,
+		EstimateEpochs: func() int {
+			if opt.Epochs > 0 {
+				return opt.Epochs
+			}
+			return EstimateEpochs(t, d, tau)
+		},
+	}
+}
+
+// demandWithCount builds a multicast demand with exactly n demanded
+// triples over the topology's GPUs (chunk 0 of GPU 0, fanned out, then
+// chunk 1, ...). n must fit within gpus*(gpus-1) per chunk slot.
+func demandWithCount(t *topo.Topology, n int) *collective.Demand {
+	gpus := testGPUs(t)
+	chunks := (n-1)/(len(gpus)*(len(gpus)-1)) + 1
+	d := collective.New(t.NumNodes(), chunks, 25e3)
+	left := n
+	for c := 0; c < chunks && left > 0; c++ {
+		for _, s := range gpus {
+			for _, dst := range gpus {
+				if s == dst || left == 0 {
+					continue
+				}
+				d.Set(s, c, dst)
+				left--
+			}
+		}
+	}
+	if d.Count() != n {
+		panic("demandWithCount: construction bug")
+	}
+	return d
+}
+
+func TestDefaultPolicyBoundaries(t *testing.T) {
+	dgx1 := topo.DGX1()                   // 8 GPUs
+	ndv2x2 := topo.NDv2(2)                // 16 GPUs
+	mini := topo.NDv2Mini(1)              // 4 GPUs
+	ring12 := topo.Ring(12, 25e9, 0.7e-6) // 12 GPUs > MILP threshold
+
+	cases := []struct {
+		name string
+		topo *topo.Topology
+		dem  *collective.Demand
+		want Solver
+	}{
+		// No multicast -> LP, regardless of size.
+		{"alltoall-small-lp", dgx1,
+			collective.AllToAll(dgx1.NumNodes(), testGPUs(dgx1), 1, 25e3), SolverLP},
+		{"alltoall-large-lp", ndv2x2,
+			collective.AllToAll(ndv2x2.NumNodes(), testGPUs(ndv2x2), 1, 25e3), SolverLP},
+		// Multicast below both thresholds -> MILP.
+		{"allgather-dgx1-milp", dgx1,
+			collective.AllGather(dgx1.NumNodes(), testGPUs(dgx1), 1, 25e3), SolverMILP},
+		// Demand count at the boundary: 128 demands on a small topology
+		// stays MILP, 129 tips to A*.
+		{"count-128-milp", mini, demandWithCount(mini, 128), SolverMILP},
+		{"count-129-astar", mini, demandWithCount(mini, 129), SolverAStar},
+		// GPU count above 10 -> A* even for small demands.
+		{"gpus-12-astar", ring12,
+			collective.Broadcast(ring12.NumNodes(), testGPUs(ring12), 0, 1, 25e3), SolverAStar},
+		// 16 GPUs, multicast -> A*.
+		{"allgather-ndv2x2-astar", ndv2x2,
+			collective.AllGather(ndv2x2.NumNodes(), testGPUs(ndv2x2), 1, 25e3), SolverAStar},
+	}
+	for _, tc := range cases {
+		got := DefaultPolicy{}.Choose(policyInputFor(tc.topo, tc.dem, Options{}))
+		if got != tc.want {
+			t.Errorf("%s: DefaultPolicy chose %v, want %v (gpus=%d count=%d multicast=%v)",
+				tc.name, got, tc.want, len(tc.topo.GPUs()), tc.dem.Count(), tc.dem.HasMulticast())
+		}
+	}
+}
+
+func TestDefaultPolicyCustomThresholds(t *testing.T) {
+	ndv2x2 := topo.NDv2(2) // 16 GPUs
+	d := collective.AllGather(ndv2x2.NumNodes(), testGPUs(ndv2x2), 1, 25e3)
+	in := policyInputFor(ndv2x2, d, Options{})
+	if got := (DefaultPolicy{}).Choose(in); got != SolverAStar {
+		t.Fatalf("default thresholds: got %v, want astar", got)
+	}
+	wide := DefaultPolicy{MaxMILPGPUs: 16, MaxMILPDemands: 1 << 20}
+	if got := wide.Choose(in); got != SolverMILP {
+		t.Fatalf("widened thresholds: got %v, want milp", got)
+	}
+}
+
+func TestDefaultPolicyMatchesHistoricalHeuristic(t *testing.T) {
+	// The exact predicate Solve inlined for three PRs:
+	// lp when !HasMulticast, milp when gpus <= 10 && count <= 128, else astar.
+	topos := []*topo.Topology{topo.DGX1(), topo.NDv2Mini(2), topo.NDv2(2), topo.Internal2(3)}
+	for _, tt := range topos {
+		gpus := testGPUs(tt)
+		for _, d := range []*collective.Demand{
+			collective.AllToAll(tt.NumNodes(), gpus, 1, 25e3),
+			collective.AllGather(tt.NumNodes(), gpus, 1, 25e3),
+			collective.Broadcast(tt.NumNodes(), gpus, gpus[0], 2, 25e3),
+		} {
+			var want Solver
+			switch {
+			case !d.HasMulticast():
+				want = SolverLP
+			case len(gpus) <= 10 && d.Count() <= 128:
+				want = SolverMILP
+			default:
+				want = SolverAStar
+			}
+			if got := (DefaultPolicy{}).Choose(policyInputFor(tt, d, Options{})); got != want {
+				t.Errorf("%s: got %v, want %v", tt.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestForcePolicies(t *testing.T) {
+	dgx1 := topo.DGX1()
+	d := collective.AllGather(dgx1.NumNodes(), testGPUs(dgx1), 1, 25e3)
+	in := policyInputFor(dgx1, d, Options{})
+	if got := ForceLP.Choose(in); got != SolverLP {
+		t.Errorf("ForceLP chose %v", got)
+	}
+	if got := ForceMILP.Choose(in); got != SolverMILP {
+		t.Errorf("ForceMILP chose %v", got)
+	}
+	if got := ForceAStar.Choose(in); got != SolverAStar {
+		t.Errorf("ForceAStar chose %v", got)
+	}
+}
+
+func TestCostModelPolicy(t *testing.T) {
+	dgx1 := topo.DGX1()
+	ag := collective.AllGather(dgx1.NumNodes(), testGPUs(dgx1), 1, 25e3)
+	atoa := collective.AllToAll(dgx1.NumNodes(), testGPUs(dgx1), 1, 25e3)
+
+	// No multicast -> LP.
+	if got := (CostModelPolicy{}).Choose(policyInputFor(dgx1, atoa, Options{})); got != SolverLP {
+		t.Errorf("cost model on alltoall: got %v, want lp", got)
+	}
+	// Small model -> MILP under the default budget.
+	if got := (CostModelPolicy{}).Choose(policyInputFor(dgx1, ag, Options{})); got != SolverMILP {
+		t.Errorf("cost model on dgx1 allgather: got %v, want milp", got)
+	}
+	// A one-cell budget forces everything multicast to A*.
+	if got := (CostModelPolicy{MaxMILPCells: 1}).Choose(policyInputFor(dgx1, ag, Options{})); got != SolverAStar {
+		t.Errorf("tiny budget: got %v, want astar", got)
+	}
+}

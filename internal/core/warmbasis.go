@@ -1,16 +1,31 @@
 package core
 
-import "teccl/internal/lp"
+import (
+	"sync"
+
+	"teccl/internal/lp"
+)
 
 // basisHint carries a basis from one solved formulation to a related one
-// whose dimensions differ — a shrunken MinimizeMakespan horizon, or the
-// next A* round. Variables are matched by their diagnostic names (stable
-// across horizons: "f[s3,l7,k2]" names the same flow regardless of K), so
-// the surviving structure of the old optimal basis seeds the new solve;
-// rows are left to the solver's basis-repair pass, which completes any
-// short basis with the slacks of uncovered rows.
+// whose dimensions differ — a shrunken MinimizeMakespan horizon, the
+// next A* round, or the next request of a Planner session. Variables are
+// matched by their diagnostic names (stable across horizons:
+// "f[s3,l7,k2]" names the same flow regardless of K), so the surviving
+// structure of the old optimal basis seeds the new solve; rows are left
+// to the solver's basis-repair pass, which completes any short basis
+// with the slacks of uncovered rows. A session hint may additionally
+// carry a basisStore: when the new problem fingerprints to a basis
+// solved earlier in the session, that full basis (rows included) is used
+// verbatim instead of the name projection.
 type basisHint struct {
 	vars map[string]lp.BasisStatus
+	// srcProb/srcBasis lazily back vars: session hints defer the
+	// O(numVars) name-map build to first use, after the fingerprint
+	// store has had its (cheaper, often successful) say — and outside
+	// the Planner mutex the hint was captured under.
+	srcProb  *lp.Problem
+	srcBasis *lp.Basis
+	store    *basisStore
 }
 
 // hintFromSolve captures a solved problem's basis for transfer. Returns
@@ -19,21 +34,51 @@ func hintFromSolve(p *lp.Problem, b *lp.Basis) *basisHint {
 	if p == nil || b == nil || len(b.Vars) != p.NumVars() {
 		return nil
 	}
-	h := &basisHint{vars: make(map[string]lp.BasisStatus, len(b.Vars))}
-	for j, st := range b.Vars {
-		if name := p.Name(lp.VarID(j)); name != "" {
-			h.vars[name] = st
-		}
-	}
-	return h
+	return &basisHint{vars: nameMap(p, b)}
 }
 
-// basisFor projects the hint onto a new problem: named variables inherit
-// their old status, everything else rests nonbasic, and all rows start
-// nonbasic so the solver's repair pass installs slacks exactly where the
-// transferred columns leave rows uncovered.
+// nameMap indexes a basis by variable name.
+func nameMap(p *lp.Problem, b *lp.Basis) map[string]lp.BasisStatus {
+	m := make(map[string]lp.BasisStatus, len(b.Vars))
+	for j, st := range b.Vars {
+		if name := p.Name(lp.VarID(j)); name != "" {
+			m[name] = st
+		}
+	}
+	return m
+}
+
+// sessionHint builds a Planner request hint: an exact-fingerprint store
+// plus a lazily materialized name map over the session's previous solve
+// of the same form. Returns nil when there is nothing to offer.
+func sessionHint(prob *lp.Problem, basis *lp.Basis, store *basisStore) *basisHint {
+	if prob == nil || basis == nil || len(basis.Vars) != prob.NumVars() {
+		prob, basis = nil, nil
+	}
+	if prob == nil && store == nil {
+		return nil
+	}
+	return &basisHint{srcProb: prob, srcBasis: basis, store: store}
+}
+
+// basisFor projects the hint onto a new problem: an exact-fingerprint
+// store hit returns the stored basis verbatim; otherwise named variables
+// inherit their old status, everything else rests nonbasic, and all rows
+// start nonbasic so the solver's repair pass installs slacks exactly
+// where the transferred columns leave rows uncovered.
 func (h *basisHint) basisFor(p *lp.Problem) *lp.Basis {
-	if h == nil || len(h.vars) == 0 {
+	if h == nil {
+		return nil
+	}
+	if h.store != nil {
+		if b := h.store.lookup(p); b != nil {
+			return b
+		}
+	}
+	if h.vars == nil && h.srcProb != nil {
+		h.vars = nameMap(h.srcProb, h.srcBasis)
+	}
+	if len(h.vars) == 0 {
 		return nil
 	}
 	b := &lp.Basis{
@@ -53,4 +98,62 @@ func (h *basisHint) basisFor(p *lp.Problem) *lp.Basis {
 		return nil
 	}
 	return b
+}
+
+// basisStore is a session's warm-basis memory: final bases of solved
+// problems keyed by lp.Problem.Fingerprint. A lookup that matches both
+// fingerprint and dimensions returns a clone of the stored basis — even
+// a hash collision is safe, because a warm start is only ever a hint
+// (the solver repairs stale or singular bases). The store is bounded:
+// once full, recording evicts an arbitrary entry (map iteration order),
+// which is adequate for the sweep- and serving-shaped request streams
+// sessions see.
+type basisStore struct {
+	mu    sync.Mutex
+	bases map[uint64]*lp.Basis
+	hits  int
+	limit int
+}
+
+const basisStoreLimit = 256
+
+func newBasisStore() *basisStore {
+	return &basisStore{bases: make(map[uint64]*lp.Basis), limit: basisStoreLimit}
+}
+
+// lookup returns a clone of the stored basis for p, or nil.
+func (s *basisStore) lookup(p *lp.Problem) *lp.Basis {
+	fp := p.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.bases[fp]
+	if b == nil || len(b.Vars) != p.NumVars() || len(b.Rows) != p.NumRows() {
+		return nil
+	}
+	s.hits++
+	return b.Clone()
+}
+
+// record stores the final basis of a solved problem.
+func (s *basisStore) record(p *lp.Problem, b *lp.Basis) {
+	if p == nil || b == nil || len(b.Vars) != p.NumVars() {
+		return
+	}
+	fp := p.Fingerprint()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bases[fp]; !ok && len(s.bases) >= s.limit {
+		for k := range s.bases {
+			delete(s.bases, k)
+			break
+		}
+	}
+	s.bases[fp] = b
+}
+
+// hitCount reports how many lookups were served.
+func (s *basisStore) hitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -97,6 +98,50 @@ func SetWorkers(n int) { workersKnob.Store(int32(n)) }
 
 // Workers reports the configured harness worker count.
 func Workers() int { return int(workersKnob.Load()) }
+
+// harnessCtx is the context every solve in the harness runs under
+// (cmd/benchtables installs a signal-aware one, so Ctrl-C cancels a
+// regeneration mid-simplex instead of killing the process). The
+// interface is boxed in ctxHolder so atomic.Value sees one concrete
+// type regardless of which context implementation callers pass.
+var harnessCtx atomic.Value // of ctxHolder
+
+type ctxHolder struct{ ctx context.Context }
+
+// SetContext installs the harness-wide solve context; nil restores
+// context.Background().
+func SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	harnessCtx.Store(ctxHolder{ctx})
+}
+
+// Context reports the harness-wide solve context.
+func Context() context.Context {
+	if v := harnessCtx.Load(); v != nil {
+		return v.(ctxHolder).ctx
+	}
+	return context.Background()
+}
+
+// newSession opens a Planner session for one experiment's topology, so
+// the experiment's sweep points share cached epoch estimates, tau
+// derivations, and warm bases across solves.
+func newSession(t *topo.Topology) *core.Planner {
+	return core.NewPlanner(t, core.PlannerOptions{})
+}
+
+// planVia solves one demand through a session under the harness context
+// with a forced formulation, returning the plain Result the run/account
+// bookkeeping consumes.
+func planVia(pl *core.Planner, d *collective.Demand, opt core.Options, s core.Solver) (*core.Result, error) {
+	plan, err := pl.Plan(Context(), core.Request{Demand: d, Options: &opt, Solver: s})
+	if plan == nil {
+		return nil, err
+	}
+	return plan.Result, err
+}
 
 // run solves and simulates, returning (transferTime, solveTime). A failed
 // solve returns +Inf transfer time.

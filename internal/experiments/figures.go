@@ -19,6 +19,14 @@ const esGap = 0.3
 // paper's equivalent is its 2-hour Gurobi timeout.
 const solveLimit = 90 * time.Second
 
+// astarLimit is the budget for A* solves. Since the context plumbing,
+// TimeLimit covers the WHOLE round sequence (it used to be one budget
+// per round's MILP), so A* sites get round-count headroom — otherwise a
+// slow host could burn the single budget mid-sequence and lose every
+// completed round to an error where the old semantics still produced a
+// schedule.
+const astarLimit = 6 * solveLimit
+
 // Fig2 reproduces Figure 2: the relative error in the algorithmic-
 // bandwidth estimate of a schedule that does not model α, versus one that
 // does, as a function of transfer size. Small transfers are α-dominated,
@@ -36,12 +44,13 @@ func Fig2(short bool) *Table {
 		Header: []string{"transfer", "est_bw(GB/s)", "real_bw(GB/s)", "rel_error"},
 		Notes:  "Internal2(2) stand-in; error shrinks as transfers grow, as in Figure 2",
 	}
+	session := newSession(t0)
 	for _, size := range sizes {
 		gpus := gpuInts(t)
 		chunk := size / float64(len(gpus))
 		d := collective.AllGather(t.NumNodes(), gpus, 1, chunk)
 		// Solve without modeling α (on the α-zero topology)...
-		res, err := core.SolveMILP(t0, d, core.Options{GapLimit: esGap, TimeLimit: solveLimit})
+		res, err := planVia(session, d, core.Options{GapLimit: esGap, TimeLimit: solveLimit}, core.SolverMILP)
 		if err != nil {
 			tab.Rows = append(tab.Rows, []string{sizeLabel(size), "X", "X", "X"})
 			continue
@@ -81,6 +90,7 @@ func Table3(short bool) *Table {
 		Notes:  "paper: SCCL 3.4/5.1/8 us vs TE-CCL 4/5/6.1 us for AG 1-3 chunks",
 	}
 	gpus := gpuInts(t)
+	session := newSession(t)
 	for ch := 1; ch <= maxChunks; ch++ {
 		d := collective.AllGather(t.NumNodes(), gpus, ch, chunk)
 		sccl := scclTime(t, d)
@@ -93,7 +103,7 @@ func Table3(short bool) *Table {
 			opt.TimeLimit = 45 * time.Second
 		}
 		tec, _ := run(func() (*core.Result, error) {
-			return core.SolveMILP(t, d, opt)
+			return planVia(session, d, opt, core.SolverMILP)
 		})
 		tab.Rows = append(tab.Rows, []string{"ALLGATHER", fmt.Sprint(ch), us(sccl), us(tec)})
 	}
@@ -101,7 +111,7 @@ func Table3(short bool) *Table {
 	d := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
 	sccl := scclTime(t, d)
 	tec, _ := run(func() (*core.Result, error) {
-		return core.SolveLP(t, d, core.Options{})
+		return planVia(session, d, core.Options{}, core.SolverLP)
 	})
 	tab.Rows = append(tab.Rows, []string{"ALLTOALL", "1", us(sccl), us(tec)})
 	return tab
@@ -120,23 +130,24 @@ func scclTime(t *topo.Topology, d *collective.Demand) float64 {
 // the substrate, otherwise the A* rounds of §4.2. The epoch mode follows
 // the α regime: fine fastest-link epochs normally, slowest-link epochs
 // when α dwarfs the fine epoch (where quantization is harmless and the
-// fine-grained model explodes).
-func agSolve(t *topo.Topology, d *collective.Demand) (float64, time.Duration) {
+// fine-grained model explodes). Solves run through the experiment's
+// session so repeated cells share epoch estimates and warm bases.
+func agSolve(session *core.Planner, t *topo.Topology, d *collective.Demand) (float64, time.Duration) {
 	mode := core.FastestLink
 	if tauF := core.DeriveTau(t, d.ChunkBytes, core.FastestLink, 0); t.MaxAlpha() > 4*tauF {
 		mode = core.SlowestLink
 	}
 	if len(t.GPUs()) <= 6 {
 		return run(func() (*core.Result, error) {
-			return core.SolveMILP(t, d, core.Options{
+			return planVia(session, d, core.Options{
 				EpochMode: mode, GapLimit: esGap, TimeLimit: solveLimit,
-				MinimizeMakespan: true, Workers: Workers()})
+				MinimizeMakespan: true, Workers: Workers()}, core.SolverMILP)
 		})
 	}
 	return run(func() (*core.Result, error) {
-		return core.SolveAStar(t, d, core.Options{
-			EpochMode: mode, GapLimit: 0.15, TimeLimit: solveLimit,
-			Workers: Workers()})
+		return planVia(session, d, core.Options{
+			EpochMode: mode, GapLimit: 0.15, TimeLimit: astarLimit,
+			Workers: Workers()}, core.SolverAStar)
 	})
 }
 
@@ -168,6 +179,7 @@ func Fig4and5(short bool) *Table {
 	}
 	for _, in := range insts {
 		gpus := gpuInts(in.topo)
+		session := newSession(in.topo)
 		// The ALLTOALL column is one size sweep per topology: solve it as
 		// a batch (grouped by epoch mode, which follows the alpha regime
 		// per size) so structurally identical points replay and the rest
@@ -196,7 +208,7 @@ func Fig4and5(short bool) *Table {
 			if len(ds) == 0 {
 				continue
 			}
-			rs, errs := core.BatchSolveLP(in.topo, ds, core.Options{
+			rs, errs := core.BatchSolveLPContext(Context(), in.topo, ds, core.Options{
 				EpochMode: mode, TimeLimit: solveLimit, MinimizeMakespan: true,
 				Workers: Workers()}, core.BatchOptions{Workers: Workers()})
 			for k, i := range idxs {
@@ -206,7 +218,7 @@ func Fig4and5(short bool) *Table {
 		for i, size := range sizes {
 			// ALLGATHER via the strongest affordable copy-capable solver.
 			ag := collective.AllGather(in.topo.NumNodes(), gpus, 1, size/float64(len(gpus)))
-			tecCT, tecST := agSolve(in.topo, ag)
+			tecCT, tecST := agSolve(session, in.topo, ag)
 			tacCT, tacST := tacclRun(in.topo, ag, 1, 60)
 			tab.Rows = append(tab.Rows, fig4Row(in.name, "AG", size, ag, tecCT, tacCT, tecST, tacST))
 
@@ -251,7 +263,7 @@ func Fig6(short bool) *Table {
 		chunk := size / float64(len(gpus))
 		d := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
 		tecCT, tecST := run(func() (*core.Result, error) {
-			return core.SolveLP(t, d, core.Options{
+			return core.SolveLPContext(Context(), t, d, core.Options{
 				EpochMode: core.FastestLink, MinimizeMakespan: true})
 		})
 		tacCT, tacST := tacclRun(t, d, 1, 60)
@@ -307,10 +319,12 @@ func Table4(short bool) *Table {
 		var st time.Duration
 		if in.coll == "AtoA" {
 			d := collective.AllToAll(in.t.NumNodes(), gpus, 1, chunk)
-			ct, st = run(func() (*core.Result, error) { return core.SolveLP(in.t, d, opt) })
+			ct, st = run(func() (*core.Result, error) { return core.SolveLPContext(Context(), in.t, d, opt) })
 		} else {
 			d := collective.AllGather(in.t.NumNodes(), gpus, 1, chunk)
-			ct, st = run(func() (*core.Result, error) { return core.SolveAStar(in.t, d, opt) })
+			aopt := opt
+			aopt.TimeLimit = astarLimit
+			ct, st = run(func() (*core.Result, error) { return core.SolveAStarContext(Context(), in.t, d, aopt) })
 		}
 		tab.Rows = append(tab.Rows, []string{
 			in.t.Name, in.coll, fmt.Sprint(len(gpus)), fmt.Sprintf("%.0f", math.Max(in.em, 1)),
@@ -348,18 +362,21 @@ func Fig7(short bool) *Table {
 	}
 	for _, in := range insts {
 		gpus := gpuInts(in.topo)
+		session := newSession(in.topo)
 		for _, size := range sizes {
 			chunk := size / float64(len(gpus))
 			d := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
 			opt := core.Options{EpochMode: core.SlowestLink, GapLimit: esGap, TimeLimit: solveLimit}
-			copySolve := func() (*core.Result, error) { return core.SolveMILP(in.topo, d, opt) }
+			copySolver := core.SolverMILP
+			copyOpt := opt
 			if len(gpus) > 6 && len(in.topo.Switches()) > 0 {
 				// Switched multi-chassis: the MILP does not fit; A* keeps
 				// copy support (DESIGN.md substitution #3).
-				copySolve = func() (*core.Result, error) { return core.SolveAStar(in.topo, d, opt) }
+				copySolver = core.SolverAStar
+				copyOpt.TimeLimit = astarLimit
 			}
-			withCopy, _ := run(copySolve)
-			noCopy, _ := run(func() (*core.Result, error) { return core.SolveLP(in.topo, d, opt) })
+			withCopy, _ := run(func() (*core.Result, error) { return planVia(session, d, copyOpt, copySolver) })
+			noCopy, _ := run(func() (*core.Result, error) { return planVia(session, d, opt, core.SolverLP) })
 			saving := math.Inf(1)
 			if !math.IsInf(noCopy, 1) && !math.IsInf(withCopy, 1) {
 				saving = 100 * (noCopy - withCopy) / noCopy
@@ -397,24 +414,25 @@ func Fig8(short bool) *Table {
 	const size = 1e6
 	for _, in := range insts {
 		gpus := gpuInts(in.topo)
+		session := newSession(in.topo)
 		chunk := size / float64(len(gpus))
 		ag := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
 		smallCT, smallST := run(func() (*core.Result, error) {
-			return core.SolveAStar(in.topo, ag, core.Options{
-				EpochMode: core.FastestLink, GapLimit: 0.15, TimeLimit: solveLimit})
+			return planVia(session, ag, core.Options{
+				EpochMode: core.FastestLink, GapLimit: 0.15, TimeLimit: astarLimit}, core.SolverAStar)
 		})
 		largeCT, largeST := run(func() (*core.Result, error) {
-			return core.SolveAStar(in.topo, ag, core.Options{
-				EpochMode: core.SlowestLink, GapLimit: 0.15, TimeLimit: solveLimit})
+			return planVia(session, ag, core.Options{
+				EpochMode: core.SlowestLink, GapLimit: 0.15, TimeLimit: astarLimit}, core.SolverAStar)
 		})
 		tab.Rows = append(tab.Rows, fig8Row(in.name, "AG", smallCT, largeCT, smallST, largeST))
 
 		atoa := collective.AllToAll(in.topo.NumNodes(), gpus, 1, chunk)
 		smallCT, smallST = run(func() (*core.Result, error) {
-			return core.SolveLP(in.topo, atoa, core.Options{EpochMode: core.FastestLink})
+			return planVia(session, atoa, core.Options{EpochMode: core.FastestLink}, core.SolverLP)
 		})
 		largeCT, largeST = run(func() (*core.Result, error) {
-			return core.SolveLP(in.topo, atoa, core.Options{EpochMode: core.SlowestLink})
+			return planVia(session, atoa, core.Options{EpochMode: core.SlowestLink}, core.SolverLP)
 		})
 		tab.Rows = append(tab.Rows, fig8Row(in.name, "AtoA", smallCT, largeCT, smallST, largeST))
 	}
@@ -454,13 +472,14 @@ func Fig9(short bool) *Table {
 	const size = 1e6
 	for _, in := range insts {
 		gpus := gpuInts(in.topo)
+		session := newSession(in.topo)
 		chunk := size / float64(len(gpus))
 		d := collective.AllGather(in.topo.NumNodes(), gpus, 1, chunk)
 		opt := core.Options{EpochMode: core.SlowestLink, GapLimit: esGap, TimeLimit: solveLimit}
-		bufCT, bufST := run(func() (*core.Result, error) { return core.SolveMILP(in.topo, d, opt) })
+		bufCT, bufST := run(func() (*core.Result, error) { return planVia(session, d, opt, core.SolverMILP) })
 		noOpt := opt
 		noOpt.NoBuffers = true
-		noCT, noST := run(func() (*core.Result, error) { return core.SolveMILP(in.topo, d, noOpt) })
+		noCT, noST := run(func() (*core.Result, error) { return planVia(session, d, noOpt, core.SolverMILP) })
 		diff := math.Inf(1)
 		if !math.IsInf(bufCT, 1) && !math.IsInf(noCT, 1) && noCT > 0 {
 			diff = 100 * (bufCT - noCT) / noCT
@@ -500,10 +519,13 @@ func AStarVsOpt(short bool) *Table {
 			t = topo.ZeroAlpha(topo.Internal2(2))
 		}
 		gpus := gpuInts(t)
+		session := newSession(t)
 		d := collective.AllGather(t.NumNodes(), gpus, in.chunks, 1e6)
 		opt := core.Options{EpochMode: core.SlowestLink, TimeLimit: solveLimit}
-		optCT, optST := run(func() (*core.Result, error) { return core.SolveMILP(t, d, opt) })
-		astCT, astST := run(func() (*core.Result, error) { return core.SolveAStar(t, d, opt) })
+		aopt := opt
+		aopt.TimeLimit = astarLimit
+		optCT, optST := run(func() (*core.Result, error) { return planVia(session, d, opt, core.SolverMILP) })
+		astCT, astST := run(func() (*core.Result, error) { return planVia(session, d, aopt, core.SolverAStar) })
 		gap := math.Inf(1)
 		if !math.IsInf(optCT, 1) && !math.IsInf(astCT, 1) && optCT > 0 {
 			gap = 100 * (astCT - optCT) / optCT

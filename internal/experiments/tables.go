@@ -47,6 +47,7 @@ func Table7(short bool) *Table {
 		Notes:  "CT_diff = 100*(SCCL_CT - TECCL_CT)/SCCL_CT under barrier execution for SCCL",
 	}
 	gpus := gpuInts(t)
+	session := newSession(t)
 	for _, in := range insts {
 		var d *collective.Demand
 		if in.coll == "ALLGATHER" {
@@ -70,11 +71,11 @@ func Table7(short bool) *Table {
 		}
 		if in.coll == "ALLGATHER" {
 			tecCT, tecST = run(func() (*core.Result, error) {
-				return core.SolveMILP(t, d, core.Options{GapLimit: gap, TimeLimit: solveLimit})
+				return planVia(session, d, core.Options{GapLimit: gap, TimeLimit: solveLimit}, core.SolverMILP)
 			})
 		} else {
 			tecCT, tecST = run(func() (*core.Result, error) {
-				return core.SolveLP(t, d, core.Options{})
+				return planVia(session, d, core.Options{}, core.SolverLP)
 			})
 		}
 		diff := math.Inf(1)
@@ -107,39 +108,40 @@ func Table8(short bool) *Table {
 		Notes: "variants: AtoA opt-ED (LP, fastest link), AtoA max-ED (LP, slowest link), AG A* (round-partitioned, early stop)",
 	}
 	gpus := gpuInts(t)
+	session := newSession(t)
 	for _, size := range sizes {
 		chunk := size / float64(len(gpus))
 
 		atoa := collective.AllToAll(t.NumNodes(), gpus, 1, chunk)
 		tacCT, _ := tacclRun(t, atoa, 1, 60)
 		// ALLTOALL at optimal (fastest-link) epoch duration.
-		addT8Row(tab, t, atoa, size, "AtoA opt-ED", core.Options{
+		addT8Row(tab, session, atoa, size, "AtoA opt-ED", core.Options{
 			EpochMode: core.FastestLink, MinimizeMakespan: true, TimeLimit: solveLimit}, tacCT, chunk, true)
 		// ALLTOALL at max (slowest-link) epoch duration.
-		addT8Row(tab, t, atoa, size, "AtoA max-ED", core.Options{
+		addT8Row(tab, session, atoa, size, "AtoA max-ED", core.Options{
 			EpochMode: core.SlowestLink, MinimizeMakespan: true, TimeLimit: solveLimit}, tacCT, chunk, true)
 
 		ag := collective.AllGather(t.NumNodes(), gpus, 1, chunk)
 		tacCT, _ = tacclRun(t, ag, 1, 60)
-		addT8Row(tab, t, ag, size, "AG A*", core.Options{
+		addT8Row(tab, session, ag, size, "AG A*", core.Options{
 			EpochMode: core.SlowestLink, GapLimit: 0.15, TimeLimit: solveLimit}, tacCT, chunk, false)
 	}
 	return tab
 }
 
-func addT8Row(tab *Table, t *topo.Topology, d *collective.Demand, size float64,
+func addT8Row(tab *Table, session *core.Planner, d *collective.Demand, size float64,
 	variant string, opt core.Options, tacCT, chunk float64, isLP bool) {
 	var ct float64
 	var st time.Duration
 	var tau float64
 	solve := func() (*core.Result, error) {
-		var r *core.Result
-		var err error
+		solver := core.SolverAStar
 		if isLP {
-			r, err = core.SolveLP(t, d, opt)
-		} else {
-			r, err = core.SolveAStar(t, d, opt)
+			solver = core.SolverLP
+		} else if opt.TimeLimit == solveLimit {
+			opt.TimeLimit = astarLimit // whole-round-sequence budget
 		}
+		r, err := planVia(session, d, opt, solver)
 		if err == nil {
 			tau = r.Tau
 		}

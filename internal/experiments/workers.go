@@ -114,7 +114,7 @@ func WorkersSweep(short bool) *Table {
 
 	start := time.Now()
 	for _, d := range demands {
-		res, err := core.SolveLP(t, d, opt)
+		res, err := core.SolveLPContext(Context(), t, d, opt)
 		account(res, err)
 	}
 	rebuilt := time.Since(start)
@@ -124,7 +124,7 @@ func WorkersSweep(short bool) *Table {
 	})
 
 	start = time.Now()
-	rs, errs := core.BatchSolveLP(t, demands, opt, core.BatchOptions{Workers: maxInt(1, Workers())})
+	rs, errs := core.BatchSolveLPContext(Context(), t, demands, opt, core.BatchOptions{Workers: maxInt(1, Workers())})
 	batched := time.Since(start)
 	reused := 0
 	for i := range rs {
@@ -137,6 +137,22 @@ func WorkersSweep(short bool) *Table {
 		"sweep-batched", fmt.Sprint(maxInt(1, Workers())),
 		batched.Round(time.Millisecond).String(),
 		"-", fmt.Sprint(reused), speedup(rebuilt, batched),
+	})
+
+	// The same sweep through one Planner session (the serving-shaped
+	// request stream): structurally identical points replay, the rest
+	// warm-start from session bases. "reused" counts replays + warm hits.
+	session := newSession(t)
+	start = time.Now()
+	for _, d := range demands {
+		res, err := planVia(session, d, opt, core.SolverLP)
+		account(res, err)
+	}
+	viaPlanner := time.Since(start)
+	st := session.Stats()
+	tab.Rows = append(tab.Rows, []string{
+		"sweep-planner", "1", viaPlanner.Round(time.Millisecond).String(),
+		"-", fmt.Sprint(st.ScheduleReplays + st.WarmStartHits), speedup(rebuilt, viaPlanner),
 	})
 	return tab
 }

@@ -23,7 +23,6 @@ import (
 	"cmp"
 	"math"
 	"slices"
-	"time"
 )
 
 const (
@@ -220,14 +219,14 @@ func (s *simplex) pivotRow(rho []float64) {
 // failure, or a progress stall (statusDualStall → primal fallback).
 func (s *simplex) dualIterate(maxIter int) Status {
 	m := s.m
-	checkDeadline := !s.opt.Deadline.IsZero()
+	checkBudget := !s.opt.Deadline.IsZero() || s.opt.Context != nil
 	stall := 0
 	retries := 0
 	for {
 		if s.iter >= maxIter {
 			return StatusIterLimit
 		}
-		if checkDeadline && s.iter%64 == 0 && time.Now().After(s.opt.Deadline) {
+		if checkBudget && s.iter%64 == 0 && s.interrupted() {
 			return StatusIterLimit
 		}
 		s.iter++

@@ -25,6 +25,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -316,6 +317,11 @@ type Options struct {
 	// Deadline, when non-zero, stops the solve with StatusIterLimit once
 	// the wall clock passes it (checked periodically between iterations).
 	Deadline time.Time
+	// Context, when non-nil, stops the solve with StatusIterLimit once the
+	// context is done (cancelled or past its deadline), checked at the
+	// same cadence as Deadline. The caller distinguishes an interrupt from
+	// a genuine iteration limit by inspecting Context.Err() afterwards.
+	Context context.Context
 	// WarmStart, when non-nil, resumes from a basis snapshot of an
 	// earlier solve instead of the all-slack basis. Dimension mismatches
 	// are ignored (the solve falls back to a cold start), and bases that

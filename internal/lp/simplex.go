@@ -758,6 +758,20 @@ func (s *simplex) snapshot() *Basis {
 	return b
 }
 
+// interrupted reports whether the solve's wall-clock budget is spent: the
+// Options deadline has passed or the Options context is done. Checked
+// every 64 iterations by both simplex drivers, so a cancelled solve
+// returns (with StatusIterLimit and a usable basis snapshot) promptly.
+func (s *simplex) interrupted() bool {
+	if !s.opt.Deadline.IsZero() && time.Now().After(s.opt.Deadline) {
+		return true
+	}
+	if s.opt.Context != nil && s.opt.Context.Err() != nil {
+		return true
+	}
+	return false
+}
+
 // iterate runs primal simplex iterations until the phase completes.
 // Phase 1 (phase1 true, cost nil) minimizes the total bound violation of
 // the basic variables and returns StatusOptimal once feasible or
@@ -767,7 +781,7 @@ func (s *simplex) snapshot() *Basis {
 // the respective failures.
 func (s *simplex) iterate(phase1 bool, cost []float64, maxIter int) Status {
 	useBland := false
-	checkDeadline := !s.opt.Deadline.IsZero()
+	checkBudget := !s.opt.Deadline.IsZero() || s.opt.Context != nil
 	m := s.m
 
 	// Stall escalation: massively degenerate instances can walk objective
@@ -831,7 +845,7 @@ func (s *simplex) iterate(phase1 bool, cost []float64, maxIter int) Status {
 		if stallWins >= 2 {
 			useBland = true // sticky until the windowed objective moves
 		}
-		if checkDeadline && s.iter%64 == 0 && time.Now().After(s.opt.Deadline) {
+		if checkBudget && s.iter%64 == 0 && s.interrupted() {
 			return StatusIterLimit
 		}
 		s.iter++

@@ -30,6 +30,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,20 @@ type Options struct {
 	// TimeLimit stops the search after this wall-clock duration; 0 means
 	// no limit.
 	TimeLimit time.Duration
+	// Context, when non-nil, stops the search once the context is done
+	// (cancelled or past its deadline). The search returns whatever it has
+	// — the incumbent as StatusFeasible, or StatusNoSolution — exactly as
+	// it does when TimeLimit expires; the context is also propagated into
+	// every node LP solve so a cancellation interrupts a relaxation
+	// mid-pivot rather than waiting for it to finish.
+	Context context.Context
+	// Progress, when non-nil, is called after every evaluated node (and on
+	// root completion) with the search state so far. It must be fast and
+	// must not call back into the solver. Calls never overlap — the
+	// opportunistic driver invokes it under the search lock, the serial
+	// and deterministic drivers from their single coordinating goroutine
+	// — but successive calls may come from different goroutines.
+	Progress func(ProgressInfo)
 	// GapLimit stops the search once the relative primal-dual gap falls
 	// to or below this value (e.g. 0.3 reproduces the paper's Gurobi
 	// early-stop). 0 means solve to optimality.
@@ -147,6 +162,18 @@ type Solution struct {
 	// RootBasis is the root relaxation's final basis, reusable to
 	// warm-start a related MILP solve via Options.RootWarmStart.
 	RootBasis *lp.Basis
+}
+
+// ProgressInfo is a snapshot of the branch-and-bound search handed to
+// Options.Progress after the root relaxation and after every evaluated
+// node.
+type ProgressInfo struct {
+	Nodes      int     // nodes evaluated so far (0 right after the root)
+	Open       int     // open nodes still on the heap
+	Iterations int     // simplex iterations so far (root + all nodes)
+	Incumbent  float64 // best integer-feasible objective (NaN when none)
+	Bound      float64 // best proven bound on the optimum
+	Gap        float64 // relative primal-dual gap (+Inf with no incumbent)
 }
 
 const intTol = 1e-6
@@ -416,11 +443,15 @@ func Solve(p *Problem, opt Options) *Solution {
 		s.incObj.Store(obj)
 	}
 
-	// Propagate the wall-clock limit into individual LP solves so a
-	// single slow relaxation cannot blow past the budget.
+	// Propagate the wall-clock limit and context into individual LP solves
+	// so a single slow relaxation cannot blow past the budget or outlive a
+	// cancellation.
 	lpOpt := opt.LP
 	if opt.TimeLimit > 0 && lpOpt.Deadline.IsZero() {
 		lpOpt.Deadline = s.start.Add(opt.TimeLimit)
+	}
+	if opt.Context != nil && lpOpt.Context == nil {
+		lpOpt.Context = opt.Context
 	}
 
 	// Child-node LP options: reoptimize from the parent basis with the
@@ -478,6 +509,8 @@ func Solve(p *Problem, opt Options) *Solution {
 	s.h = &nodeHeap{max: s.isMax}
 	heap.Init(s.h)
 	s.push(rootSol.Objective, nil, rootSol.Basis, 0)
+	s.bestBound = rootSol.Objective
+	s.emitProgress()
 
 	workers := opt.Workers
 	if workers < 1 {
@@ -525,7 +558,7 @@ func Solve(p *Problem, opt Options) *Solution {
 	return s.sol
 }
 
-// limitsHit checks the node and wall-clock budgets.
+// limitsHit checks the node, wall-clock, and context budgets.
 func (s *search) limitsHit() bool {
 	if s.opt.MaxNodes > 0 && s.nodes >= s.opt.MaxNodes {
 		return true
@@ -533,7 +566,35 @@ func (s *search) limitsHit() bool {
 	if s.opt.TimeLimit > 0 && time.Since(s.start) > s.opt.TimeLimit {
 		return true
 	}
+	if s.opt.Context != nil && s.opt.Context.Err() != nil {
+		return true
+	}
 	return false
+}
+
+// emitProgress reports the current search state through Options.Progress.
+// Callers hold mu in the opportunistic driver, so calls never overlap.
+func (s *search) emitProgress() {
+	if s.opt.Progress == nil {
+		return
+	}
+	inc, gap := math.NaN(), math.Inf(1)
+	if s.incumbentX != nil {
+		inc = s.incumbent
+		gap = s.relGap(s.bestBound, s.incumbent)
+	}
+	open := 0
+	if s.h != nil {
+		open = s.h.Len()
+	}
+	s.opt.Progress(ProgressInfo{
+		Nodes:      s.nodes,
+		Open:       open,
+		Iterations: s.sol.RootIterations + s.sol.NodeIterations,
+		Incumbent:  inc,
+		Bound:      s.bestBound,
+		Gap:        gap,
+	})
 }
 
 // integrate folds one evaluated node back into the search: counters,
@@ -545,6 +606,7 @@ func (s *search) integrate(nd *node, lpSol *lp.Solution, err error, exact bool) 
 		s.sol.NodeIterations += lpSol.Iterations
 		s.sol.Refactorizations += lpSol.Refactorizations
 	}
+	defer s.emitProgress()
 	if err != nil || lpSol.Status == lp.StatusNumericalError ||
 		lpSol.Status == lp.StatusIterLimit || lpSol.Status == lp.StatusUnbounded {
 		// Treat pathological subproblems as pruned but remember the
@@ -760,6 +822,10 @@ func (s *search) runOpportunistic(workers int) {
 				if drop {
 					s.sol.NodeIterations += lpSol.Iterations
 					s.sol.Refactorizations += lpSol.Refactorizations
+					// The node was counted as evaluated; keep the
+					// Progress contract (a sample per evaluated node)
+					// even though integrate is skipped.
+					s.emitProgress()
 					cond.Broadcast()
 					continue
 				}

@@ -1,0 +1,105 @@
+package teccl
+
+// planner.go is the session-oriented entry point: a long-lived Planner
+// per topology answering a stream of solve requests with cached
+// per-topology state (tau derivations, epoch estimates, schedule replay
+// for structurally identical models, warm-start bases keyed by problem
+// fingerprint and chained by variable name), context-aware cancellation
+// through all three solvers, pluggable solver-selection policy, and a
+// progress hook for serving-side observability. The stateless free
+// functions in teccl.go are thin wrappers over single-use sessions.
+
+import (
+	"context"
+
+	"teccl/internal/core"
+)
+
+// Planner is a long-lived solving session pinned to one topology: it
+// caches per-topology derived state across requests (epoch estimates,
+// tau derivations, solved-schedule replay, warm-start bases), so a
+// request stream over one topology gets progressively cheaper. Methods
+// are safe for concurrent use; the topology must not be mutated while
+// the session is alive.
+type Planner = core.Planner
+
+// PlannerOptions configures a session: default solve options and the
+// solver-selection policy.
+type PlannerOptions = core.PlannerOptions
+
+// Request is one unit of work for a Planner: a demand plus optional
+// per-request options, a forced solver, and a progress hook.
+type Request = core.Request
+
+// Plan is a solved request: the Result plus provenance — which solver
+// ran, whether the schedule was replayed from a structurally identical
+// earlier request (CacheHit), and whether the simplex resumed from an
+// earlier request's basis (WarmStart).
+type Plan = core.Plan
+
+// PlannerStats are a session's cumulative reuse counters.
+type PlannerStats = core.PlannerStats
+
+// Policy chooses the formulation for each request; see DefaultPolicy,
+// CostModelPolicy, and the Force* singletons.
+type Policy = core.Policy
+
+// PolicyInput is what a Policy sees when choosing a solver.
+type PolicyInput = core.PolicyInput
+
+// DefaultPolicy is the historical Solve auto-pick: LP when copy cannot
+// help, the MILP below its GPU/demand thresholds, A* beyond.
+type DefaultPolicy = core.DefaultPolicy
+
+// CostModelPolicy routes by estimated MILP model size (demands × links ×
+// cached epoch estimate) instead of fixed thresholds.
+type CostModelPolicy = core.CostModelPolicy
+
+// Solver identifies a formulation in Request.Solver and Plan.Solver.
+type Solver = core.Solver
+
+// Solver identifiers.
+const (
+	SolverAuto  = core.SolverAuto
+	SolverLP    = core.SolverLP
+	SolverMILP  = core.SolverMILP
+	SolverAStar = core.SolverAStar
+)
+
+// Force policies pin one formulation for every request of a session.
+var (
+	ForceLP    = core.ForceLP
+	ForceMILP  = core.ForceMILP
+	ForceAStar = core.ForceAStar
+)
+
+// Progress is one observability sample from a running solve; see
+// Options.Progress and Request.Progress.
+type Progress = core.Progress
+
+// ProgressFunc receives Progress samples during a solve.
+type ProgressFunc = core.ProgressFunc
+
+// NewPlanner opens a solving session on a topology.
+//
+//	planner := teccl.NewPlanner(t, teccl.PlannerOptions{})
+//	plan, err := planner.Plan(ctx, teccl.Request{Demand: demand})
+//
+// Plan honors ctx end to end — the simplex iteration loops, the
+// branch-and-bound worker pool, and the A* round loop all watch it —
+// and Options.TimeLimit is enforced through the same mechanism, so all
+// three solvers respect the budget uniformly.
+func NewPlanner(t *Topology, opt PlannerOptions) *Planner {
+	return core.NewPlanner(t, opt)
+}
+
+// solveVia routes one stateless solve through a single-use session —
+// the free functions' implementation since the Planner redesign.
+func solveVia(t *Topology, d *Demand, opt Options, s Solver) (*Result, error) {
+	plan, err := NewPlanner(t, PlannerOptions{Defaults: opt}).
+		Plan(context.Background(), Request{Demand: d, Solver: s})
+	if plan == nil {
+		return nil, err
+	}
+	return plan.Result, err
+}

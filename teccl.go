@@ -6,26 +6,53 @@
 //
 // # Quick start
 //
+// The entry point is a Planner: a long-lived session pinned to one
+// topology that answers a stream of solve requests.
+//
 //	t := teccl.DGX1()
-//	demand := teccl.AllGather(t, 1, 25e3) // 1 chunk of 25 KB per GPU
-//	res, err := teccl.Solve(t, demand, teccl.Options{})
+//	planner := teccl.NewPlanner(t, teccl.PlannerOptions{})
+//	plan, err := planner.Plan(ctx, teccl.Request{
+//		Demand: teccl.AllGather(t, 1, 25e3), // 1 chunk of 25 KB per GPU
+//	})
 //	if err != nil { ... }
-//	fmt.Println(res.Schedule.FinishTime())
+//	fmt.Println(plan.Schedule.FinishTime(), plan.Solver)
 //
-// Three solvers are available, mirroring the paper:
+// Plan honors ctx end to end: cancellation (or a deadline) interrupts
+// the simplex mid-iteration, the branch-and-bound worker pool between
+// nodes, and the A* loop between rounds; Options.TimeLimit is enforced
+// through the same mechanism, uniformly for all three solvers. The
+// session caches per-topology state across requests — epoch estimates,
+// tau derivations, solved schedules of structurally identical models,
+// and warm-start bases — so repeated and related requests (sweeps,
+// serving traffic) get progressively cheaper; Plan provenance
+// (Plan.CacheHit, Plan.WarmStart) and Planner.Stats report the reuse.
 //
-//   - SolveMILP — the general mixed-integer form (§3.1): optimal,
+// Three formulations are available, mirroring the paper:
+//
+//   - SolverMILP — the general mixed-integer form (§3.1): optimal,
 //     supports copy, slowest.
-//   - SolveLP — the linear-program form (§4.1): optimal for demands that
-//     do not benefit from copy (ALLTOALL-like), most scalable.
-//   - SolveAStar — the round-partitioned approximation (§4.2): supports
-//     copy, scales past the MILP, trades optimality for speed.
+//   - SolverLP — the linear-program form (§4.1): optimal for demands
+//     that do not benefit from copy (ALLTOALL-like), most scalable.
+//   - SolverAStar — the round-partitioned approximation (§4.2):
+//     supports copy, scales past the MILP, trades optimality for speed.
 //
-// Solve picks automatically: the LP when no chunk has more than one
-// destination, the MILP for small copy-friendly instances, and A*
-// otherwise. Baselines from the paper's evaluation (a TACCL-like
-// heuristic, an SCCL-like synchronous-step synthesizer, shortest-path
-// scheduling, and ring algorithms) live behind the Baseline* functions.
+// Selection is a pluggable PlannerOptions.Policy: DefaultPolicy keeps
+// the historical auto-pick (LP when no chunk has more than one
+// destination, the MILP for small copy-friendly instances, A*
+// otherwise), CostModelPolicy routes by estimated model size, and
+// ForceLP/ForceMILP/ForceAStar pin one formulation; Request.Solver
+// overrides the policy per request.
+//
+// # Migrating from the free functions
+//
+// The original stateless API — Solve, SolveLP, SolveMILP, SolveAStar,
+// BatchSolveLP — remains and behaves as before; each call now runs
+// through a single-use Planner session. New code should hold a Planner
+// per topology instead: same results, with cross-request state reuse
+// and context cancellation. Baselines from the paper's evaluation (a
+// TACCL-like heuristic, an SCCL-like synchronous-step synthesizer,
+// shortest-path scheduling, and ring algorithms) live behind the
+// Baseline* functions.
 package teccl
 
 import (
@@ -157,32 +184,24 @@ func NewDemand(t *Topology, chunksPerSource int, chunkBytes float64) *Demand {
 	return collective.New(t.NumNodes(), chunksPerSource, chunkBytes)
 }
 
-// Solve optimizes the demand with the most appropriate formulation: the
-// LP when copy cannot help (every chunk has at most one destination), the
-// general MILP for small copy-friendly instances, and A* for larger ones.
+// Solve optimizes the demand with the most appropriate formulation per
+// DefaultPolicy: the LP when copy cannot help (every chunk has at most
+// one destination), the general MILP for small copy-friendly instances,
+// and A* for larger ones. It is a stateless wrapper over a single-use
+// Planner; hold a Planner directly for cross-request state reuse and
+// context cancellation.
 func Solve(t *Topology, d *Demand, opt Options) (*Result, error) {
-	if !copyHelps(d) {
-		return core.SolveLP(t, d, opt)
-	}
-	if len(t.GPUs()) <= 10 && d.Count() <= 128 {
-		return core.SolveMILP(t, d, opt)
-	}
-	return core.SolveAStar(t, d, opt)
+	return solveVia(t, d, opt, SolverAuto)
 }
-
-// copyHelps reports whether any chunk is wanted by more than one
-// destination (the condition under which the LP form loses optimality,
-// §4.1).
-func copyHelps(d *Demand) bool { return d.HasMulticast() }
 
 // SolveMILP solves with the general mixed-integer form (§3.1).
 func SolveMILP(t *Topology, d *Demand, opt Options) (*Result, error) {
-	return core.SolveMILP(t, d, opt)
+	return solveVia(t, d, opt, SolverMILP)
 }
 
 // SolveLP solves with the linear-program form (§4.1).
 func SolveLP(t *Topology, d *Demand, opt Options) (*Result, error) {
-	return core.SolveLP(t, d, opt)
+	return solveVia(t, d, opt, SolverLP)
 }
 
 // BatchOptions tunes a BatchSolveLP sweep.
@@ -199,7 +218,7 @@ func BatchSolveLP(t *Topology, demands []*Demand, opt Options, bo BatchOptions) 
 
 // SolveAStar solves with the A* round partitioning (§4.2).
 func SolveAStar(t *Topology, d *Demand, opt Options) (*Result, error) {
-	return core.SolveAStar(t, d, opt)
+	return solveVia(t, d, opt, SolverAStar)
 }
 
 // Simulate executes a schedule in continuous time under the α-β cost
