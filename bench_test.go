@@ -89,14 +89,16 @@ func BenchmarkTable8NDv2(b *testing.B) { benchTable(b, "table8") }
 // transportation problem (the inner loop of everything above), reporting
 // simplex iterations and basis refactorizations alongside wall clock.
 func BenchmarkSimplexTransport(b *testing.B) {
-	var iters, refactors int
+	var iters, refactors, ftUpdates int
 	for i := 0; i < b.N; i++ {
 		sol := benchSimplexOnce(b)
 		iters += sol.Iterations
 		refactors += sol.Refactorizations
+		ftUpdates += sol.FTUpdates
 	}
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 	b.ReportMetric(float64(refactors)/float64(b.N), "refactors/op")
+	b.ReportMetric(float64(ftUpdates)/float64(b.N), "ft-updates/op")
 }
 
 // BenchmarkMILPDGX1AllGather measures one end-to-end optimal MILP solve
@@ -155,7 +157,7 @@ func BenchmarkNDv2AllToAll(b *testing.B) {
 	t := NDv2(2)
 	gpus := len(t.GPUs())
 	d := AllToAll(t, 1, 1e6/float64(gpus))
-	var iters, refactors int
+	var iters, refactors, ftUpdates int
 	for i := 0; i < b.N; i++ {
 		res, err := SolveLP(t, d, Options{EpochMode: SlowestLink})
 		if err != nil {
@@ -163,9 +165,11 @@ func BenchmarkNDv2AllToAll(b *testing.B) {
 		}
 		iters += res.RootIterations
 		refactors += res.Refactorizations
+		ftUpdates += res.FTUpdates
 	}
 	b.ReportMetric(float64(iters)/float64(b.N), "iters/op")
 	b.ReportMetric(float64(refactors)/float64(b.N), "refactors/op")
+	b.ReportMetric(float64(ftUpdates)/float64(b.N), "ft-updates/op")
 }
 
 // BenchmarkLPInternal2AllToAll scales the LP microbenchmark to the

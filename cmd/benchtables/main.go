@@ -33,6 +33,8 @@ type benchRecord struct {
 	NsPerOp          int64      `json:"ns_per_op"`
 	Iterations       float64    `json:"iterations"`
 	Refactorizations float64    `json:"refactorizations"`
+	FTUpdates        float64    `json:"ft_updates"`
+	UpdateNnz        float64    `json:"update_nnz"`
 	Header           []string   `json:"header,omitempty"`
 	Rows             [][]string `json:"rows,omitempty"`
 	Notes            string     `json:"notes,omitempty"`
@@ -79,6 +81,8 @@ func main() {
 				NsPerOp:          elapsed.Nanoseconds(),
 				Iterations:       tab.Metrics["iterations"],
 				Refactorizations: tab.Metrics["refactorizations"],
+				FTUpdates:        tab.Metrics["ft_updates"],
+				UpdateNnz:        tab.Metrics["update_nnz"],
 				Header:           tab.Header,
 				Rows:             tab.Rows,
 				Notes:            tab.Notes,

@@ -20,9 +20,10 @@ func sendsFinishEpoch(in *instance, sends []schedule.Send) int {
 // lpGreedyBound computes a feasible no-copy completion epoch by routing
 // every (source, chunk, destination) triple along its hop-shortest path
 // with greedy windowed list scheduling — a quick SPF-style upper bound
-// that tightens the LP horizon far below the analytic estimate. Returns
-// -1 when the greedy fails.
-func lpGreedyBound(in *instance) int {
+// that tightens the LP horizon far below the analytic estimate, and
+// returns the planned sends so the flow support can seed a crash basis
+// (see crashBasisLP). Returns -1 and nil sends when the greedy fails.
+func lpGreedyBound(in *instance) (int, []schedule.Send) {
 	t := in.topo
 	d := in.demand
 
@@ -82,6 +83,7 @@ func lpGreedyBound(in *instance) int {
 	horizon := 16*in.K + 64
 	finish := 0
 	var plan [][2]int
+	var sends []schedule.Send
 	for s := 0; s < d.NumNodes(); s++ {
 		for c := 0; c < d.NumChunks(); c++ {
 			for dst := 0; dst < d.NumNodes(); dst++ {
@@ -97,7 +99,7 @@ func lpGreedyBound(in *instance) int {
 					for node != dst {
 						l := next[dst][node]
 						if l < 0 {
-							return -1 // no route at all
+							return -1, nil // no route at all
 						}
 						k := at
 						if t.IsSwitch(topo.NodeID(node)) {
@@ -112,7 +114,7 @@ func lpGreedyBound(in *instance) int {
 									// A GPU hop that exhausts the horizon
 									// only starts later for larger t0:
 									// retrying departures cannot help.
-									return -1
+									return -1, nil
 								}
 							}
 						}
@@ -129,14 +131,18 @@ func lpGreedyBound(in *instance) int {
 						if arr := h[1] + in.delta[h[0]] + in.kappa[h[0]] - 1; arr > finish {
 							finish = arr
 						}
+						sends = append(sends, schedule.Send{
+							Src: s, Chunk: c, Link: topo.LinkID(h[0]),
+							Epoch: h[1], Fraction: 1,
+						})
 					}
 					routed = true
 				}
 				if !routed {
-					return -1
+					return -1, nil
 				}
 			}
 		}
 	}
-	return finish
+	return finish, sends
 }

@@ -41,6 +41,31 @@ const (
 	SlowestLink
 )
 
+// CrashMode selects the crash-basis policy: whether cold solves (no warm
+// basis available from a session, batch chain, or re-solve) seed the
+// simplex from the greedy schedule's flow support — a crash basis —
+// instead of the all-slack identity.
+type CrashMode int8
+
+const (
+	// CrashAuto (the default) crash-starts cold LP-form solves, where
+	// the seed only shortens phase 1 (the LP optimum the decomposition
+	// sees is tie-broken the same way; property-tested). MILP roots keep
+	// the all-slack start: their greedy incumbent already encodes the
+	// heuristic structure, and crash-seeding the relaxation as well
+	// biases equal-objective tie-breaks toward the greedy shape
+	// (measurably worse simulated makespans on ALLGATHER microbenches).
+	CrashAuto CrashMode = iota
+	// CrashAll additionally crash-starts cold MILP root relaxations
+	// from the greedy incumbent's support. Cheaper roots, but among
+	// equal-objective integer optima the returned schedule may lean
+	// toward the greedy shape.
+	CrashAll
+	// CrashOff always cold-starts from the all-slack basis (the
+	// historical behavior).
+	CrashOff
+)
+
 // SwitchMode selects the switch model (§3.1 "Modeling switches").
 type SwitchMode int8
 
@@ -80,6 +105,10 @@ type Options struct {
 	TimeLimit time.Duration
 	// NoIncumbentHeuristic disables the greedy warm-start incumbent.
 	NoIncumbentHeuristic bool
+	// Crash selects the crash-basis policy; the zero value (CrashAuto)
+	// seeds cold LP-form solves from the greedy schedule's flow support
+	// instead of the all-slack basis. See CrashMode.
+	Crash CrashMode
 	// MinimizeMakespan re-solves with shrinking horizons until the finish
 	// epoch is provably minimal — the "binary search on the number of
 	// epochs" the paper runs for its ALLTOALL results (§6). The base
@@ -164,8 +193,14 @@ type Result struct {
 	NodeIterations int
 	// Refactorizations counts basis factorizations across the main
 	// solve's LP work (the LP path's single solve, or the MILP root plus
-	// all warm-started node re-solves).
+	// all warm-started node re-solves). FTUpdates counts the
+	// Forrest–Tomlin basis updates that carried pivots between those
+	// refactorizations, and UpdateNnz the total update-file nonzeros they
+	// accumulated — a high FTUpdates/Refactorizations ratio is the
+	// signature of cheap incremental reoptimization.
 	Refactorizations int
+	FTUpdates        int
+	UpdateNnz        int
 
 	// Reused marks a BatchSolveLP sweep point whose schedule was replayed
 	// from a structurally identical, already-solved point instead of
@@ -176,6 +211,10 @@ type Result struct {
 	// related solve instead of starting cold — the signature of
 	// cross-request state reuse through a Planner or BatchSolveLP chain.
 	WarmStarted bool
+	// CrashStarted marks a cold solve whose main simplex run was seeded
+	// from the greedy schedule's flow support (a crash basis) instead of
+	// the all-slack identity. Mutually exclusive with WarmStarted.
+	CrashStarted bool
 }
 
 // instance is the preprocessed solve context shared by the formulations.

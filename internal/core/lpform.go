@@ -384,12 +384,14 @@ func SolveLPContext(ctx context.Context, t *topo.Topology, d *collective.Demand,
 
 // lpPrep is a built-but-unsolved LP-form instance: the per-destination
 // expanded demand, the preprocessed context (with an auto horizon already
-// tightened by the greedy bound), and the constructed model. m is nil
-// when the demand has no commodities.
+// tightened by the greedy bound), the constructed model, and the greedy
+// plan's sends (crash-basis seed; nil when the greedy did not run or
+// failed). m is nil when the demand has no commodities.
 type lpPrep struct {
-	d  *collective.Demand
-	in *instance
-	m  *lpModel
+	d      *collective.Demand
+	in     *instance
+	m      *lpModel
+	greedy []schedule.Send
 }
 
 // prepLP performs everything of an LP solve that precedes the simplex:
@@ -409,15 +411,19 @@ func prepLP(t *topo.Topology, d *collective.Demand, opt Options) *lpPrep {
 		return &lpPrep{d: d, in: in}
 	}
 	// Tighten an auto-estimated horizon with a quick greedy upper bound:
-	// the LP optimum finishes no later than the greedy schedule.
+	// the LP optimum finishes no later than the greedy schedule. The
+	// greedy plan's sends are kept as the crash-basis seed.
+	var greedy []schedule.Send
 	if opt.Epochs == 0 {
-		if bound := lpGreedyBound(in); bound >= 0 && bound+1 < in.K {
+		bound, sends := lpGreedyBound(in)
+		greedy = sends
+		if bound >= 0 && bound+1 < in.K {
 			opt2 := opt
 			opt2.Epochs = bound + 1
 			in = newInstance(t, d, opt2)
 		}
 	}
-	return &lpPrep{d: d, in: in, m: buildLP(in)}
+	return &lpPrep{d: d, in: in, m: buildLP(in), greedy: greedy}
 }
 
 // solveLP is SolveLP plus warm-start plumbing: hint seeds the simplex
@@ -448,6 +454,10 @@ func solvePrepped(ctx context.Context, t *topo.Topology, pr *lpPrep, opt Options
 		// under the unchanged cost structure, and the dual falls back to
 		// the primal on its own when it is not.
 		lpOpt.Method = lp.MethodDual
+	} else if opt.Crash != CrashOff {
+		// Cold start: seed phase 1 from the greedy schedule's flow
+		// support instead of the all-slack basis.
+		lpOpt.Crash = crashBasisLP(m, pr.greedy)
 	}
 	opt.Progress.emit(lpSample("model", 0, 0, false))
 	sol, err := lp.Solve(m.p, lpOpt)
@@ -481,7 +491,10 @@ func solvePrepped(ctx context.Context, t *topo.Topology, pr *lpPrep, opt Options
 		Tau:              in.tau,
 		RootIterations:   sol.Iterations,
 		Refactorizations: sol.Refactorizations,
+		FTUpdates:        sol.FTUpdates,
+		UpdateNnz:        sol.UpdateNnz,
 		WarmStarted:      lpOpt.WarmStart != nil,
+		CrashStarted:     lpOpt.Crash != nil,
 	}
 	basis := sol.Basis
 	model := m
@@ -494,8 +507,10 @@ func solvePrepped(ctx context.Context, t *topo.Topology, pr *lpPrep, opt Options
 		// that schedule alongside an error wrapping the cause, honoring
 		// the cancellation contract.
 		rootWarm := lpOpt.WarmStart != nil
+		rootCrash := lpOpt.Crash != nil
 		cancelled := func() (*Result, *lpModel, *lp.Basis, error) {
 			res.WarmStarted = rootWarm
+			res.CrashStarted = rootCrash
 			return res, model, basis, fmt.Errorf(
 				"core: makespan refinement cancelled; returning last complete schedule (finish epoch %d): %w",
 				res.Schedule.FinishEpoch(), interrupted(ctx))
@@ -533,10 +548,11 @@ func solvePrepped(ctx context.Context, t *topo.Topology, pr *lpPrep, opt Options
 			res, model, basis = tighter, m2, b2
 			opt.Progress.emit(lpSample("makespan", tighter.RootIterations, tighter.Objective, true))
 		}
-		// WarmStarted reports whether THIS REQUEST started from prior
-		// state; the re-solves above are always internally warm-started
+		// WarmStarted/CrashStarted report how THIS REQUEST's root solve
+		// started; the re-solves above are always internally warm-started
 		// and must not overwrite that.
 		res.WarmStarted = rootWarm
+		res.CrashStarted = rootCrash
 	}
 	return res, model, basis, nil
 }

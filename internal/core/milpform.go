@@ -459,10 +459,16 @@ func solveMILP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt 
 		// basis is not dual feasible).
 		mopt.LP.Method = lp.MethodDual
 	}
+	var incX []float64
 	if inc != nil {
-		if x := m.pointFromSends(inc); x != nil {
-			mopt.IncumbentX = x
+		if incX = m.pointFromSends(inc); incX != nil {
+			mopt.IncumbentX = incX
 		}
+	}
+	if mopt.RootWarmStart == nil && opt.Crash == CrashAll {
+		// Cold root relaxation: crash-start from the greedy incumbent's
+		// flow support instead of the all-slack basis.
+		mopt.LP.Crash = crashBasisMILP(m, incX)
 	}
 
 	msol := milp.Solve(&milp.Problem{LP: m.p, Integer: m.ints}, mopt)
@@ -498,7 +504,10 @@ func solveMILP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt 
 		RootIterations:   msol.RootIterations,
 		NodeIterations:   msol.NodeIterations,
 		Refactorizations: msol.Refactorizations,
+		FTUpdates:        msol.FTUpdates,
+		UpdateNnz:        msol.UpdateNnz,
 		WarmStarted:      mopt.RootWarmStart != nil,
+		CrashStarted:     mopt.LP.Crash != nil,
 	}
 	basis := msol.RootBasis
 	model := m
@@ -511,8 +520,10 @@ func solveMILP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt 
 		// complete schedule; a caller cancellation returns that schedule
 		// alongside an error wrapping the cause.
 		rootWarm := mopt.RootWarmStart != nil
+		rootCrash := mopt.LP.Crash != nil
 		cancelled := func() (*Result, *milpModel, *lp.Basis, error) {
 			res.WarmStarted = rootWarm
+			res.CrashStarted = rootCrash
 			return res, model, basis, fmt.Errorf(
 				"core: makespan refinement cancelled; returning last complete schedule (finish epoch %d): %w",
 				res.Schedule.FinishEpoch(), interrupted(ctx))
@@ -549,10 +560,11 @@ func solveMILP(ctx context.Context, t *topo.Topology, d *collective.Demand, opt 
 			tighter.SolveTime = time.Since(start)
 			res, model, basis = tighter, m2, b2
 		}
-		// WarmStarted reports whether THIS REQUEST started from prior
-		// state; the re-solves above are always internally warm-started
+		// WarmStarted/CrashStarted report how THIS REQUEST's root solve
+		// started; the re-solves above are always internally warm-started
 		// and must not overwrite that.
 		res.WarmStarted = rootWarm
+		res.CrashStarted = rootCrash
 	}
 	if !res.Optimal {
 		// A cancelled search that still produced an incumbent returns it
@@ -626,6 +638,36 @@ func (m *milpModel) pointFromSends(sends []schedule.Send) []float64 {
 		}
 	}
 	return x
+}
+
+// crashBasisMILP builds a crash basis for the general form's root
+// relaxation from a model-feasible incumbent point (pointFromSends
+// output): every variable the incumbent activates — flows sent, buffers
+// held — enters the basis, bounded by the row count. Like the LP-form
+// crash this is only a structural phase-1 seed: dependent columns are
+// demoted by the solver's install/repair pass. Returns nil when there is
+// no incumbent point.
+func crashBasisMILP(m *milpModel, x []float64) *lp.Basis {
+	if m == nil || x == nil {
+		return nil
+	}
+	p := m.p
+	rows := p.NumRows()
+	b := &lp.Basis{
+		Vars: make([]lp.BasisStatus, p.NumVars()),
+		Rows: make([]lp.BasisStatus, rows),
+	}
+	marked := 0
+	for j, v := range x {
+		if v > 0 && marked < rows {
+			b.Vars[j] = lp.BasisBasic
+			marked++
+		}
+	}
+	if marked == 0 {
+		return nil
+	}
+	return b
 }
 
 func emptyResult(in *instance, start time.Time) *Result {

@@ -57,6 +57,10 @@ type Plan struct {
 	// WarmStart marks a solve whose main simplex run resumed from a
 	// basis of an earlier request instead of starting cold.
 	WarmStart bool
+	// CrashStart marks a cold solve whose main simplex run was seeded
+	// from the greedy schedule's flow support (a crash basis) instead of
+	// the all-slack identity; see Options.Crash.
+	CrashStart bool
 }
 
 // PlannerStats are cumulative session counters, retrievable at any time
@@ -70,6 +74,9 @@ type PlannerStats struct {
 	// WarmStartHits counts solves that resumed from an earlier
 	// request's basis (Plan.WarmStart).
 	WarmStartHits int
+	// CrashStarts counts cold solves seeded from a greedy crash basis
+	// (Plan.CrashStart).
+	CrashStarts int
 	// ExactBasisHits counts warm starts served verbatim from the
 	// fingerprint-keyed basis store (a subset of WarmStartHits).
 	ExactBasisHits int
@@ -235,6 +242,9 @@ func (pl *Planner) planLP(ctx context.Context, d *collective.Demand, opt Options
 		if res.WarmStarted {
 			pl.stats.WarmStartHits++
 		}
+		if res.CrashStarted {
+			pl.stats.CrashStarts++
+		}
 	}
 	pl.mu.Unlock()
 	if err == nil && m != nil {
@@ -245,7 +255,8 @@ func (pl *Planner) planLP(ctx context.Context, d *collective.Demand, opt Options
 	}
 	// A cancelled makespan refinement returns the last complete schedule
 	// alongside the cancellation error; pass both through.
-	return &Plan{Result: res, Solver: SolverLP, CacheHit: res.Reused, WarmStart: res.WarmStarted}, err
+	return &Plan{Result: res, Solver: SolverLP, CacheHit: res.Reused,
+		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, err
 }
 
 // planMILP serves a MILP-form request, warm-starting the root relaxation
@@ -262,8 +273,13 @@ func (pl *Planner) planMILP(ctx context.Context, d *collective.Demand, opt Optio
 	if m != nil && b != nil {
 		pl.lastMILP = sessionBasis{prob: m.p, basis: b}
 	}
-	if res != nil && res.WarmStarted {
-		pl.stats.WarmStartHits++
+	if res != nil {
+		if res.WarmStarted {
+			pl.stats.WarmStartHits++
+		}
+		if res.CrashStarted {
+			pl.stats.CrashStarts++
+		}
 	}
 	pl.mu.Unlock()
 	if m != nil && b != nil {
@@ -272,7 +288,8 @@ func (pl *Planner) planMILP(ctx context.Context, d *collective.Demand, opt Optio
 	if res == nil {
 		return nil, err
 	}
-	return &Plan{Result: res, Solver: SolverMILP, WarmStart: res.WarmStarted}, err
+	return &Plan{Result: res, Solver: SolverMILP,
+		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, err
 }
 
 // estimateCache memoizes the per-topology derived quantities of a

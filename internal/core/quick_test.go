@@ -210,7 +210,7 @@ func TestLPGreedyBoundIsFeasibleHorizon(t *testing.T) {
 		}
 		d := collective.AllToAll(n, gpus, 1, 1e6)
 		in := newInstance(tp, d, Options{})
-		bound := lpGreedyBound(in)
+		bound, _ := lpGreedyBound(in)
 		if bound < 0 {
 			return true
 		}

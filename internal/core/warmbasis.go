@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"teccl/internal/lp"
+	"teccl/internal/schedule"
 )
 
 // basisHint carries a basis from one solved formulation to a related one
@@ -96,6 +97,72 @@ func (h *basisHint) basisFor(p *lp.Problem) *lp.Basis {
 	}
 	if matched == 0 {
 		return nil
+	}
+	return b
+}
+
+// crashBasisLP builds a crash basis for the LP form from the greedy
+// schedule's flow support: the flow variables the greedy plan actually
+// uses enter the basis, along with each source's inventory chain and one
+// read variable per (source, destination) demand, so phase 1 starts from
+// a near-feasible flow structure instead of the all-slack identity. The
+// guess is purely structural — redundant or dependent columns are
+// demoted by the solver's install/repair pass, so any greedy plan is a
+// safe seed. Returns nil when there is no usable support.
+func crashBasisLP(m *lpModel, sends []schedule.Send) *lp.Basis {
+	if m == nil || len(sends) == 0 {
+		return nil
+	}
+	p := m.p
+	rows := p.NumRows()
+	b := &lp.Basis{
+		Vars: make([]lp.BasisStatus, p.NumVars()),
+		Rows: make([]lp.BasisStatus, rows),
+	}
+	srcIdx := make(map[int]int, len(m.sources))
+	for si, s := range m.sources {
+		srcIdx[s] = si
+	}
+	marked := 0
+	mark := func(v int32) {
+		if v != noVar && b.Vars[v] != lp.BasisBasic && marked < rows {
+			b.Vars[v] = lp.BasisBasic
+			marked++
+		}
+	}
+	for _, snd := range sends {
+		si, ok := srcIdx[snd.Src]
+		if !ok {
+			continue
+		}
+		l := int(snd.Link)
+		if l >= len(m.fvar[si]) || snd.Epoch >= len(m.fvar[si][l]) {
+			continue
+		}
+		mark(m.fvar[si][l][snd.Epoch])
+	}
+	if marked == 0 {
+		return nil
+	}
+	// Source inventory chains: the buffer variables that carry each
+	// source's remaining supply across epochs.
+	for si, s := range m.sources {
+		for _, v := range m.bvar[si][s] {
+			mark(v)
+		}
+	}
+	// One read variable per demand pair (the destination-total rows have
+	// equality slacks fixed at zero, so they need a structural basic).
+	for si := range m.sources {
+		for dst := range m.rvar[si] {
+			col := m.rvar[si][dst]
+			for k := len(col) - 1; k >= 0; k-- {
+				if col[k] != noVar {
+					mark(col[k])
+					break
+				}
+			}
+		}
 	}
 	return b
 }

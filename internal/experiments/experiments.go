@@ -85,7 +85,7 @@ func gpuInts(t *topo.Topology) []int {
 // regenerates; ByID snapshots them into the returned Table.Metrics.
 // Atomics keep concurrent solves race-free, though concurrent ByID calls
 // would still interleave their counts (experiments run serially today).
-var solveCounters struct{ iters, refactors atomic.Int64 }
+var solveCounters struct{ iters, refactors, ftUpdates, updateNnz atomic.Int64 }
 
 // workersKnob is the harness-wide solver concurrency setting: the worker
 // count experiments pass into core.Options.Workers (branch-and-bound
@@ -158,6 +158,8 @@ func account(res *core.Result, err error) (float64, time.Duration) {
 	}
 	solveCounters.iters.Add(int64(res.RootIterations + res.NodeIterations))
 	solveCounters.refactors.Add(int64(res.Refactorizations))
+	solveCounters.ftUpdates.Add(int64(res.FTUpdates))
+	solveCounters.updateNnz.Add(int64(res.UpdateNnz))
 	r, err := sim.Run(res.Schedule)
 	if err != nil {
 		return math.Inf(1), res.SolveTime
@@ -256,11 +258,15 @@ func All(short bool) []*Table {
 func ByID(id string, short bool) *Table {
 	solveCounters.iters.Store(0)
 	solveCounters.refactors.Store(0)
+	solveCounters.ftUpdates.Store(0)
+	solveCounters.updateNnz.Store(0)
 	tab := byID(id, short)
 	if tab != nil {
 		tab.Metrics = map[string]float64{
 			"iterations":       float64(solveCounters.iters.Load()),
 			"refactorizations": float64(solveCounters.refactors.Load()),
+			"ft_updates":       float64(solveCounters.ftUpdates.Load()),
+			"update_nnz":       float64(solveCounters.updateNnz.Load()),
 		}
 	}
 	return tab

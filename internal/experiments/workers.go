@@ -87,6 +87,8 @@ func WorkersSweep(short bool) *Table {
 		elapsed := time.Since(start)
 		solveCounters.iters.Add(int64(sol.RootIterations + sol.NodeIterations))
 		solveCounters.refactors.Add(int64(sol.Refactorizations))
+		solveCounters.ftUpdates.Add(int64(sol.FTUpdates))
+		solveCounters.updateNnz.Add(int64(sol.UpdateNnz))
 		if w == workerCounts[0] {
 			serialBB = elapsed
 		}

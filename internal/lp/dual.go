@@ -4,7 +4,8 @@ package lp
 // pricing over rows, a bound-flipping (long-step) dual ratio test with
 // Harris-style two-pass tolerances, and reduced costs maintained
 // incrementally from the pivot row. The basis machinery (the sparse LU
-// and product-form etas of factor.go) is shared with the primal method;
+// and Forrest–Tomlin updates of factor.go) is shared with the primal
+// method;
 // the dual is BTRAN-heavy — each iteration prices the leaving row via
 // ρ = B⁻ᵀe_r and a sparse row-wise pass over A — where the primal is
 // FTRAN-heavy.
@@ -410,12 +411,13 @@ func (s *simplex) dualIterate(maxIter int) Status {
 			}
 		}
 
-		// FTRAN the entering column and pivot.
+		// FTRAN the entering column and pivot (spike saved for the FT
+		// update below).
 		for i := range s.w {
 			s.w[i] = 0
 		}
 		s.scatterCol(enter, s.w)
-		s.lu.ftran(s.w)
+		s.lu.ftranPivot(s.w)
 		s.wNnz = s.wNnz[:0]
 		for i := 0; i < m; i++ {
 			if math.Abs(s.w[i]) > dropTol {
@@ -518,8 +520,7 @@ func (s *simplex) dualIterate(maxIter int) Status {
 			stall = 0
 		}
 
-		s.lu.appendEta(s.w, s.wNnz, int32(r))
-		if s.lu.shouldRefactor() {
+		if !s.lu.update(int32(r), pivot) || s.lu.shouldRefactor() {
 			if !s.factorizeBasis() {
 				return StatusNumericalError
 			}

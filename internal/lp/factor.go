@@ -2,9 +2,16 @@ package lp
 
 // factor.go implements the sparse basis factorization behind the revised
 // simplex: an LU decomposition P·B·Q = L·U computed by Markowitz-ordered
-// Gaussian elimination on the sparse basis matrix, plus a product-form
-// ("eta file") update applied after each pivot so the factorization only
-// needs to be rebuilt every refactorEvery basis changes.
+// Gaussian elimination on the sparse basis matrix, kept current between
+// refactorizations by Forrest–Tomlin updates — after each pivot the
+// FTRAN spike is spliced into U as the replaced column, the replaced row
+// is cyclically permuted to the end of the elimination order, and its
+// off-diagonal entries are eliminated into a compact row eta (the FT "R"
+// transform). Unlike the product-form eta file this used to be, the
+// update file grows with the FILL the pivots actually cause, not with
+// the dense spike length, so refactorization is triggered by measured
+// L+U+update nonzero growth and numeric drift instead of a fixed pivot
+// count.
 //
 // The factorization exploits the near-triangular structure of
 // time-expanded flow bases: column and row singletons are peeled off with
@@ -13,7 +20,8 @@ package lp
 // minimum-degree style pivot search under threshold partial pivoting.
 //
 // FTRAN (solve B·w = a) and BTRAN (solve Bᵀ·y = c) run in time
-// proportional to the nonzeros of L, U, and the eta file — never O(m²).
+// proportional to the nonzeros of L, U, and the update etas — never
+// O(m²).
 
 import "math"
 
@@ -23,42 +31,118 @@ const (
 	// stabRelTol: threshold partial pivoting — within the candidate row a
 	// pivot must be at least this fraction of the row's largest entry.
 	stabRelTol = 0.1
+
+	// ftRejectRel rejects a Forrest–Tomlin update whose new diagonal is
+	// tiny relative to the spike (a numerically singular replacement);
+	// the caller refactorizes instead.
+	ftRejectRel = 1e-11
+	// ftDriftReject rejects an update when the FT diagonal identity
+	// d = w_leave · u_tt disagrees with the eliminated value by more than
+	// this relative error: the factorization has drifted too far to keep
+	// updating.
+	ftDriftReject = 1e-5
+	// ftDriftRefactor schedules a refactorization (without rejecting the
+	// update) once the accumulated diagonal-identity drift passes this.
+	ftDriftRefactor = 1e-8
+	// ftGrowthFactor triggers refactorization when the current
+	// U + update-eta nonzeros exceed this multiple of the fresh L+U count
+	// (plus an 8m allowance for small bases): past that point a fresh
+	// factorization is cheaper than dragging the fill through every
+	// FTRAN/BTRAN.
+	ftGrowthFactor = 2
+	// ftMaxUpdates is a hard safety cap on updates between
+	// refactorizations, far above what the growth/drift triggers allow in
+	// practice; it bounds worst-case floating-error accumulation.
+	ftMaxUpdates = 2000
+	// ftCostBalance scales the refactorization-cost estimate in the
+	// cost-balance trigger: refactorize once the accumulated extra
+	// FTRAN/BTRAN work from update fill exceeds this multiple of the
+	// factor nonzeros (each iteration runs a small constant number of
+	// solves, and a refactorization costs a few passes over the factor).
+	ftCostBalance = 2.0
+	// ftMinUpdates floors the cost-balance trigger: small problems whose
+	// first updates already rival the (tiny) factor cost would otherwise
+	// refactorize every handful of pivots for no measurable gain.
+	ftMinUpdates = 12
 )
 
-// etaCol is one product-form update: after a pivot where the FTRAN spike w
-// replaced basis position r, the new inverse is Eᵣ(w)·B⁻¹.
-type etaCol struct {
-	r   int32 // pivot position
-	piv float64
-	idx []int32 // positions i != r with w[i] != 0
+// rEta is one Forrest–Tomlin row transform: row t of U gained
+// row_t -= Σ val[k]·row_idx[k] during the update's re-triangularization.
+// Applied to an FTRAN right-hand side as work[t] -= Σ val·work[idx];
+// transposed for BTRAN as work[idx] -= val·work[t].
+type rEta struct {
+	t   int32
+	idx []int32
 	val []float64
 }
 
 // luFactor is a sparse LU factorization of the basis in pivot order, plus
-// the eta file accumulated since the last refactorization.
+// the Forrest–Tomlin update state accumulated since the last
+// refactorization: mutable U rows, the elimination order permutation, and
+// the row-eta file.
 type luFactor struct {
 	m int
 
 	// L is unit lower triangular in pivot-position space: lIdx[k]/lVal[k]
 	// are the below-diagonal multipliers of column k (positions > k).
+	// L is static between refactorizations; updates only touch U.
 	lIdx [][]int32
 	lVal [][]float64
 
-	// U is upper triangular in pivot-position space: uIdx[k]/uVal[k] are
-	// row k's entries right of the diagonal; uDiag[k] is the pivot value.
+	// U is upper triangular with respect to the elimination order below:
+	// uIdx[k]/uVal[k] are row k's off-diagonal entries (columns in step
+	// space); uDiag[k] is the diagonal. Updates replace columns and
+	// rows in place.
 	uIdx  [][]int32
 	uVal  [][]float64
 	uDiag []float64
 
-	pivRow []int32 // elimination step k pivoted original row pivRow[k]...
-	pivCol []int32 // ...against basis position pivCol[k]
+	// uColRows[c] lists the rows carrying an off-diagonal entry at column
+	// c, so updates can splice a column out without scanning all rows.
+	// Entries may be stale (a row edit does not eagerly prune the lists
+	// of its old columns); consumers verify against the row itself.
+	uColRows [][]int32
 
-	luNnz int // nonzeros in L + U (refactorization growth metric)
+	// order is the triangular elimination order of the steps: row
+	// order[q] has off-diagonal entries only in columns order[q+1:].
+	// Fresh factorizations are triangular in step order (identity);
+	// each FT update cyclically rotates the replaced step to the end.
+	order   []int32
+	stepPos []int32 // inverse of order
 
-	etas   []etaCol
-	etaNnz int
+	pivRow  []int32 // elimination step k pivoted original row pivRow[k]...
+	pivCol  []int32 // ...against basis position pivCol[k]
+	colStep []int32 // inverse of pivCol: basis position -> step
+
+	luNnz    int // L+U nonzeros of the fresh factorization
+	uNnz     int // current U off-diagonal nonzeros (tracks update fill)
+	baseUNnz int // U off-diagonal nonzeros of the fresh factorization
+
+	// extraCost accumulates, one charge per update, the update-file
+	// nonzeros every subsequent solve drags along; refactorization
+	// triggers when it outweighs the (amortized) cost of refactorizing.
+	extraCost float64
+
+	retas []rEta
+	rNnz  int // nonzeros across the row-eta file
+
+	updates int     // FT updates since the last refactorization
+	drift   float64 // worst FT diagonal-identity relative error so far
+	stale   bool    // a rejected update left U unusable; must refactorize
+
+	// statUpdates/statUpdNnz accumulate across refactorizations for
+	// solver-effort reporting (Solution.FTUpdates / UpdateNnz).
+	statUpdates int
+	statUpdNnz  int
 
 	work []float64 // dense scratch, len m
+
+	// spike holds the most recent FTRAN's partial result L⁻¹R-applied
+	// right-hand side (step space) — exactly the column an immediately
+	// following update must splice into U.
+	spike    []float64
+	spikeNnz []int32
+	acc      []float64 // update elimination accumulator, kept all-zero
 
 	// Elimination workspace, retained across factorizations so the hot
 	// refactorization path reuses grown backing arrays instead of
@@ -74,30 +158,39 @@ type luFactor struct {
 
 func newLUFactor(m int) *luFactor {
 	return &luFactor{
-		m:      m,
-		lIdx:   make([][]int32, m),
-		lVal:   make([][]float64, m),
-		uIdx:   make([][]int32, m),
-		uVal:   make([][]float64, m),
-		uDiag:  make([]float64, m),
-		pivRow: make([]int32, m),
-		pivCol: make([]int32, m),
-		work:   make([]float64, m),
+		m:        m,
+		lIdx:     make([][]int32, m),
+		lVal:     make([][]float64, m),
+		uIdx:     make([][]int32, m),
+		uVal:     make([][]float64, m),
+		uDiag:    make([]float64, m),
+		uColRows: make([][]int32, m),
+		order:    make([]int32, m),
+		stepPos:  make([]int32, m),
+		pivRow:   make([]int32, m),
+		pivCol:   make([]int32, m),
+		colStep:  make([]int32, m),
+		work:     make([]float64, m),
+		spike:    make([]float64, m),
+		acc:      make([]float64, m),
 	}
 }
 
 // factorize computes the LU factors of the basis whose columns are given
 // as parallel sparse (row index, value) slices, replacing any previous
-// factorization and clearing the eta file. On success it returns nil
+// factorization and clearing the update state. On success it returns nil
 // slices. If the basis is structurally or numerically singular it returns
 // the original rows left without a pivot and the basis positions left
 // unpivoted; the caller repairs the basis (slotting in slacks for the
 // uncovered rows) and retries.
 func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, failCols []int32) {
 	m := f.m
-	f.etas = f.etas[:0]
-	f.etaNnz = 0
+	f.retas = f.retas[:0]
+	f.rNnz = 0
 	f.luNnz = 0
+	f.updates = 0
+	f.drift = 0
+	f.stale = false
 
 	// Active submatrix, maintained exactly: entries per original row and
 	// the set of rows containing each basis position (column). The
@@ -400,11 +493,11 @@ func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, fa
 	// Remap L targets (original rows) and U columns (basis positions) into
 	// pivot-step space so the solves run on triangular systems directly.
 	rowStep := wpos // reuse
-	colStep := make([]int32, m)
 	for k := 0; k < m; k++ {
 		rowStep[f.pivRow[k]] = int32(k)
-		colStep[f.pivCol[k]] = int32(k)
+		f.colStep[f.pivCol[k]] = int32(k)
 	}
+	f.uNnz = 0
 	for k := 0; k < m; k++ {
 		li := f.lIdx[k]
 		for ki := range li {
@@ -412,7 +505,22 @@ func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, fa
 		}
 		ui := f.uIdx[k]
 		for ki := range ui {
-			ui[ki] = colStep[ui[ki]]
+			ui[ki] = f.colStep[ui[ki]]
+		}
+		f.uNnz += len(ui)
+	}
+	f.baseUNnz = f.uNnz
+	f.extraCost = 0
+	// Fresh factorizations are triangular in step order; rebuild the
+	// column pattern for the update path.
+	for k := 0; k < m; k++ {
+		f.order[k] = int32(k)
+		f.stepPos[k] = int32(k)
+		f.uColRows[k] = f.uColRows[k][:0]
+	}
+	for k := 0; k < m; k++ {
+		for _, c := range f.uIdx[k] {
+			f.uColRows[c] = append(f.uColRows[c], int32(k))
 		}
 	}
 	return nil, nil
@@ -420,7 +528,14 @@ func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, fa
 
 // ftran solves B·w = a in place: on entry x holds a indexed by original
 // row; on return it holds w indexed by basis position.
-func (f *luFactor) ftran(x []float64) {
+func (f *luFactor) ftran(x []float64) { f.ftranInto(x, false) }
+
+// ftranPivot is ftran for an entering column: the partial result after L
+// and the row etas (the Forrest–Tomlin spike of a) is additionally saved
+// for the update call that follows the pivot.
+func (f *luFactor) ftranPivot(x []float64) { f.ftranInto(x, true) }
+
+func (f *luFactor) ftranInto(x []float64, save bool) {
 	m := f.m
 	work := f.work
 	for k := 0; k < m; k++ {
@@ -438,8 +553,30 @@ func (f *luFactor) ftran(x []float64) {
 			work[tgt] -= val[ki] * v
 		}
 	}
-	// U backward (gather).
-	for k := m - 1; k >= 0; k-- {
+	// Row etas, oldest first.
+	for ei := range f.retas {
+		e := &f.retas[ei]
+		acc := work[e.t]
+		for ki, k := range e.idx {
+			acc -= e.val[ki] * work[k]
+		}
+		work[e.t] = acc
+	}
+	if save {
+		// Save the spike — the partial result an immediately following
+		// Forrest–Tomlin update splices into U as the replaced column.
+		f.spikeNnz = f.spikeNnz[:0]
+		for k := 0; k < m; k++ {
+			v := work[k]
+			f.spike[k] = v
+			if v != 0 {
+				f.spikeNnz = append(f.spikeNnz, int32(k))
+			}
+		}
+	}
+	// U backward (gather) in elimination order.
+	for q := m - 1; q >= 0; q-- {
+		k := f.order[q]
 		v := work[k]
 		idx := f.uIdx[k]
 		val := f.uVal[k]
@@ -451,40 +588,19 @@ func (f *luFactor) ftran(x []float64) {
 	for k := 0; k < m; k++ {
 		x[f.pivCol[k]] = work[k]
 	}
-	// Product-form updates, oldest first.
-	for ei := range f.etas {
-		e := &f.etas[ei]
-		xr := x[e.r]
-		if xr == 0 {
-			continue
-		}
-		xr /= e.piv
-		for ki, i := range e.idx {
-			x[i] -= e.val[ki] * xr
-		}
-		x[e.r] = xr
-	}
 }
 
 // btran solves Bᵀ·y = c in place: on entry x holds c indexed by basis
 // position; on return it holds y indexed by original row.
 func (f *luFactor) btran(x []float64) {
-	// Eta transposes, newest first.
-	for ei := len(f.etas) - 1; ei >= 0; ei-- {
-		e := &f.etas[ei]
-		acc := x[e.r]
-		for ki, i := range e.idx {
-			acc -= e.val[ki] * x[i]
-		}
-		x[e.r] = acc / e.piv
-	}
 	m := f.m
 	work := f.work
 	for k := 0; k < m; k++ {
 		work[k] = x[f.pivCol[k]]
 	}
-	// Uᵀ forward (scatter).
-	for k := 0; k < m; k++ {
+	// Uᵀ forward (scatter) in elimination order.
+	for q := 0; q < m; q++ {
+		k := f.order[q]
 		v := work[k] / f.uDiag[k]
 		work[k] = v
 		if v == 0 {
@@ -494,6 +610,17 @@ func (f *luFactor) btran(x []float64) {
 		val := f.uVal[k]
 		for ki, c := range idx {
 			work[c] -= val[ki] * v
+		}
+	}
+	// Row-eta transposes, newest first.
+	for ei := len(f.retas) - 1; ei >= 0; ei-- {
+		e := &f.retas[ei]
+		vt := work[e.t]
+		if vt == 0 {
+			continue
+		}
+		for ki, k := range e.idx {
+			work[k] -= e.val[ki] * vt
 		}
 	}
 	// Lᵀ backward (gather).
@@ -511,31 +638,171 @@ func (f *luFactor) btran(x []float64) {
 	}
 }
 
-// appendEta records the product-form update for a pivot whose FTRAN spike
-// is w (dense, position space, nonzeros listed in wNnz) replacing basis
-// position r.
-func (f *luFactor) appendEta(w []float64, wNnz []int32, r int32) {
-	e := etaCol{r: r, piv: w[r]}
-	for _, i := range wNnz {
-		if i == r {
+// update applies a Forrest–Tomlin update for a pivot that replaced basis
+// position leavePos with the column whose FTRAN ran last (its spike was
+// saved by ftran). wLeave is the FTRAN result at the leaving position,
+// used for the FT diagonal cross-check d = wLeave·u_tt. Returns false —
+// leaving the factorization untouched — when the update would be
+// numerically unsafe (singular spike or excessive drift); the caller
+// must then refactorize the (already pivoted) basis.
+func (f *luFactor) update(leavePos int32, wLeave float64) bool {
+	if f.stale {
+		return false
+	}
+	m := f.m
+	t := f.colStep[leavePos]
+	posT := int(f.stepPos[t])
+	spike := f.spike
+
+	// Re-triangularize: move step t to the end of the order and eliminate
+	// the old row t against the rows ordered after it. The elimination
+	// runs on a scratch accumulator (acc, kept all-zero between calls) so
+	// a rejected update leaves the U rows untouched; the order rotation
+	// is fused into the same pass — rejection makes the factorization
+	// stale, and the caller refactorizes (resetting the order) before
+	// any further solve.
+	acc := f.acc
+	for ki, c := range f.uIdx[t] {
+		acc[c] = f.uVal[t][ki]
+	}
+	d := spike[t]
+	var eIdx []int32
+	var eVal []float64
+	for q := posT; q < m-1; q++ {
+		k := f.order[q+1]
+		f.order[q] = k
+		f.stepPos[k] = int32(q)
+		a := acc[k]
+		if a == 0 {
 			continue
 		}
-		v := w[i]
+		acc[k] = 0
+		if math.Abs(a) <= dropTol {
+			continue
+		}
+		mult := a / f.uDiag[k]
+		if math.Abs(mult) <= dropTol {
+			continue
+		}
+		eIdx = append(eIdx, k)
+		eVal = append(eVal, mult)
+		// Row k's (pending) column-t entry is the spike value.
+		d -= mult * spike[k]
+		for ki, c := range f.uIdx[k] {
+			acc[c] -= mult * f.uVal[k][ki]
+		}
+	}
+	f.order[m-1] = t
+	f.stepPos[t] = int32(m - 1)
+
+	// Acceptance: the new diagonal must be solidly nonzero relative to
+	// the spike, and must agree with the FT identity d = wLeave·u_tt
+	// (both sides computed independently, so their disagreement measures
+	// accumulated factorization drift).
+	amax := 0.0
+	for _, i := range f.spikeNnz {
+		if a := math.Abs(spike[i]); a > amax {
+			amax = a
+		}
+	}
+	expect := wLeave * f.uDiag[t]
+	scale := math.Max(1, math.Max(math.Abs(d), math.Abs(expect)))
+	relErr := math.Abs(d-expect) / scale
+	if math.Abs(d) < pivotTol || math.Abs(d) < ftRejectRel*amax || relErr > ftDriftReject {
+		// U still describes the pre-pivot basis while the caller's
+		// bookkeeping has moved on; mark it unusable until the caller's
+		// mandatory refactorization.
+		f.stale = true
+		return false
+	}
+	if relErr > f.drift {
+		f.drift = relErr
+	}
+
+	// Commit. Splice the old column t out of the rows that carry it...
+	for _, i32 := range f.uColRows[t] {
+		i := int(i32)
+		if i == int(t) {
+			continue
+		}
+		row := f.uIdx[i]
+		for ki, c := range row {
+			if c == t {
+				last := len(row) - 1
+				row[ki] = row[last]
+				f.uVal[i][ki] = f.uVal[i][last]
+				f.uIdx[i] = row[:last]
+				f.uVal[i] = f.uVal[i][:last]
+				f.uNnz--
+				break
+			}
+		}
+	}
+	f.uColRows[t] = f.uColRows[t][:0]
+	// ...retire the old row t (its columns' uColRows entries go stale;
+	// consumers re-verify against the rows)...
+	f.uNnz -= len(f.uIdx[t])
+	f.uIdx[t] = f.uIdx[t][:0]
+	f.uVal[t] = f.uVal[t][:0]
+	// ...splice the spike in as the new column t...
+	added := 0
+	for _, i32 := range f.spikeNnz {
+		i := int(i32)
+		if i == int(t) {
+			continue
+		}
+		v := spike[i]
 		if math.Abs(v) <= dropTol {
 			continue
 		}
-		e.idx = append(e.idx, i)
-		e.val = append(e.val, v)
+		f.uIdx[i] = append(f.uIdx[i], t)
+		f.uVal[i] = append(f.uVal[i], v)
+		f.uColRows[t] = append(f.uColRows[t], i32)
+		added++
 	}
-	f.etas = append(f.etas, e)
-	f.etaNnz += len(e.idx) + 1
+	f.uNnz += added
+	f.uDiag[t] = d
+	// ...and record the row eta (the order was already rotated above).
+	if len(eIdx) > 0 {
+		f.retas = append(f.retas, rEta{t: t, idx: eIdx, val: eVal})
+		f.rNnz += len(eIdx)
+	}
+
+	f.updates++
+	f.statUpdates++
+	f.statUpdNnz += added + len(eIdx)
+	// Cost balance: every subsequent FTRAN/BTRAN pays for the update
+	// fill, so charge the current extra nonzeros once per update (one
+	// update ≈ one simplex iteration ≈ a constant number of solves).
+	f.extraCost += float64(f.uNnz - f.baseUNnz + f.rNnz)
+	return true
 }
 
-// shouldRefactor reports whether the eta file has grown enough that a
-// fresh factorization is cheaper (and numerically safer) than continuing.
+// shouldRefactor reports whether the update state has grown (in measured
+// fill-induced solve cost, absolute fill, or numeric drift) to the point
+// where a fresh factorization is cheaper and safer than continuing to
+// update.
 func (f *luFactor) shouldRefactor() bool {
-	if len(f.etas) >= refactorEvery {
+	if f.stale || f.updates >= ftMaxUpdates {
 		return true
 	}
-	return f.etaNnz > 2*f.luNnz+8*f.m
+	if f.drift > ftDriftRefactor {
+		return true
+	}
+	// Cost balance: extraCost is the cumulative per-iteration solve work
+	// (in nonzero visits) the update fill has added since the last
+	// refactorization; once it rivals the refactorization's own cost
+	// (approximately a small multiple of the factor nonzeros plus the
+	// O(m) bookkeeping passes), refactorizing is the cheaper path
+	// forward. Sparse update streams (dual reoptimization chains) thus
+	// run hundreds of updates per refactorization, while dense-spike
+	// streams refactorize early instead of dragging the fill through
+	// every FTRAN/BTRAN.
+	if f.updates >= ftMinUpdates && f.extraCost > ftCostBalance*float64(f.luNnz+8*f.m) {
+		return true
+	}
+	// Absolute fill bound, independent of amortization: never let the
+	// update file outgrow the factorization itself by more than the
+	// growth factor (memory, and the per-solve floor).
+	return f.uNnz+f.rNnz > ftGrowthFactor*f.luNnz+8*f.m
 }

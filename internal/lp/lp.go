@@ -12,16 +12,21 @@
 // with a sparse A. Solve uses a bounded-variable revised simplex whose
 // basis is held as a sparse LU factorization (factor.go): Markowitz-ordered
 // elimination with singleton peeling exploits the near-triangular structure
-// of time-expanded flow bases, product-form eta updates carry the
-// factorization between periodic refactorizations, and FTRAN/BTRAN run in
-// time proportional to the factor nonzeros rather than O(m²). Entering
-// variables come from a rotating partial-pricing scan (pricing.go) so an
-// iteration does not touch all n columns, with Bland's rule as the
-// anti-cycling fallback. Feasibility is reached by a composite phase 1
-// that minimizes the bound violations of the basic variables directly —
-// no artificial variables — which is also what makes warm starts cheap:
-// Solve can resume from a Basis snapshot of an earlier solve (see
-// Options.WarmStart), as branch-and-bound and re-solve loops do.
+// of time-expanded flow bases, Forrest–Tomlin updates carry the
+// factorization between refactorizations (the pivot's spike is spliced
+// into U and the replaced row collapses to a compact row eta, so the
+// update file grows with actual fill, and refactorization triggers on
+// measured nonzero growth and numeric drift rather than a fixed pivot
+// count), and FTRAN/BTRAN run in time proportional to the factor nonzeros
+// rather than O(m²). Entering variables come from a rotating
+// partial-pricing scan (pricing.go) so an iteration does not touch all n
+// columns, with Bland's rule as the anti-cycling fallback. Feasibility is
+// reached by a composite phase 1 that minimizes the bound violations of
+// the basic variables directly — no artificial variables — which is also
+// what makes warm starts cheap: Solve can resume from a Basis snapshot of
+// an earlier solve (see Options.WarmStart), as branch-and-bound and
+// re-solve loops do, or crash-start from a structural guess (see
+// Options.Crash).
 package lp
 
 import (
@@ -281,6 +286,13 @@ type Solution struct {
 	// Refactorizations counts basis factorizations (including the initial
 	// one), a measure of numerical churn alongside Iterations.
 	Refactorizations int
+	// FTUpdates counts Forrest–Tomlin basis updates applied between
+	// refactorizations; Iterations-FTUpdates pivots were absorbed by a
+	// refactorization instead. UpdateNnz is the total nonzeros the update
+	// files accumulated (spike fill plus row-eta entries) — the memory
+	// and FTRAN/BTRAN cost the fill-aware refactorization trigger bounds.
+	FTUpdates int
+	UpdateNnz int
 	// Basis is the final basis of the solve, whatever its status; pass it
 	// as Options.WarmStart to a later solve to resume from it. Even an
 	// infeasible or out-of-budget solve's basis is a useful hint for a
@@ -330,9 +342,24 @@ type Options struct {
 	// the composite phase 1, so any snapshot of a related problem is a
 	// safe hint.
 	WarmStart *Basis
+	// Crash, when non-nil and WarmStart is absent, seeds the starting
+	// basis from a structural guess instead of the all-slack basis — a
+	// "crash basis", typically built from a combinatorial heuristic's
+	// support (the core layer derives one from the greedy schedule's flow
+	// support). It is installed under the same contract as WarmStart
+	// (statuses sanitized, short bases padded with slacks, singular bases
+	// repaired), but it is only a phase-1 seed: it never routes the solve
+	// through the dual-reoptimization path the way a warm basis does.
+	Crash *Basis
 	// Method selects the simplex variant; the default MethodAuto uses
 	// the dual simplex exactly when a warm-start basis is dual feasible.
 	Method Method
+	// testPerturb pre-applies this many anti-stall bound-perturbation
+	// rounds right after the basis is installed, forcing the solve to run
+	// on shifted bounds and exit through the restore/re-certification
+	// paths. Test hook only (unexported; settable from within the
+	// package).
+	testPerturb int
 	// NoPresolve disables the presolve/scaling layer and solves the
 	// problem as stated. Presolve is on by default: fixed variables,
 	// empty/singleton/forcing/redundant rows, and safe doubleton

@@ -1,0 +1,111 @@
+package lp
+
+// perturb_test.go audits the anti-stall bound-perturbation exit paths:
+// whatever the perturbation machinery does internally, the reported
+// solution — objective, point, and duals — must be priced against the
+// pristine bounds. The testPerturb option hook pre-applies perturbation
+// rounds so the restore/re-certification code runs deterministically.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPerturbedSolveMatchesClean solves random feasible LPs with
+// bound perturbation forced from the start (including at the restore
+// cap, rounds=3, where no further perturbation rounds are allowed) and
+// checks the result matches the clean solve: same objective, a point
+// within the TRUE bounds, and duals consistent with the stated problem.
+func TestQuickPerturbedSolveMatchesClean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := randFeasibleLP(rng)
+		clean, err := Solve(p, Options{})
+		if err != nil || clean.Status != StatusOptimal {
+			return true // pathological draw; covered elsewhere
+		}
+		for _, rounds := range []int{1, 3} {
+			pert, err := Solve(p, Options{testPerturb: rounds, NoPresolve: true})
+			if err != nil {
+				t.Logf("seed %d rounds %d: error %v", seed, rounds, err)
+				return false
+			}
+			if pert.Status != StatusOptimal {
+				t.Logf("seed %d rounds %d: status %v", seed, rounds, pert.Status)
+				return false
+			}
+			if math.Abs(pert.Objective-clean.Objective) > 1e-7*(1+math.Abs(clean.Objective)) {
+				t.Logf("seed %d rounds %d: objective %g != clean %g",
+					seed, rounds, pert.Objective, clean.Objective)
+				return false
+			}
+			// The returned point must respect the PRISTINE bounds: a
+			// perturbed-bound value leaking out is exactly the bug class
+			// this guards against.
+			for j := 0; j < p.NumVars(); j++ {
+				lo, hi := p.Bounds(VarID(j))
+				if pert.X[j] < lo-1e-7 || pert.X[j] > hi+1e-7 {
+					t.Logf("seed %d rounds %d: var %d value %g outside [%g, %g]",
+						seed, rounds, j, pert.X[j], lo, hi)
+					return false
+				}
+			}
+			// Duals must certify optimality against the stated rows: for
+			// a maximization, y_i must have the sign its row sense allows.
+			for i, d := range pert.Duals {
+				switch {
+				case p.senses[i] == LE && d < -1e-6:
+					t.Logf("seed %d rounds %d: LE row %d has negative dual %g", seed, rounds, i, d)
+					return false
+				case p.senses[i] == GE && d > 1e-6:
+					t.Logf("seed %d rounds %d: GE row %d has positive dual %g", seed, rounds, i, d)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerturbRestoreCapRecertifies pins the exhausted-perturbation
+// case on a degenerate instance: with the maximum perturbation rounds
+// pre-applied the solver has no fresh rounds left (pertRound is at its
+// cap), so the optimal exit must restore the pristine bounds and
+// reoptimize exactly before reporting.
+func TestPerturbRestoreCapRecertifies(t *testing.T) {
+	// Degenerate transportation-like LP with many ties.
+	p := NewProblem(Minimize)
+	var vars []VarID
+	for i := 0; i < 12; i++ {
+		vars = append(vars, p.AddVar("", 0, 2, float64(1+i%3)))
+	}
+	for i := 0; i < 4; i++ {
+		var terms []Term
+		for j := 0; j < 3; j++ {
+			terms = append(terms, Term{vars[3*i+j], 1})
+		}
+		p.AddRow(terms, EQ, 2)
+	}
+	clean, err := Solve(p, Options{})
+	if err != nil || clean.Status != StatusOptimal {
+		t.Fatalf("clean solve: %v %v", err, clean.Status)
+	}
+	pert, err := Solve(p, Options{testPerturb: 3, NoPresolve: true})
+	if err != nil || pert.Status != StatusOptimal {
+		t.Fatalf("perturbed solve: %v %v", err, pert.Status)
+	}
+	if math.Abs(pert.Objective-clean.Objective) > 1e-6 {
+		t.Fatalf("objective %g != clean %g", pert.Objective, clean.Objective)
+	}
+	for j, v := range pert.X {
+		lo, hi := p.Bounds(VarID(j))
+		if v < lo-1e-6 || v > hi+1e-6 {
+			t.Fatalf("var %d value %g outside pristine bounds [%g, %g]", j, v, lo, hi)
+		}
+	}
+}

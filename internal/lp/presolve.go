@@ -685,6 +685,8 @@ func (pre *presolved) post(rsol *Solution) *Solution {
 		Status:           rsol.Status,
 		Iterations:       rsol.Iterations,
 		Refactorizations: rsol.Refactorizations,
+		FTUpdates:        rsol.FTUpdates,
+		UpdateNnz:        rsol.UpdateNnz,
 	}
 
 	var x []float64
@@ -896,6 +898,7 @@ func solvePresolved(p *Problem, opt Options) (*Solution, error) {
 	ropt := opt
 	ropt.NoPresolve = true
 	ropt.WarmStart = pre.mapBasis(opt.WarmStart)
+	ropt.Crash = pre.mapBasis(opt.Crash)
 	rs := newSimplex(pre.red, ropt)
 	rsol, err := rs.solve()
 	if err != nil {

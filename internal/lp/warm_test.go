@@ -256,3 +256,78 @@ func TestRefactorizationCountReported(t *testing.T) {
 		t.Fatalf("Refactorizations = %d, want >= 1", sol.Refactorizations)
 	}
 }
+
+// TestWarmCorruptedBasisRepaired: a warm basis with adversarially garbled
+// statuses (wrong basic counts, statuses inconsistent with bounds,
+// structurally singular variable sets) must never error the solve — the
+// install/repair pass and, since the Forrest–Tomlin work, the
+// refactorize-then-repair fallback on a rejected mid-solve update absorb
+// it, and the solve still reaches the cold optimum.
+func TestWarmCorruptedBasisRepaired(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 40; trial++ {
+		p, _ := randFeasibleLP(rng)
+		cold, err := Solve(p, Options{})
+		if err != nil || cold.Status != StatusOptimal {
+			t.Fatalf("trial %d: cold %v %v", trial, err, cold.Status)
+		}
+		// Corrupt: random statuses, heavily biased toward basic so the
+		// basis is over-full and often singular (duplicate structure).
+		bad := &Basis{
+			Vars: make([]BasisStatus, p.NumVars()),
+			Rows: make([]BasisStatus, p.NumRows()),
+		}
+		for j := range bad.Vars {
+			bad.Vars[j] = BasisStatus(rng.Intn(4))
+		}
+		for i := range bad.Rows {
+			if rng.Intn(3) == 0 {
+				bad.Rows[i] = BasisBasic
+			} else {
+				bad.Rows[i] = BasisStatus(rng.Intn(4))
+			}
+		}
+		for _, m := range []Method{MethodAuto, MethodPrimal, MethodDual} {
+			sol, err := Solve(p, Options{WarmStart: bad, Method: m})
+			if err != nil {
+				t.Fatalf("trial %d method %v: %v", trial, m, err)
+			}
+			if sol.Status != StatusOptimal || math.Abs(sol.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d method %v: got %v obj %g, want optimal %g",
+					trial, m, sol.Status, sol.Objective, cold.Objective)
+			}
+		}
+	}
+}
+
+// TestCrashBasisMatchesSlackStart: a crash basis — even a garbage one —
+// only changes the starting basis, never the optimum: the crash-started
+// solve must agree with the all-slack cold start on every corpus
+// instance.
+func TestCrashBasisMatchesSlackStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 60; trial++ {
+		p, _ := randFeasibleLP(rng)
+		cold, err := Solve(p, Options{})
+		if err != nil || cold.Status != StatusOptimal {
+			t.Fatalf("trial %d: cold %v %v", trial, err, cold.Status)
+		}
+		crash := &Basis{
+			Vars: make([]BasisStatus, p.NumVars()),
+			Rows: make([]BasisStatus, p.NumRows()),
+		}
+		for j := range crash.Vars {
+			if rng.Intn(2) == 0 {
+				crash.Vars[j] = BasisBasic
+			}
+		}
+		sol, err := Solve(p, Options{Crash: crash})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != StatusOptimal || math.Abs(sol.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+			t.Fatalf("trial %d: crash-start got %v obj %g, want optimal %g",
+				trial, sol.Status, sol.Objective, cold.Objective)
+		}
+	}
+}

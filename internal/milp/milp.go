@@ -157,8 +157,12 @@ type Solution struct {
 	RootIterations int
 	NodeIterations int
 	// Refactorizations counts basis factorizations across the root and
-	// every node re-solve.
+	// every node re-solve; FTUpdates/UpdateNnz count the Forrest–Tomlin
+	// updates (and their accumulated update-file nonzeros) that carried
+	// pivots between them.
 	Refactorizations int
+	FTUpdates        int
+	UpdateNnz        int
 	// RootBasis is the root relaxation's final basis, reusable to
 	// warm-start a related MILP solve via Options.RootWarmStart.
 	RootBasis *lp.Basis
@@ -465,6 +469,9 @@ func Solve(p *Problem, opt Options) *Solution {
 		s.childOpt.Method = lp.MethodDual
 	}
 	s.childOpt.NoPresolve = true
+	// Nodes always resume from their parent's basis; a root crash basis
+	// must not leak into node re-solves.
+	s.childOpt.Crash = nil
 
 	// Root.
 	lpOpt.WarmStart = opt.RootWarmStart
@@ -472,6 +479,8 @@ func Solve(p *Problem, opt Options) *Solution {
 	if rootSol != nil {
 		s.sol.RootIterations = rootSol.Iterations
 		s.sol.Refactorizations = rootSol.Refactorizations
+		s.sol.FTUpdates = rootSol.FTUpdates
+		s.sol.UpdateNnz = rootSol.UpdateNnz
 		s.sol.RootBasis = rootSol.Basis
 	}
 	if err != nil || rootSol.Status == lp.StatusNumericalError {
@@ -605,6 +614,8 @@ func (s *search) integrate(nd *node, lpSol *lp.Solution, err error, exact bool) 
 	if lpSol != nil {
 		s.sol.NodeIterations += lpSol.Iterations
 		s.sol.Refactorizations += lpSol.Refactorizations
+		s.sol.FTUpdates += lpSol.FTUpdates
+		s.sol.UpdateNnz += lpSol.UpdateNnz
 	}
 	defer s.emitProgress()
 	if err != nil || lpSol.Status == lp.StatusNumericalError ||
@@ -822,6 +833,8 @@ func (s *search) runOpportunistic(workers int) {
 				if drop {
 					s.sol.NodeIterations += lpSol.Iterations
 					s.sol.Refactorizations += lpSol.Refactorizations
+					s.sol.FTUpdates += lpSol.FTUpdates
+					s.sol.UpdateNnz += lpSol.UpdateNnz
 					// The node was counted as evaluated; keep the
 					// Progress contract (a sample per evaluated node)
 					// even though integrate is skipped.

@@ -106,6 +106,15 @@ const (
 	SwitchNoCopy = core.SwitchNoCopy
 )
 
+// Crash-basis policies (Options.Crash): whether cold solves seed the
+// simplex from the greedy schedule's flow support instead of the
+// all-slack basis. See core.CrashMode.
+const (
+	CrashAuto = core.CrashAuto
+	CrashAll  = core.CrashAll
+	CrashOff  = core.CrashOff
+)
+
 // NewTopology returns an empty topology with the given name.
 func NewTopology(name string) *Topology { return topo.New(name) }
 
