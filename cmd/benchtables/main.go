@@ -28,16 +28,22 @@ import (
 // benchRecord is one experiment in -json mode: the benchmark identity,
 // its wall clock, the solver-effort counters, and the regenerated rows.
 type benchRecord struct {
-	Name             string     `json:"name"`
-	Title            string     `json:"title"`
-	NsPerOp          int64      `json:"ns_per_op"`
-	Iterations       float64    `json:"iterations"`
-	Refactorizations float64    `json:"refactorizations"`
-	FTUpdates        float64    `json:"ft_updates"`
-	UpdateNnz        float64    `json:"update_nnz"`
-	Header           []string   `json:"header,omitempty"`
-	Rows             [][]string `json:"rows,omitempty"`
-	Notes            string     `json:"notes,omitempty"`
+	Name             string  `json:"name"`
+	Title            string  `json:"title"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	Iterations       float64 `json:"iterations"`
+	Refactorizations float64 `json:"refactorizations"`
+	FTUpdates        float64 `json:"ft_updates"`
+	UpdateNnz        float64 `json:"update_nnz"`
+	// Replan fields are populated by the churn experiment only: the
+	// incremental-reoptimization pivots, their wall clock, and how many
+	// replans degraded to cold solves.
+	ReplanPivots    float64    `json:"replan_pivots,omitempty"`
+	ReplanWallMs    float64    `json:"replan_wall_ms,omitempty"`
+	ReplanFallbacks float64    `json:"replan_fallbacks,omitempty"`
+	Header          []string   `json:"header,omitempty"`
+	Rows            [][]string `json:"rows,omitempty"`
+	Notes           string     `json:"notes,omitempty"`
 }
 
 func main() {
@@ -83,6 +89,9 @@ func main() {
 				Refactorizations: tab.Metrics["refactorizations"],
 				FTUpdates:        tab.Metrics["ft_updates"],
 				UpdateNnz:        tab.Metrics["update_nnz"],
+				ReplanPivots:     tab.Metrics["replan_pivots"],
+				ReplanWallMs:     tab.Metrics["replan_wall_ms"],
+				ReplanFallbacks:  tab.Metrics["replan_fallbacks"],
 				Header:           tab.Header,
 				Rows:             tab.Rows,
 				Notes:            tab.Notes,

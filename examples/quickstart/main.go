@@ -6,6 +6,9 @@
 // (The old free functions — Solve, SolveLP, SolveMILP, SolveAStar —
 // still work and now route through a single-use session; hold a Planner
 // like this when you solve more than once per topology.)
+//
+// Sessions also absorb churn online — link failures, stragglers,
+// demand shifts — via Planner.Replan; see examples/linkfailure.
 package main
 
 import (

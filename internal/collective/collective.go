@@ -153,6 +153,25 @@ func (d *Demand) Clone() *Demand {
 	return out
 }
 
+// DropPair removes every demand from src to dst: dst no longer wants any
+// chunk of src. The replanning layer uses it for demand churn — a tenant
+// leaving, or traffic to/from a failed node.
+func (d *Demand) DropPair(src, dst int) {
+	for c := 0; c < d.c; c++ {
+		d.want[d.idx(src, c, dst)] = false
+	}
+}
+
+// DropNode removes every demand touching node n, in either role: n stops
+// wanting anything, and nothing wants n's chunks. Node churn uses it so a
+// failed GPU's traffic leaves the demand with the node.
+func (d *Demand) DropNode(n int) {
+	for s := 0; s < d.n; s++ {
+		d.DropPair(s, n)
+		d.DropPair(n, s)
+	}
+}
+
 // fpSeed makes Fingerprint comparable across demands within one process
 // — the same convention as lp.Problem.Fingerprint, which is all the
 // session caches keying on it need.

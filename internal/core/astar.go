@@ -250,7 +250,7 @@ func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float
 				col[k] = noVar
 			}
 			fvar[ci][l] = col
-			if !active[ci] {
+			if !active[ci] || t.LinkDown(topo.LinkID(l)) {
 				continue
 			}
 			lk := t.Link(topo.LinkID(l))

@@ -235,7 +235,10 @@ func TestCancelledContextFailsFast(t *testing.T) {
 	} {
 		start := time.Now()
 		err := solve()
-		if elapsed := time.Since(start); elapsed > 5*time.Second {
+		// Generous ceiling: it distinguishes "aborted before the solve"
+		// from "ran the solve anyway" (minutes), while tolerating the
+		// pre-solve estimate work under race-detector + full-suite load.
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
 			t.Fatalf("%s: pre-cancelled solve ran %v", name, elapsed)
 		}
 		if !errors.Is(err, context.Canceled) {

@@ -357,6 +357,9 @@ func (in *instance) hopDistances() [][]float64 {
 		}
 	}
 	for l := 0; l < t.NumLinks(); l++ {
+		if t.LinkDown(topo.LinkID(l)) {
+			continue
+		}
 		lk := t.Link(topo.LinkID(l))
 		w := float64(in.delta[l] + in.kappa[l])
 		if w < dist[lk.Src][lk.Dst] {
@@ -382,6 +385,9 @@ func (in *instance) hopDistances() [][]float64 {
 // k: the chunk must be able to reach the link source by k, and the
 // arrival must land within the horizon.
 func (in *instance) sendWindow(ci, l, k int) bool {
+	if in.topo.LinkDown(topo.LinkID(l)) {
+		return false
+	}
 	lk := in.topo.Link(topo.LinkID(l))
 	if in.earliest[ci][lk.Src] > k {
 		return false

@@ -26,6 +26,12 @@ type lpModel struct {
 	fvar [][][]int32
 	bvar [][][]int32
 	rvar [][][]int32
+	// Row indexes the replanning layer edits in place (see replan.go):
+	// capRow[l][k] is the windowed capacity row of link l ending at epoch
+	// k, destRow[si][dst] the destination-total row of the pair; -1 when
+	// the row was not emitted.
+	capRow  [][]int32
+	destRow [][]int32
 }
 
 // landEpoch is the epoch by whose end a send at epoch e on link l is
@@ -107,6 +113,9 @@ func buildLP(in *instance) *lpModel {
 				col[k] = noVar
 			}
 			m.fvar[si][l] = col
+			if t.LinkDown(topo.LinkID(l)) {
+				continue
+			}
 			lk := t.Link(topo.LinkID(l))
 			for k := 0; k < K; k++ {
 				if m.earliest[si][lk.Src] > k {
@@ -288,8 +297,11 @@ func buildLP(in *instance) *lpModel {
 	}
 
 	// Destination totals: each demander consumes exactly its demand.
+	m.destRow = make([][]int32, len(m.sources))
 	for si := range m.sources {
+		m.destRow[si] = make([]int32, nN)
 		for dst := 0; dst < nN; dst++ {
+			m.destRow[si][dst] = noVar
 			if m.dem[si][dst] == 0 {
 				continue
 			}
@@ -299,15 +311,18 @@ func buildLP(in *instance) *lpModel {
 					terms = append(terms, lp.Term{Var: lp.VarID(r), Coeff: 1})
 				}
 			}
-			p.AddRow(terms, lp.EQ, m.dem[si][dst])
+			m.destRow[si][dst] = int32(p.AddRow(terms, lp.EQ, m.dem[si][dst]))
 		}
 	}
 
 	// Capacity, windowed per Appendix F, with per-epoch variable
 	// bandwidth (§5).
+	m.capRow = make([][]int32, nL)
 	for l := 0; l < nL; l++ {
+		m.capRow[l] = make([]int32, K)
 		kap := in.kappa[l]
 		for k := 0; k < K; k++ {
+			m.capRow[l][k] = noVar
 			var row []lp.Term
 			budget := 0.0
 			for kk := k - kap + 1; kk <= k; kk++ {
@@ -330,7 +345,7 @@ func buildLP(in *instance) *lpModel {
 			if len(row) == 0 {
 				continue
 			}
-			p.AddRow(row, lp.LE, budget)
+			m.capRow[l][k] = int32(p.AddRow(row, lp.LE, budget))
 		}
 	}
 

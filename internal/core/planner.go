@@ -61,6 +61,14 @@ type Plan struct {
 	// from the greedy schedule's flow support (a crash basis) instead of
 	// the all-slack identity; see Options.Crash.
 	CrashStart bool
+	// Replanned marks a plan produced by Replan: the incumbent request
+	// re-solved against the churned topology/demand.
+	Replanned bool
+	// ReplanFallback marks a replan that could not reoptimize the
+	// incumbent LP incrementally (structural churn, a sour or infeasible
+	// incremental solve, or a non-LP incumbent) and degraded to a cold
+	// solve of the edited request.
+	ReplanFallback bool
 }
 
 // PlannerStats are cumulative session counters, retrievable at any time
@@ -83,40 +91,52 @@ type PlannerStats struct {
 	// TauCacheHits / EpochCacheHits count derived-state cache hits.
 	TauCacheHits   int
 	EpochCacheHits int
+	// Replans counts Replan calls that reached a solve (incremental or
+	// fallback).
+	Replans int
+	// ReplanPivots totals the simplex iterations of incremental replans —
+	// the dual-simplex pivots that carried each incumbent basis to the
+	// churned optimum.
+	ReplanPivots int
+	// ReplanFallbacks counts replans that degraded to a cold solve.
+	ReplanFallbacks int
 }
 
 // Planner is a long-lived solving session pinned to one topology.
-// Methods are safe for concurrent use; the topology must not be mutated
-// while the session is alive (cached tau derivations and epoch estimates
-// would go stale silently).
+// Methods are safe for concurrent use. The session snapshots the
+// topology at NewPlanner (and again at every Replan), so the caller may
+// keep mutating its own *Topology without corrupting cached state.
 type Planner struct {
-	t      *topo.Topology
-	opt    PlannerOptions
-	numGPU int
+	opt PlannerOptions
 
+	// replanMu serializes Replan calls (Plan calls keep flowing; they
+	// capture a consistent state snapshot under mu).
+	replanMu sync.Mutex
+
+	mu        sync.Mutex
+	state     *sessionState
+	lastLP    sessionBasis // name-matched warm-start chain, LP form
+	lastMILP  sessionBasis // name-matched warm-start chain, MILP form
+	incumbent *incumbentState
+	stats     PlannerStats
+}
+
+// sessionState is everything a session derives from its current
+// topology: the snapshot itself plus every per-topology cache. Replan
+// swaps the whole bundle atomically, so a cache entry can never outlive
+// the topology it was computed against — the replay/basis/estimate
+// staleness bugs all reduce to violating that invariant.
+type sessionState struct {
+	t         *topo.Topology
+	numGPU    int
 	est       *estimateCache
 	lpCache   *batchCache // exact-structure schedule replay
 	warmBases *basisStore // exact-fingerprint warm bases
-
-	mu       sync.Mutex
-	lastLP   sessionBasis // name-matched warm-start chain, LP form
-	lastMILP sessionBasis // name-matched warm-start chain, MILP form
-	stats    PlannerStats
 }
 
-// sessionBasis remembers the most recent solved model of one form for
-// name-matched basis transfer into the next request.
-type sessionBasis struct {
-	prob  *lp.Problem
-	basis *lp.Basis
-}
-
-// NewPlanner opens a session on a topology. The topology is retained and
-// must not be mutated while the session is in use.
-func NewPlanner(t *topo.Topology, opt PlannerOptions) *Planner {
-	return &Planner{
+func newSessionState(t *topo.Topology) *sessionState {
+	return &sessionState{
 		t:      t,
-		opt:    opt,
 		numGPU: len(t.GPUs()),
 		est:    newEstimateCache(),
 		// Sessions are long-lived: bound the schedule-replay cache (each
@@ -126,16 +146,55 @@ func NewPlanner(t *topo.Topology, opt PlannerOptions) *Planner {
 	}
 }
 
-// Topology returns the session topology.
-func (pl *Planner) Topology() *topo.Topology { return pl.t }
+// sessionBasis remembers the most recent solved model of one form for
+// name-matched basis transfer into the next request.
+type sessionBasis struct {
+	prob  *lp.Problem
+	basis *lp.Basis
+}
+
+// incumbentState is the session's memory of the last successful Plan:
+// the request (demand snapshot, resolved options, forced solver) for
+// fallback re-solves, plus — when the plan came from a genuine LP-form
+// solve — the built model and optimal basis that Replan perturbs
+// incrementally.
+type incumbentState struct {
+	demand *collective.Demand // snapshot of the request demand
+	opt    Options            // resolved request options (estimates cleared)
+	solver Solver             // the request's forced solver (SolverAuto when policy-chosen)
+
+	model *lpModel  // nil for MILP/A*/replayed incumbents
+	basis *lp.Basis // final simplex basis of model.p
+}
+
+// NewPlanner opens a session on a topology. The topology is snapshotted
+// (Clone), so the caller's value may be mutated freely afterwards.
+func NewPlanner(t *topo.Topology, opt PlannerOptions) *Planner {
+	return &Planner{
+		opt:   opt,
+		state: newSessionState(t.Clone()),
+	}
+}
+
+// snapshot captures the current session state for one request.
+func (pl *Planner) snapshot() *sessionState {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.state
+}
+
+// Topology returns the session's current topology snapshot (the churned
+// one after Replan calls). Callers must not mutate it.
+func (pl *Planner) Topology() *topo.Topology { return pl.snapshot().t }
 
 // Stats snapshots the session counters.
 func (pl *Planner) Stats() PlannerStats {
 	pl.mu.Lock()
 	st := pl.stats
+	state := pl.state
 	pl.mu.Unlock()
-	st.ExactBasisHits = pl.warmBases.hitCount()
-	tauHits, epochHits := pl.est.hitCounts()
+	st.ExactBasisHits = state.warmBases.hitCount()
+	tauHits, epochHits := state.est.hitCounts()
 	st.TauCacheHits, st.EpochCacheHits = tauHits, epochHits
 	return st
 }
@@ -152,6 +211,7 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 	if req.Demand == nil {
 		return nil, errors.New("core: Plan requires a Demand")
 	}
+	st := pl.snapshot()
 	opt := pl.opt.Defaults
 	if req.Options != nil {
 		opt = *req.Options
@@ -159,11 +219,16 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 	if req.Progress != nil {
 		opt.Progress = req.Progress
 	}
-	opt.estimates = pl.est
+	// incOpt is what Replan's fallback re-solve runs with: the resolved
+	// request options, with a fresh TimeLimit budget and without the old
+	// state's estimate cache.
+	incOpt := opt
+	incOpt.estimates = nil
+	opt.estimates = st.est
 
 	solver := req.Solver
 	if solver == SolverAuto {
-		solver = pl.choose(req.Demand, opt)
+		solver = pl.choose(st, req.Demand, opt)
 	}
 	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
 	defer cancel()
@@ -175,13 +240,24 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 
 	switch solver {
 	case SolverLP:
-		return pl.planLP(ctx, req.Demand, opt)
+		plan, m, b, err := pl.planLP(ctx, st, req.Demand, opt)
+		if err == nil && plan != nil {
+			pl.recordIncumbent(st, req, incOpt, m, b)
+		}
+		return plan, err
 	case SolverMILP:
-		return pl.planMILP(ctx, req.Demand, opt)
+		plan, err := pl.planMILP(ctx, st, req.Demand, opt)
+		if err == nil && plan != nil {
+			pl.recordIncumbent(st, req, incOpt, nil, nil)
+		}
+		return plan, err
 	case SolverAStar:
-		res, err := SolveAStarContext(ctx, pl.t, req.Demand, opt)
+		res, err := SolveAStarContext(ctx, st.t, req.Demand, opt)
 		if res == nil {
 			return nil, err
+		}
+		if err == nil {
+			pl.recordIncumbent(st, req, incOpt, nil, nil)
 		}
 		return &Plan{Result: res, Solver: SolverAStar}, err
 	default:
@@ -189,24 +265,45 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 	}
 }
 
+// recordIncumbent remembers a successful request as the session's replan
+// target. The model/basis pair is kept only when the plan came from a
+// genuine LP solve (nil for replays and the other formulations — those
+// incumbents replan by cold re-solve). A request solved against an
+// already-replaced session state (a Plan racing a Replan) is not
+// recorded: its model references the pre-churn topology.
+func (pl *Planner) recordIncumbent(st *sessionState, req Request, incOpt Options, m *lpModel, b *lp.Basis) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.state != st {
+		return
+	}
+	pl.incumbent = &incumbentState{
+		demand: req.Demand.Clone(),
+		opt:    incOpt,
+		solver: req.Solver,
+		model:  m,
+		basis:  b,
+	}
+}
+
 // choose resolves the session policy for one request.
-func (pl *Planner) choose(d *collective.Demand, opt Options) Solver {
+func (pl *Planner) choose(st *sessionState, d *collective.Demand, opt Options) Solver {
 	tau := opt.Tau
 	if tau == 0 {
-		tau = pl.est.deriveTau(pl.t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
+		tau = st.est.deriveTau(st.t, d.ChunkBytes, opt.EpochMode, opt.EpochMultiplier)
 	}
 	in := PolicyInput{
-		Topology:  pl.t,
+		Topology:  st.t,
 		Demand:    d,
 		Options:   opt,
-		NumGPUs:   pl.numGPU,
+		NumGPUs:   st.numGPU,
 		Multicast: d.HasMulticast(),
 		Tau:       tau,
 		EstimateEpochs: func() int {
 			if opt.Epochs > 0 {
 				return opt.Epochs
 			}
-			return pl.est.estimateEpochs(pl.t, d, tau)
+			return st.est.estimateEpochs(st.t, d, tau)
 		},
 	}
 	p := pl.opt.Policy
@@ -223,16 +320,18 @@ func (pl *Planner) choose(d *collective.Demand, opt Options) Solver {
 // planLP serves an LP-form request through the session caches: an
 // identical model replays its schedule, anything else warm-starts from
 // the fingerprint store or the previous LP's basis by name.
-func (pl *Planner) planLP(ctx context.Context, d *collective.Demand, opt Options) (*Plan, error) {
+func (pl *Planner) planLP(ctx context.Context, st *sessionState, d *collective.Demand, opt Options) (*Plan, *lpModel, *lp.Basis, error) {
 	pl.mu.Lock()
 	last := pl.lastLP
 	pl.mu.Unlock()
-	hint := sessionHint(last.prob, last.basis, pl.warmBases)
+	hint := sessionHint(last.prob, last.basis, st.warmBases)
 
-	res, m, b, err := pl.lpCache.solvePoint(ctx, pl.t, d, opt, hint)
+	res, m, b, err := st.lpCache.solvePoint(ctx, st.t, d, opt, hint)
 
 	pl.mu.Lock()
-	if err == nil && m != nil {
+	// A Replan may have swapped the session state mid-solve; a model
+	// built against the old topology must not seed the new chain.
+	if err == nil && m != nil && pl.state == st {
 		pl.lastLP = sessionBasis{prob: m.p, basis: b}
 	}
 	if res != nil {
@@ -248,29 +347,29 @@ func (pl *Planner) planLP(ctx context.Context, d *collective.Demand, opt Options
 	}
 	pl.mu.Unlock()
 	if err == nil && m != nil {
-		pl.warmBases.record(m.p, b)
+		st.warmBases.record(m.p, b)
 	}
 	if res == nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	// A cancelled makespan refinement returns the last complete schedule
 	// alongside the cancellation error; pass both through.
 	return &Plan{Result: res, Solver: SolverLP, CacheHit: res.Reused,
-		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, err
+		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, m, b, err
 }
 
 // planMILP serves a MILP-form request, warm-starting the root relaxation
 // from the fingerprint store or the previous MILP's root basis by name.
-func (pl *Planner) planMILP(ctx context.Context, d *collective.Demand, opt Options) (*Plan, error) {
+func (pl *Planner) planMILP(ctx context.Context, st *sessionState, d *collective.Demand, opt Options) (*Plan, error) {
 	pl.mu.Lock()
 	last := pl.lastMILP
 	pl.mu.Unlock()
-	hint := sessionHint(last.prob, last.basis, pl.warmBases)
+	hint := sessionHint(last.prob, last.basis, st.warmBases)
 
-	res, m, b, err := solveMILP(ctx, pl.t, d, opt, hint)
+	res, m, b, err := solveMILP(ctx, st.t, d, opt, hint)
 
 	pl.mu.Lock()
-	if m != nil && b != nil {
+	if m != nil && b != nil && pl.state == st {
 		pl.lastMILP = sessionBasis{prob: m.p, basis: b}
 	}
 	if res != nil {
@@ -283,7 +382,7 @@ func (pl *Planner) planMILP(ctx context.Context, d *collective.Demand, opt Optio
 	}
 	pl.mu.Unlock()
 	if m != nil && b != nil {
-		pl.warmBases.record(m.p, b)
+		st.warmBases.record(m.p, b)
 	}
 	if res == nil {
 		return nil, err

@@ -1,0 +1,344 @@
+package core
+
+// replan.go is the online-replanning layer: Planner.Replan applies
+// topology/demand churn (links or nodes lost, bandwidth degradation,
+// straggler slowdown, demand add/drop) to a live session and re-solves
+// the incumbent request against the churned world.
+//
+// The fast path is a dual-feasible perturbation of the incumbent LP.
+// Every churn kind the LP can absorb reduces to bound and right-hand-
+// side edits of the already-built model: a downed link fixes its flow
+// columns to [0,0] (a column drop), capacity degradation rewrites the
+// windowed capacity rows' budgets, and a dropped demand pair fixes its
+// read columns to [0,0] and zeroes its destination-total row. None of
+// those edits touch the cost vector or the constraint matrix, so the
+// incumbent optimal basis stays dual feasible and the dual simplex
+// reoptimizes from it in a handful of pivots — the Forrest–Tomlin
+// machinery then carries those pivots as cheap eta updates instead of
+// refactorizations.
+//
+// Churn the incumbent model cannot absorb — a new demand, or a scale
+// that changes a live link's δ or κ at the incumbent epoch duration
+// (the time discretization itself shifts) — and any incremental solve
+// that comes back non-optimal, numerically sour, or with a schedule
+// that fails re-validation degrades gracefully to a crash-started cold
+// solve of the edited request. Replan never errors when that cold solve
+// would succeed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/lp"
+	"teccl/internal/topo"
+)
+
+// DemandPair names one (source, destination) demand pair for demand
+// churn: dropping the pair removes every chunk dst wants from src.
+type DemandPair struct {
+	Src, Dst int
+}
+
+// Delta describes one step of churn for Planner.Replan: topology edits
+// (applied immutably to the session's topology snapshot) plus demand
+// edits (applied to the incumbent request's demand).
+type Delta struct {
+	// LinksDown lists links that failed. Downed links keep their IDs
+	// (schedules and later deltas stay aligned) but carry no traffic.
+	LinksDown []topo.LinkID
+	// NodesDown lists nodes that failed: every link touching one goes
+	// down, and every demand pair involving it is dropped.
+	NodesDown []topo.NodeID
+	// Scale lists per-link capacity/α multipliers — bandwidth
+	// degradation and straggler slowdown. See topo.LinkScale.
+	Scale []topo.LinkScale
+	// DropPairs lists demand pairs to remove from the incumbent demand.
+	DropPairs []DemandPair
+	// AddDemand, when non-nil, is OR-ed into the incumbent demand (same
+	// shape required). New demand is structural churn: the replan solves
+	// cold rather than incrementally.
+	AddDemand *collective.Demand
+}
+
+// topoDelta extracts the topology part of the churn.
+func (d Delta) topoDelta() topo.Delta {
+	return topo.Delta{LinksDown: d.LinksDown, NodesDown: d.NodesDown, Scale: d.Scale}
+}
+
+// Replan applies churn to the session and re-solves the incumbent
+// request (the session's last successful Plan) against the churned
+// topology and demand. The session's topology snapshot is replaced and
+// every per-topology cache — tau derivations, epoch estimates,
+// fingerprint-keyed schedule replays, and warm bases — is invalidated
+// atomically, so requests planned after Replan returns can never replay
+// pre-churn state. Concurrent Plan calls are safe: each captures a
+// consistent snapshot and in-flight solves against the old topology
+// cannot contaminate the new caches.
+//
+// When the incumbent is a genuine LP solve and the churn is
+// non-structural, the re-solve is incremental (see the file comment);
+// otherwise, or when the incremental path sours, Replan degrades to a
+// cold solve of the edited request — Plan.ReplanFallback reports which
+// happened, and PlannerStats.Replans/ReplanPivots/ReplanFallbacks
+// aggregate the session's churn history. An infeasible edited request
+// (e.g. a demand whose destination was disconnected without dropping
+// the pair) returns the cold solve's error.
+//
+// Replan requires a prior successful Plan; an invalid delta (unknown
+// IDs, negative scales, mismatched AddDemand shape) errors without
+// changing any session state.
+func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
+	pl.replanMu.Lock()
+	defer pl.replanMu.Unlock()
+
+	pl.mu.Lock()
+	st := pl.state
+	inc := pl.incumbent
+	pl.mu.Unlock()
+	if inc == nil {
+		return nil, errors.New("core: Replan requires a prior successful Plan")
+	}
+
+	newTopo, err := st.t.ApplyDelta(d.topoDelta())
+	if err != nil {
+		return nil, err
+	}
+	newDemand := inc.demand.Clone()
+	for _, pr := range d.DropPairs {
+		if pr.Src < 0 || pr.Src >= newDemand.NumNodes() || pr.Dst < 0 || pr.Dst >= newDemand.NumNodes() {
+			return nil, fmt.Errorf("core: Replan drops unknown demand pair (%d,%d)", pr.Src, pr.Dst)
+		}
+		newDemand.DropPair(pr.Src, pr.Dst)
+	}
+	for _, n := range d.NodesDown {
+		newDemand.DropNode(int(n))
+	}
+	if d.AddDemand != nil {
+		if d.AddDemand.NumNodes() != newDemand.NumNodes() ||
+			d.AddDemand.NumChunks() != newDemand.NumChunks() ||
+			d.AddDemand.ChunkBytes != newDemand.ChunkBytes {
+			return nil, errors.New("core: Replan AddDemand shape mismatch with incumbent demand")
+		}
+		newDemand.Or(d.AddDemand)
+	}
+
+	// Swap the session onto the churned topology with fresh caches; from
+	// here on, every concurrent and future Plan sees post-churn state
+	// only. The name-matched basis chains are flushed too — the fallback
+	// below must be a genuinely cold (crash-started) solve.
+	newState := newSessionState(newTopo)
+	pl.mu.Lock()
+	pl.state = newState
+	pl.lastLP = sessionBasis{}
+	pl.lastMILP = sessionBasis{}
+	pl.stats.Replans++
+	pl.mu.Unlock()
+
+	if d.AddDemand == nil && inc.model != nil && inc.basis != nil {
+		if plan := pl.replanIncremental(ctx, newState, inc, st.t, newTopo, newDemand, d); plan != nil {
+			return plan, nil
+		}
+		if ierr := interrupted(ctx); ierr != nil {
+			return nil, fmt.Errorf("core: replan interrupted: %w", ierr)
+		}
+	}
+
+	// Graceful degradation: cold re-solve of the edited request. The
+	// fresh session state guarantees no replay or warm start survives
+	// from before the churn, so this is exactly the solve a brand-new
+	// session would run.
+	pl.mu.Lock()
+	pl.stats.ReplanFallbacks++
+	pl.mu.Unlock()
+	fopt := inc.opt
+	plan, err := pl.Plan(ctx, Request{Demand: newDemand, Options: &fopt, Solver: inc.solver})
+	if plan != nil {
+		plan.Replanned = true
+		plan.ReplanFallback = true
+	}
+	return plan, err
+}
+
+// replanIncremental attempts the dual-feasible incremental re-solve of
+// the incumbent LP. It returns nil when the churn is structural at the
+// incumbent discretization, the dual simplex does not reach a verified
+// optimum, or the reoptimized rates fail to decompose into a schedule
+// that re-validates on the churned topology — the caller then falls
+// back to a cold solve.
+func (pl *Planner) replanIncremental(ctx context.Context, newState *sessionState, inc *incumbentState,
+	oldTopo, newTopo *topo.Topology, newDemand *collective.Demand, d Delta) *Plan {
+	m := inc.model
+	in := m.in
+	start := time.Now()
+
+	// Structural compatibility: every live link must keep the δ/κ it had
+	// at the incumbent tau, or the time discretization of the model no
+	// longer matches the world.
+	nL := newTopo.NumLinks()
+	if nL != oldTopo.NumLinks() || nL != len(in.kappa) {
+		return nil
+	}
+	capChunks := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		if newTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		lk := newTopo.Link(topo.LinkID(l))
+		del := 0
+		if lk.Alpha > 0 {
+			del = int(math.Ceil(lk.Alpha/in.tau - 1e-9))
+		}
+		per := lk.Capacity * in.tau / in.demand.ChunkBytes
+		kap := 1
+		if per < 1-1e-9 {
+			kap = int(math.Ceil(1/per - 1e-9))
+		}
+		if del != in.delta[l] || kap != in.kappa[l] {
+			return nil
+		}
+		capChunks[l] = per
+	}
+
+	// Perturb a clone of the incumbent model. Bound and RHS edits only:
+	// the basis stays dual feasible.
+	q := m.p.Clone()
+	for l := 0; l < nL; l++ {
+		if !newTopo.LinkDown(topo.LinkID(l)) || oldTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		// Newly-downed link: drop its flow columns.
+		for si := range m.fvar {
+			for _, v := range m.fvar[si][l] {
+				if v != noVar {
+					q.SetBounds(lp.VarID(v), 0, 0)
+				}
+			}
+		}
+	}
+	// Rewrite every live link's windowed capacity budgets with the
+	// churned capacities (cheap, and uniform across scaled/unscaled).
+	for l := 0; l < nL; l++ {
+		if newTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		kap := in.kappa[l]
+		for k, r := range m.capRow[l] {
+			if r == noVar {
+				continue
+			}
+			budget := 0.0
+			for kk := k - kap + 1; kk <= k; kk++ {
+				se := kk
+				if se < 0 {
+					se = 0
+				}
+				budget += capChunks[l] * in.opt.capScale(topo.LinkID(l), se)
+			}
+			q.SetRHS(int(r), budget)
+		}
+	}
+	// Demand drops: fix the pair's read columns at zero and zero its
+	// destination-total row. The supply rows are left alone — the
+	// source's inventory chain absorbs the now-undelivered chunks.
+	expanded := in.demand.Clone()
+	dem := make([][]float64, len(m.dem))
+	for si := range m.dem {
+		dem[si] = append([]float64(nil), m.dem[si]...)
+	}
+	srcIdx := make(map[int]int, len(m.sources))
+	for si, s := range m.sources {
+		srcIdx[s] = si
+	}
+	drop := func(src, dst int) {
+		if src < 0 || src >= expanded.NumNodes() || dst < 0 || dst >= expanded.NumNodes() {
+			return
+		}
+		expanded.DropPair(src, dst)
+		si, ok := srcIdx[src]
+		if !ok || dem[si][dst] == 0 {
+			return
+		}
+		dem[si][dst] = 0
+		for _, v := range m.rvar[si][dst] {
+			if v != noVar {
+				q.SetBounds(lp.VarID(v), 0, 0)
+			}
+		}
+		if r := m.destRow[si][dst]; r != noVar {
+			q.SetRHS(int(r), 0)
+		}
+	}
+	for _, pr := range d.DropPairs {
+		drop(pr.Src, pr.Dst)
+	}
+	for _, n := range d.NodesDown {
+		for other := 0; other < expanded.NumNodes(); other++ {
+			drop(int(n), other)
+			drop(other, int(n))
+		}
+	}
+
+	// The edited instance the schedule decomposition (and its built-in
+	// re-validation) runs against: the churned topology and demand, the
+	// recomputed per-epoch budgets, the incumbent discretization.
+	in2 := *in
+	in2.topo = newTopo
+	in2.demand = expanded
+	in2.capChunks = capChunks
+	in2.opt.estimates = nil
+	m2 := *m
+	m2.p = q
+	m2.in = &in2
+	m2.dem = dem
+
+	// Dual-simplex reoptimization from the incumbent basis. MethodDual
+	// falls back to the primal internally if the basis turns out not to
+	// be dual feasible after repair.
+	ctx, cancel := withTimeLimit(ctx, inc.opt.TimeLimit)
+	defer cancel()
+	sol, err := lp.Solve(q, lp.Options{Context: ctx, WarmStart: inc.basis.Clone(), Method: lp.MethodDual})
+	if err != nil || sol.Status != lp.StatusOptimal {
+		return nil
+	}
+	sch, err := m2.decompose(sol.X) // re-validates on the churned topology
+	if err != nil {
+		return nil
+	}
+
+	res := &Result{
+		Schedule:         sch,
+		Objective:        sol.Objective,
+		Optimal:          true,
+		SolveTime:        time.Since(start),
+		Epochs:           in.K,
+		Tau:              in.tau,
+		RootIterations:   sol.Iterations,
+		Refactorizations: sol.Refactorizations,
+		FTUpdates:        sol.FTUpdates,
+		UpdateNnz:        sol.UpdateNnz,
+		WarmStarted:      true,
+	}
+	plan := &Plan{Result: res, Solver: SolverLP, WarmStart: true, Replanned: true}
+
+	// The replanned model becomes the incumbent for the next delta, and
+	// seeds the fresh session caches.
+	pl.mu.Lock()
+	pl.stats.ReplanPivots += sol.Iterations
+	if pl.state == newState {
+		pl.lastLP = sessionBasis{prob: q, basis: sol.Basis}
+		pl.incumbent = &incumbentState{
+			demand: newDemand.Clone(),
+			opt:    inc.opt,
+			solver: inc.solver,
+			model:  &m2,
+			basis:  sol.Basis,
+		}
+	}
+	pl.mu.Unlock()
+	newState.warmBases.record(q, sol.Basis)
+	return plan
+}

@@ -250,6 +250,7 @@ func All(short bool) []*Table {
 		Table7(short),
 		Table8(short),
 		WorkersSweep(short),
+		Churn(short),
 	}
 }
 
@@ -262,12 +263,15 @@ func ByID(id string, short bool) *Table {
 	solveCounters.updateNnz.Store(0)
 	tab := byID(id, short)
 	if tab != nil {
-		tab.Metrics = map[string]float64{
-			"iterations":       float64(solveCounters.iters.Load()),
-			"refactorizations": float64(solveCounters.refactors.Load()),
-			"ft_updates":       float64(solveCounters.ftUpdates.Load()),
-			"update_nnz":       float64(solveCounters.updateNnz.Load()),
+		// Merge rather than assign: experiments may pre-populate Metrics
+		// with their own counters (e.g. churn's replan pivots).
+		if tab.Metrics == nil {
+			tab.Metrics = map[string]float64{}
 		}
+		tab.Metrics["iterations"] = float64(solveCounters.iters.Load())
+		tab.Metrics["refactorizations"] = float64(solveCounters.refactors.Load())
+		tab.Metrics["ft_updates"] = float64(solveCounters.ftUpdates.Load())
+		tab.Metrics["update_nnz"] = float64(solveCounters.updateNnz.Load())
 	}
 	return tab
 }
@@ -298,6 +302,8 @@ func byID(id string, short bool) *Table {
 		return Table8(short)
 	case "workers":
 		return WorkersSweep(short)
+	case "churn":
+		return Churn(short)
 	}
 	return nil
 }
@@ -305,5 +311,5 @@ func byID(id string, short bool) *Table {
 // IDs lists the available experiment identifiers.
 func IDs() []string {
 	return []string{"fig2", "table3", "fig4and5", "fig6", "table4",
-		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers"}
+		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers", "churn"}
 }

@@ -103,3 +103,32 @@ func TestHelpers(t *testing.T) {
 		t.Fatalf("gbps: %s", gbps(2.5e9))
 	}
 }
+
+func TestChurnHeadlineRatio(t *testing.T) {
+	tab := ByID("churn", true)
+	if tab == nil {
+		t.Fatal("churn experiment missing")
+	}
+	// The acceptance criterion CI pins: a single-link-down replan on the
+	// NDv2 ALLTOALL reoptimizes in at most 25% of the cold solve's
+	// simplex iterations.
+	ratio, ok := tab.Metrics["ndv2_linkdown_pivot_ratio"]
+	if !ok {
+		t.Fatalf("ndv2 link-down ratio missing from metrics: %v", tab.Metrics)
+	}
+	if ratio > 0.25 {
+		t.Fatalf("NDv2 link-down replan used %.0f%% of cold pivots, want <= 25%%", ratio*100)
+	}
+	// ByID must merge the shared solver counters without clobbering the
+	// experiment's own metrics.
+	for _, key := range []string{"iterations", "replan_pivots", "replan_wall_ms", "replan_fallbacks"} {
+		if _, ok := tab.Metrics[key]; !ok {
+			t.Fatalf("metric %q missing after merge: %v", key, tab.Metrics)
+		}
+	}
+	for _, row := range tab.Rows {
+		if len(row) > 2 && (row[2] == "replan-failed" || row[2] == "base-failed" || row[2] == "delta-failed") {
+			t.Fatalf("churn scenario failed: %v", row)
+		}
+	}
+}

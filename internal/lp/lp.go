@@ -146,6 +146,16 @@ func (p *Problem) Bounds(v VarID) (lo, hi float64) { return p.lo[v], p.hi[v] }
 // Name returns the diagnostic name of v.
 func (p *Problem) Name(v VarID) string { return p.names[v] }
 
+// SetRHS replaces the right-hand side of row r. Together with SetBounds
+// this is the whole dual-feasible edit surface: changing b or the
+// variable bounds leaves the costs and the matrix — and therefore the
+// incumbent basis's dual feasibility — intact, so a dual-simplex warm
+// start from that basis reoptimizes in a handful of pivots.
+func (p *Problem) SetRHS(r int, rhs float64) { p.rhs[r] = rhs }
+
+// RHS returns the right-hand side of row r.
+func (p *Problem) RHS(r int) float64 { return p.rhs[r] }
+
 // AddRow adds a constraint row. Terms with duplicate variables are summed.
 // Returns the row index. The terms slice is not retained (callers may
 // reuse it); the stored row holds the merged terms in variable order.

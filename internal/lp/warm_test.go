@@ -331,3 +331,95 @@ func TestCrashBasisMatchesSlackStart(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmDroppedColumnsRepaired: the replanning layer drops columns by
+// fixing their bounds to a point (a downed link's flow variables go to
+// [0,0]) and edits row right-hand sides, then resumes from the incumbent
+// optimal basis — which may have any of the dropped columns basic. All
+// three methods must absorb the stale basis (repair, not crash) and
+// agree with a cold solve of the edited problem, whatever its status.
+func TestWarmDroppedColumnsRepaired(t *testing.T) {
+	rng := rand.New(rand.NewSource(987))
+	for trial := 0; trial < 60; trial++ {
+		p, _ := randFeasibleLP(rng)
+		base, err := Solve(p, Options{})
+		if err != nil || base.Status != StatusOptimal {
+			t.Fatalf("trial %d: base %v %v", trial, err, base.Status)
+		}
+
+		// Edit a clone: fix a random subset of columns at their lower
+		// bound (column drop) and perturb some right-hand sides. The
+		// original must remain untouched for the incumbent basis to be
+		// "stale but honestly obtained".
+		fp := p.Fingerprint()
+		q := p.Clone()
+		dropped := 0
+		for j := 0; j < q.NumVars(); j++ {
+			if rng.Intn(3) == 0 {
+				lo, _ := q.Bounds(VarID(j))
+				q.SetBounds(VarID(j), lo, lo)
+				dropped++
+			}
+		}
+		if dropped == 0 {
+			lo, _ := q.Bounds(0)
+			q.SetBounds(0, lo, lo)
+		}
+		for r := 0; r < q.NumRows(); r++ {
+			if rng.Intn(4) == 0 {
+				q.SetRHS(r, q.RHS(r)+rng.Float64()-0.5)
+			}
+		}
+		if p.Fingerprint() != fp {
+			t.Fatalf("trial %d: editing the clone mutated the original", trial)
+		}
+
+		cold, err := Solve(q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: cold edited solve: %v", trial, err)
+		}
+		for _, m := range []Method{MethodAuto, MethodPrimal, MethodDual} {
+			sol, err := Solve(q, Options{WarmStart: base.Basis, Method: m})
+			if err != nil {
+				t.Fatalf("trial %d method %v: %v", trial, m, err)
+			}
+			if sol.Status != cold.Status {
+				t.Fatalf("trial %d method %v: status %v, cold %v",
+					trial, m, sol.Status, cold.Status)
+			}
+			if cold.Status == StatusOptimal &&
+				math.Abs(sol.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d method %v: obj %g, cold %g",
+					trial, m, sol.Objective, cold.Objective)
+			}
+		}
+	}
+}
+
+// TestSetRHSAccessors pins the new RHS edit surface: SetRHS/RHS round
+// trip, feed Fingerprint/EqualTo, and a pure RHS relaxation reoptimizes
+// from the incumbent basis to the new optimum under the dual simplex.
+func TestSetRHSAccessors(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, 10, 1)
+	r := p.AddRow([]Term{{x, 1}}, LE, 4)
+	if p.RHS(r) != 4 {
+		t.Fatalf("RHS = %g, want 4", p.RHS(r))
+	}
+	base, err := Solve(p, Options{})
+	if err != nil || base.Objective != 4 {
+		t.Fatalf("base solve: %v obj %g", err, base.Objective)
+	}
+	fpBefore := p.Fingerprint()
+	p.SetRHS(r, 6)
+	if p.RHS(r) != 6 {
+		t.Fatalf("RHS after set = %g, want 6", p.RHS(r))
+	}
+	if p.Fingerprint() == fpBefore {
+		t.Fatal("Fingerprint ignored the RHS edit")
+	}
+	sol, err := Solve(p, Options{WarmStart: base.Basis, Method: MethodDual})
+	if err != nil || sol.Status != StatusOptimal || sol.Objective != 6 {
+		t.Fatalf("warm resolve: %v %v obj %g, want optimal 6", err, sol.Status, sol.Objective)
+	}
+}

@@ -170,6 +170,9 @@ func (s *Schedule) Validate() error {
 		if int(snd.Link) < 0 || int(snd.Link) >= t.NumLinks() {
 			return fmt.Errorf("send %d: bad link %d", i, snd.Link)
 		}
+		if t.LinkDown(snd.Link) {
+			return fmt.Errorf("send %d: link %d is down", i, snd.Link)
+		}
 		if snd.Src < 0 || snd.Src >= d.NumNodes() || snd.Chunk < 0 || snd.Chunk >= nC {
 			return fmt.Errorf("send %d: bad chunk identity (%d,%d)", i, snd.Src, snd.Chunk)
 		}

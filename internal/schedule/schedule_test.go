@@ -374,3 +374,25 @@ func TestAlgoBandwidth(t *testing.T) {
 		t.Fatalf("total bytes = %g, want %g", got, 2*chunk)
 	}
 }
+
+func TestDownLinkRejected(t *testing.T) {
+	tp := lineTopo()
+	d := bcast02Demand()
+	l01 := tp.FindLink(0, 1)
+	l12 := tp.FindLink(1, 2)
+	down, err := tp.ApplyDelta(topo.Delta{LinksDown: []topo.LinkID{l12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{
+		Topo: down, Demand: d, Tau: tau, NumEpochs: 3, AllowCopy: true,
+		Sends: []Send{
+			{Src: 0, Chunk: 0, Link: l01, Epoch: 0, Fraction: 1},
+			{Src: 0, Chunk: 0, Link: l12, Epoch: 1, Fraction: 1},
+		},
+	}
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "down") {
+		t.Fatalf("want down-link error, got %v", err)
+	}
+}

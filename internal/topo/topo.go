@@ -34,12 +34,20 @@ type Link struct {
 
 // Topology is a directed graph of nodes and links. The zero value is an
 // empty topology ready for use.
+//
+// A topology may carry churn state: links marked down (see ApplyDelta)
+// keep their ID and metadata — so schedules and deltas stated against
+// the original IDs stay meaningful — but are removed from the adjacency
+// lists and skipped by every aggregate (shortest paths, capacity
+// extrema), as if the wire were unplugged.
 type Topology struct {
 	Name  string
 	nodes []Node
 	links []Link
 	out   [][]LinkID
 	in    [][]LinkID
+	// down marks links removed by ApplyDelta; nil when no link is down.
+	down []bool
 }
 
 // New returns an empty topology with the given name.
@@ -88,6 +96,13 @@ func (t *Topology) Link(l LinkID) Link { return t.links[l] }
 // IsSwitch reports whether n is a switch.
 func (t *Topology) IsSwitch(n NodeID) bool { return t.nodes[n].Switch }
 
+// LinkDown reports whether l has been taken down by ApplyDelta. Down
+// links keep their ID and metadata but carry no traffic: they are absent
+// from Out/In and skipped by shortest paths and capacity aggregates.
+func (t *Topology) LinkDown(l LinkID) bool {
+	return t.down != nil && t.down[l]
+}
+
 // Out returns the IDs of links leaving n.
 func (t *Topology) Out(n NodeID) []LinkID { return t.out[n] }
 
@@ -133,9 +148,15 @@ func (t *Topology) MinCapacity() float64 {
 	}
 	min := math.Inf(1)
 	for i := range t.links {
+		if t.LinkDown(LinkID(i)) {
+			continue
+		}
 		if t.links[i].Capacity < min {
 			min = t.links[i].Capacity
 		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
 	}
 	return min
 }
@@ -144,6 +165,9 @@ func (t *Topology) MinCapacity() float64 {
 func (t *Topology) MaxCapacity() float64 {
 	max := 0.0
 	for i := range t.links {
+		if t.LinkDown(LinkID(i)) {
+			continue
+		}
 		if t.links[i].Capacity > max {
 			max = t.links[i].Capacity
 		}
@@ -155,6 +179,9 @@ func (t *Topology) MaxCapacity() float64 {
 func (t *Topology) MaxAlpha() float64 {
 	max := 0.0
 	for i := range t.links {
+		if t.LinkDown(LinkID(i)) {
+			continue
+		}
 		if t.links[i].Alpha > max {
 			max = t.links[i].Alpha
 		}
@@ -195,7 +222,10 @@ func (t *Topology) FloydWarshall(weight func(Link) float64) [][]float64 {
 			}
 		}
 	}
-	for _, l := range t.links {
+	for i, l := range t.links {
+		if t.LinkDown(LinkID(i)) {
+			continue
+		}
 		w := weight(l)
 		if w < dist[l.Src][l.Dst] {
 			dist[l.Src][l.Dst] = w
@@ -256,16 +286,154 @@ func (t *Topology) ReachableWithout(skip NodeID) [][]bool {
 	return reach
 }
 
+// Clone returns an independent deep copy of t: node, link, adjacency,
+// and down-state storage are all owned by the copy, so mutation of
+// either side (AddNode, AddLink, ApplyDelta) never touches the other.
+// Sessions snapshot their topology with Clone so a caller mutating its
+// *Topology after NewPlanner cannot corrupt cached derived state.
+func (t *Topology) Clone() *Topology {
+	out := &Topology{
+		Name:  t.Name,
+		nodes: append([]Node(nil), t.nodes...),
+		links: append([]Link(nil), t.links...),
+		out:   make([][]LinkID, len(t.out)),
+		in:    make([][]LinkID, len(t.in)),
+	}
+	for i := range t.out {
+		out.out[i] = append([]LinkID(nil), t.out[i]...)
+	}
+	for i := range t.in {
+		out.in[i] = append([]LinkID(nil), t.in[i]...)
+	}
+	if t.down != nil {
+		out.down = append([]bool(nil), t.down...)
+	}
+	return out
+}
+
+// LinkScale is one multiplicative link edit of a Delta: the link's
+// capacity is multiplied by Capacity (0 < Capacity; use Delta.LinksDown
+// for an outright failure) and its α by Alpha (0 allowed: the latency
+// vanishes). A zero-valued multiplier field means "leave unchanged", so
+// partial literals like {Link: l, Capacity: 0.5} do what they look like.
+type LinkScale struct {
+	Link     LinkID
+	Capacity float64
+	Alpha    float64
+}
+
+// Delta describes topology churn: links lost outright, nodes lost (all
+// their links go down), and links degraded or slowed by scaling. Deltas
+// are applied immutably via ApplyDelta; IDs refer to the topology the
+// delta is applied to.
+type Delta struct {
+	// LinksDown lists links that failed.
+	LinksDown []LinkID
+	// NodesDown lists nodes that failed; every link touching one goes
+	// down. The node itself remains (IDs stay stable) but is isolated.
+	NodesDown []NodeID
+	// Scale lists per-link capacity/α multipliers — bandwidth
+	// degradation and straggler slowdown.
+	Scale []LinkScale
+}
+
+// Empty reports whether the delta edits nothing.
+func (d Delta) Empty() bool {
+	return len(d.LinksDown) == 0 && len(d.NodesDown) == 0 && len(d.Scale) == 0
+}
+
+// ApplyDelta returns a new topology with the delta applied; t itself is
+// never mutated. Downed links keep their ID and metadata but leave the
+// adjacency lists (Out/In) and every aggregate, so link and node IDs —
+// and therefore schedules and further deltas — stay aligned between the
+// two topologies. Scaling a down link is allowed and has no effect
+// until the link's metadata is read. An invalid delta (unknown IDs,
+// negative scale factors) returns an error and no topology.
+func (t *Topology) ApplyDelta(d Delta) (*Topology, error) {
+	for _, l := range d.LinksDown {
+		if int(l) < 0 || int(l) >= len(t.links) {
+			return nil, fmt.Errorf("topo: delta downs unknown link %d", l)
+		}
+	}
+	for _, n := range d.NodesDown {
+		if int(n) < 0 || int(n) >= len(t.nodes) {
+			return nil, fmt.Errorf("topo: delta downs unknown node %d", n)
+		}
+	}
+	for _, s := range d.Scale {
+		if int(s.Link) < 0 || int(s.Link) >= len(t.links) {
+			return nil, fmt.Errorf("topo: delta scales unknown link %d", s.Link)
+		}
+		if s.Capacity < 0 || s.Alpha < 0 {
+			return nil, fmt.Errorf("topo: delta scales link %d by negative factor", s.Link)
+		}
+	}
+
+	out := t.Clone()
+	if out.down == nil {
+		out.down = make([]bool, len(out.links))
+	}
+	for _, l := range d.LinksDown {
+		out.down[l] = true
+	}
+	for _, n := range d.NodesDown {
+		for l := range out.links {
+			if out.links[l].Src == n || out.links[l].Dst == n {
+				out.down[l] = true
+			}
+		}
+	}
+	for _, s := range d.Scale {
+		lk := &out.links[s.Link]
+		if s.Capacity != 0 {
+			lk.Capacity *= s.Capacity
+		}
+		if s.Alpha != 0 {
+			lk.Alpha *= s.Alpha
+		}
+	}
+
+	// Rebuild adjacency without the downed links, so every
+	// adjacency-driven consumer (solvers, greedy bounds, baselines,
+	// reachability) ignores them for free.
+	for n := range out.out {
+		out.out[n] = out.out[n][:0]
+		out.in[n] = out.in[n][:0]
+	}
+	anyDown := false
+	for l := range out.links {
+		if out.down[l] {
+			anyDown = true
+			continue
+		}
+		lk := out.links[l]
+		out.out[lk.Src] = append(out.out[lk.Src], LinkID(l))
+		out.in[lk.Dst] = append(out.in[lk.Dst], LinkID(l))
+	}
+	if !anyDown {
+		out.down = nil
+	}
+	return out, nil
+}
+
 // topologyJSON is the serialized form.
 type topologyJSON struct {
 	Name  string `json:"name"`
 	Nodes []Node `json:"nodes"`
 	Links []Link `json:"links"`
+	// Down lists the IDs of links taken down by ApplyDelta.
+	Down []LinkID `json:"down,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (t *Topology) MarshalJSON() ([]byte, error) {
-	return json.Marshal(topologyJSON{Name: t.Name, Nodes: t.nodes, Links: t.links})
+	var down []LinkID
+	for l := range t.links {
+		if t.LinkDown(LinkID(l)) {
+			down = append(down, LinkID(l))
+		}
+	}
+	return json.Marshal(topologyJSON{Name: t.Name, Nodes: t.nodes, Links: t.links, Down: down})
 }
 
 // UnmarshalJSON implements json.Unmarshaler.
@@ -284,19 +452,24 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 		}
 		t.AddLink(l.Src, l.Dst, l.Capacity, l.Alpha)
 	}
+	if len(tj.Down) > 0 {
+		applied, err := t.ApplyDelta(Delta{LinksDown: tj.Down})
+		if err != nil {
+			return err
+		}
+		*t = *applied
+	}
 	return nil
 }
 
 // ZeroAlpha returns a copy of t with every link's α set to zero, keeping
 // link IDs aligned so schedules transfer between the two (Figure 2's
-// α-blind solve, SCCL's barrier model).
+// α-blind solve, SCCL's barrier model). Down-link state carries over.
 func ZeroAlpha(t *Topology) *Topology {
-	out := New(t.Name + "-a0")
-	for _, n := range t.nodes {
-		out.AddNode(n.Name, n.Switch)
-	}
-	for _, l := range t.links {
-		out.AddLink(l.Src, l.Dst, l.Capacity, 0)
+	out := t.Clone()
+	out.Name = t.Name + "-a0"
+	for i := range out.links {
+		out.links[i].Alpha = 0
 	}
 	return out
 }

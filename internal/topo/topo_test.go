@@ -260,3 +260,203 @@ func TestFullMeshStructure(t *testing.T) {
 		t.Fatalf("links = %d, want 12", tp.NumLinks())
 	}
 }
+
+func TestCloneIndependent(t *testing.T) {
+	tp := DGX1()
+	cp := tp.Clone()
+	if cp.NumNodes() != tp.NumNodes() || cp.NumLinks() != tp.NumLinks() {
+		t.Fatal("clone changed shape")
+	}
+	// Mutating the original must not leak into the clone, and vice versa.
+	n := tp.AddNode("extra", false)
+	tp.AddLink(n, 0, 1, 0)
+	if cp.NumNodes() == tp.NumNodes() || cp.NumLinks() == tp.NumLinks() {
+		t.Fatal("clone shares node/link storage with original")
+	}
+	m := cp.AddNode("other", true)
+	cp.AddLink(0, m, 1, 0)
+	outBefore := len(tp.Out(0))
+	cp.AddLink(0, 1, 1, 0)
+	if len(tp.Out(0)) != outBefore {
+		t.Fatal("clone shares adjacency storage with original")
+	}
+}
+
+func TestApplyDeltaImmutable(t *testing.T) {
+	tp := DGX1()
+	before, _ := json.Marshal(tp)
+	down := tp.Out(0)[0]
+	edited, err := tp.ApplyDelta(Delta{
+		LinksDown: []LinkID{down},
+		Scale:     []LinkScale{{Link: tp.Out(1)[0], Capacity: 0.5}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	after, _ := json.Marshal(tp)
+	if string(before) != string(after) {
+		t.Fatal("ApplyDelta mutated the receiver")
+	}
+	if !edited.LinkDown(down) || tp.LinkDown(down) {
+		t.Fatal("down state on wrong topology")
+	}
+	if edited.NumLinks() != tp.NumLinks() || edited.NumNodes() != tp.NumNodes() {
+		t.Fatal("ApplyDelta changed ID space")
+	}
+}
+
+func TestApplyDeltaAdjacencyAndAggregates(t *testing.T) {
+	tp := DGX1()
+	down := tp.Out(0)[0]
+	src, dst := tp.Link(down).Src, tp.Link(down).Dst
+	edited, err := tp.ApplyDelta(Delta{LinksDown: []LinkID{down}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	for _, l := range edited.Out(src) {
+		if l == down {
+			t.Fatal("down link still in Out")
+		}
+	}
+	for _, l := range edited.In(dst) {
+		if l == down {
+			t.Fatal("down link still in In")
+		}
+	}
+	if edited.FindLink(src, dst) == down {
+		t.Fatal("FindLink returned a down link")
+	}
+	// Metadata survives for ID alignment.
+	if edited.Link(down) != tp.Link(down) {
+		t.Fatal("down link metadata changed")
+	}
+
+	// Degrade one link below the global minimum: capacity extrema must
+	// follow the live links' edited values.
+	factor := 0.5 * tp.MinCapacity() / tp.Link(down).Capacity
+	half, err := tp.ApplyDelta(Delta{Scale: []LinkScale{{Link: down, Capacity: factor}}})
+	if err != nil {
+		t.Fatalf("scale delta: %v", err)
+	}
+	if half.Link(down).Capacity != tp.Link(down).Capacity*factor {
+		t.Fatal("capacity scale not applied")
+	}
+	if half.MinCapacity() != tp.MinCapacity()*0.5 {
+		t.Fatal("MinCapacity ignored degraded link")
+	}
+	// Aggregates skip down links entirely.
+	if edited.MinCapacity() != tp.MinCapacity() {
+		// DGX1 is uniform-capacity NVLink, so dropping one link must
+		// leave the extrema unchanged.
+		t.Fatal("MinCapacity counted a down link")
+	}
+}
+
+func TestApplyDeltaNodeDown(t *testing.T) {
+	tp := NDv2(2)
+	var sw NodeID = -1
+	for _, s := range tp.Switches() {
+		sw = s
+	}
+	if sw < 0 {
+		t.Fatal("NDv2(2) should have a switch")
+	}
+	edited, err := tp.ApplyDelta(Delta{NodesDown: []NodeID{sw}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if len(edited.Out(sw)) != 0 || len(edited.In(sw)) != 0 {
+		t.Fatal("downed node still has live links")
+	}
+	for l := 0; l < tp.NumLinks(); l++ {
+		lk := tp.Link(LinkID(l))
+		wantDown := lk.Src == sw || lk.Dst == sw
+		if edited.LinkDown(LinkID(l)) != wantDown {
+			t.Fatalf("link %d down=%v, want %v", l, edited.LinkDown(LinkID(l)), wantDown)
+		}
+	}
+	// Cross-chassis reachability is gone: Validate must now fail.
+	if err := edited.Validate(); err == nil {
+		t.Fatal("expected Validate to fail with the IB switch down")
+	}
+}
+
+func TestApplyDeltaInvalid(t *testing.T) {
+	tp := DGX1()
+	cases := []Delta{
+		{LinksDown: []LinkID{LinkID(tp.NumLinks())}},
+		{LinksDown: []LinkID{-1}},
+		{NodesDown: []NodeID{NodeID(tp.NumNodes())}},
+		{Scale: []LinkScale{{Link: -1, Capacity: 0.5}}},
+		{Scale: []LinkScale{{Link: 0, Capacity: -1}}},
+		{Scale: []LinkScale{{Link: 0, Alpha: -0.5}}},
+	}
+	for i, d := range cases {
+		if _, err := tp.ApplyDelta(d); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if !(Delta{}).Empty() {
+		t.Fatal("zero Delta should be Empty")
+	}
+	if (Delta{LinksDown: []LinkID{0}}).Empty() {
+		t.Fatal("non-zero Delta should not be Empty")
+	}
+}
+
+func TestApplyDeltaSequencedAndJSON(t *testing.T) {
+	tp := DGX1()
+	first, err := tp.ApplyDelta(Delta{LinksDown: []LinkID{0}})
+	if err != nil {
+		t.Fatalf("first delta: %v", err)
+	}
+	second, err := first.ApplyDelta(Delta{LinksDown: []LinkID{1}})
+	if err != nil {
+		t.Fatalf("second delta: %v", err)
+	}
+	if !second.LinkDown(0) || !second.LinkDown(1) {
+		t.Fatal("deltas must accumulate")
+	}
+	if first.LinkDown(1) {
+		t.Fatal("second delta mutated first topology")
+	}
+
+	data, err := json.Marshal(second)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Topology
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for l := 0; l < second.NumLinks(); l++ {
+		if back.LinkDown(LinkID(l)) != second.LinkDown(LinkID(l)) {
+			t.Fatalf("down state lost in round trip at link %d", l)
+		}
+	}
+	if len(back.Out(second.Link(0).Src)) != len(second.Out(second.Link(0).Src)) {
+		t.Fatal("adjacency diverged after round trip")
+	}
+}
+
+func TestZeroAlphaKeepsDownState(t *testing.T) {
+	tp := NDv2(2)
+	edited, err := tp.ApplyDelta(Delta{LinksDown: []LinkID{3}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	za := ZeroAlpha(edited)
+	if !za.LinkDown(3) {
+		t.Fatal("ZeroAlpha dropped down state")
+	}
+	for l := 0; l < za.NumLinks(); l++ {
+		if za.Link(LinkID(l)).Alpha != 0 {
+			t.Fatalf("link %d alpha not zeroed", l)
+		}
+	}
+	for _, lnk := range za.Out(za.Link(3).Src) {
+		if lnk == 3 {
+			t.Fatal("ZeroAlpha resurrected a down link into adjacency")
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 
 	"teccl/internal/core"
+	"teccl/internal/topo"
 )
 
 // Planner is a long-lived solving session pinned to one topology: it
@@ -73,6 +74,22 @@ var (
 	ForceAStar = core.ForceAStar
 )
 
+// Delta describes one step of churn for Planner.Replan: links or nodes
+// lost, per-link bandwidth/latency scaling (degradation, stragglers),
+// and demand pairs added or dropped. Topology edits are applied
+// immutably to the session's snapshot; the caller's Topology is never
+// touched.
+type Delta = core.Delta
+
+// DemandPair names one (source, destination) demand pair in
+// Delta.DropPairs.
+type DemandPair = core.DemandPair
+
+// LinkScale is one multiplicative link edit of a Delta: scale a link's
+// capacity (degradation) and/or its α (straggler slowdown). Zero-valued
+// fields mean "leave unchanged".
+type LinkScale = topo.LinkScale
+
 // Progress is one observability sample from a running solve; see
 // Options.Progress and Request.Progress.
 type Progress = core.Progress
@@ -89,6 +106,33 @@ type ProgressFunc = core.ProgressFunc
 // branch-and-bound worker pool, and the A* round loop all watch it —
 // and Options.TimeLimit is enforced through the same mechanism, so all
 // three solvers respect the budget uniformly.
+//
+// The session snapshots the topology (Topology.Clone), so the caller
+// may keep mutating its own value afterwards without corrupting cached
+// derived state.
+//
+// # Replanning under churn
+//
+// A live session absorbs topology and demand churn with Replan:
+//
+//	plan, err := planner.Replan(ctx, teccl.Delta{
+//		LinksDown: []teccl.LinkID{7},                                  // link failure
+//		Scale:     []teccl.LinkScale{{Link: 3, Capacity: 0.5}},        // degradation
+//	})
+//
+// Replan re-solves the session's last successful request against the
+// churned topology. When the incumbent plan came from the LP form and
+// the churn keeps the time discretization intact, the re-solve is
+// incremental: the churn is applied as bound and right-hand-side edits
+// to the incumbent model (dual-feasible perturbations), and the dual
+// simplex reoptimizes from the incumbent basis in a handful of pivots
+// instead of solving cold. Structural churn — new demand, or a scale
+// that changes a link's per-chunk epochs — and any incremental solve
+// that goes sour degrade gracefully to a cold crash-started solve
+// (Plan.ReplanFallback). Every replanned schedule is re-validated
+// against the churned topology before being returned, and all session
+// caches are invalidated atomically, so no pre-churn schedule or basis
+// can leak into post-churn requests.
 func NewPlanner(t *Topology, opt PlannerOptions) *Planner {
 	return core.NewPlanner(t, opt)
 }

@@ -27,6 +27,13 @@
 // serving traffic) get progressively cheaper; Plan provenance
 // (Plan.CacheHit, Plan.WarmStart) and Planner.Stats report the reuse.
 //
+// Sessions also absorb churn online: Planner.Replan applies a Delta
+// (link/node failures, bandwidth degradation, straggler slowdown,
+// demand add/drop) to the session and re-solves the incumbent request,
+// incrementally when the incumbent LP basis can be reoptimized with a
+// few dual-simplex pivots, and by a cold re-solve otherwise — see
+// NewPlanner's documentation and examples/linkfailure.
+//
 // Three formulations are available, mirroring the paper:
 //
 //   - SolverMILP — the general mixed-integer form (§3.1): optimal,
@@ -77,6 +84,11 @@ type LinkID = topo.LinkID
 // Demand is a collective demand matrix: which destination wants which
 // chunk of which source.
 type Demand = collective.Demand
+
+// TopologyDelta is the topology-only churn description consumed by
+// Topology.ApplyDelta (Delta, the Planner.Replan form, additionally
+// carries demand churn).
+type TopologyDelta = topo.Delta
 
 // Schedule is an executable collective schedule: per-epoch chunk sends.
 type Schedule = schedule.Schedule
