@@ -44,6 +44,32 @@ type benchRecord struct {
 	Header          []string   `json:"header,omitempty"`
 	Rows            [][]string `json:"rows,omitempty"`
 	Notes           string     `json:"notes,omitempty"`
+	// Metrics carries every experiment-specific counter not hoisted into
+	// a dedicated field above (e.g. churnstream's per-platform
+	// incremental/fallback/re-base counts and max replan regret).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// hoisted are the Table.Metrics keys benchRecord promotes to dedicated
+// JSON fields; everything else flows through the generic metrics map.
+var hoisted = map[string]bool{
+	"iterations": true, "refactorizations": true, "ft_updates": true,
+	"update_nnz": true, "replan_pivots": true, "replan_wall_ms": true,
+	"replan_fallbacks": true,
+}
+
+func extraMetrics(m map[string]float64) map[string]float64 {
+	var out map[string]float64
+	for k, v := range m {
+		if hoisted[k] {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[k] = v
+	}
+	return out
 }
 
 func main() {
@@ -92,6 +118,7 @@ func main() {
 				ReplanPivots:     tab.Metrics["replan_pivots"],
 				ReplanWallMs:     tab.Metrics["replan_wall_ms"],
 				ReplanFallbacks:  tab.Metrics["replan_fallbacks"],
+				Metrics:          extraMetrics(tab.Metrics),
 				Header:           tab.Header,
 				Rows:             tab.Rows,
 				Notes:            tab.Notes,

@@ -153,6 +153,31 @@ func (d *Demand) Clone() *Demand {
 	return out
 }
 
+// WithNodes returns a copy of d resized to numNodes nodes (numNodes ≥
+// NumNodes()); every existing (src, chunk, dst) want is preserved at the
+// same coordinates. Topology growth uses it so an incumbent demand can
+// follow its session onto a grown node space: new nodes start with no
+// demand, which a subsequent AddDemand delta then populates.
+func (d *Demand) WithNodes(numNodes int) *Demand {
+	if numNodes < d.n {
+		panic("collective: WithNodes cannot shrink a demand")
+	}
+	if numNodes == d.n {
+		return d.Clone()
+	}
+	out := New(numNodes, d.c, d.ChunkBytes)
+	for s := 0; s < d.n; s++ {
+		for c := 0; c < d.c; c++ {
+			for dst := 0; dst < d.n; dst++ {
+				if d.want[d.idx(s, c, dst)] {
+					out.want[out.idx(s, c, dst)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // DropPair removes every demand from src to dst: dst no longer wants any
 // chunk of src. The replanning layer uses it for demand churn — a tenant
 // leaving, or traffic to/from a failed node.

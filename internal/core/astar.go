@@ -51,35 +51,42 @@ func SolveAStar(t *topo.Topology, d *collective.Demand, opt Options) (*Result, e
 // deadline covering the whole round sequence — not, as before the
 // context plumbing, one budget per round.
 func SolveAStarContext(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options) (*Result, error) {
-	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
-	defer cancel()
-	start := time.Now()
-	in := newInstance(t, d, opt)
-	if len(in.comms) == 0 {
-		return emptyResult(in, start), nil
-	}
+	res, _, err := solveAStar(ctx, t, d, opt)
+	return res, err
+}
 
-	// Round length: long enough that an in-flight chunk lands within the
-	// following round (§5 "Number of epochs in a round").
+// astarAux is the incremental payload of an A* solve: the instance and
+// round length the replanning layer needs to replay unaffected rounds
+// and resume the round loop on a churned topology.
+type astarAux struct {
+	in *instance
+	Kr int
+}
+
+// astarRoundLength derives the round horizon Kr: long enough that an
+// in-flight chunk lands within the following round (§5 "Number of
+// epochs in a round").
+func astarRoundLength(in *instance) int {
+	if in.opt.RoundEpochs > 0 {
+		return in.opt.RoundEpochs
+	}
 	maxHop := 1
 	for l := range in.delta {
 		if h := in.delta[l] + in.kappa[l]; h > maxHop {
 			maxHop = h
 		}
 	}
-	Kr := opt.RoundEpochs
-	if Kr <= 0 {
-		Kr = maxHop + 2
-		if Kr < 3 {
-			Kr = 3
-		}
+	Kr := maxHop + 2
+	if Kr < 3 {
+		Kr = 3
 	}
-	maxRounds := opt.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = 64
-	}
+	return Kr
+}
 
-	nN := t.NumNodes()
+// newAStarState builds the initial chunk-position state of an instance:
+// every source holds its chunks, every demand is outstanding.
+func newAStarState(in *instance) *astarState {
+	nN := in.topo.NumNodes()
 	st := &astarState{
 		holds: make([][]bool, nN),
 		needs: make([][]bool, nN),
@@ -95,47 +102,90 @@ func SolveAStarContext(ctx context.Context, t *topo.Topology, d *collective.Dema
 			st.remaining++
 		}
 	}
+	return st
+}
 
-	hop := in.hopDistances()
+// iterTotals accumulates the per-round MILP solver counters so an A*
+// Result reports iteration effort like the other formulations.
+type iterTotals struct {
+	root, node, nodes, refac, ft, nnz int
+}
+
+// astarLoop runs the round loop from startRound (with st describing the
+// world at that round's start) until every demand is met. It returns
+// the sends of the rounds it solved, the total absolute round count,
+// the worst per-round gap, and the summed solver counters. The
+// replanning layer re-enters it mid-stream: replayed rounds advance st
+// without solving, then the loop resumes here on the churned instance.
+func astarLoop(ctx context.Context, in *instance, st *astarState, hop [][]float64, Kr, maxRounds, startRound int, hint *basisHint) ([]schedule.Send, int, float64, iterTotals, error) {
 	var sends []schedule.Send
-	rounds := 0
 	var totalGap float64
-	// Consecutive rounds share variable names (commodity/link/local-epoch),
-	// so each round seeds its root relaxation from the previous round's.
-	var hint *basisHint
-
+	var iters iterTotals
+	rounds := startRound
 	for st.remaining > 0 {
 		if rounds >= maxRounds {
-			return nil, fmt.Errorf("core: A* did not finish within %d rounds (%d demands left)",
+			return nil, rounds, 0, iters, fmt.Errorf("core: A* did not finish within %d rounds (%d demands left)",
 				maxRounds, st.remaining)
 		}
 		if budgetExpired(ctx) {
 			if ierr := interrupted(ctx); ierr != nil {
-				return nil, fmt.Errorf("core: A* cancelled at round %d with %d demands left: %w",
+				return nil, rounds, 0, iters, fmt.Errorf("core: A* cancelled at round %d with %d demands left: %w",
 					rounds, st.remaining, ierr)
 			}
-			return nil, fmt.Errorf("core: A* hit its time limit at round %d with %d demands left; raise TimeLimit",
+			return nil, rounds, 0, iters, fmt.Errorf("core: A* hit its time limit at round %d with %d demands left; raise TimeLimit",
 				rounds, st.remaining)
 		}
-		opt.Progress.emit(Progress{
+		in.opt.Progress.emit(Progress{
 			Solver: "astar", Phase: "round", Round: rounds + 1,
 			Incumbent: math.NaN(), Bound: math.NaN(), Gap: math.Inf(1),
 		})
 		off := rounds * Kr
-		roundSends, gap, roundHint, err := solveRound(ctx, in, st, hop, Kr, off, hint)
+		roundSends, msol, roundHint, err := solveRound(ctx, in, st, hop, Kr, off, hint)
 		if err != nil {
-			return nil, err
+			return nil, rounds, 0, iters, err
 		}
+		iters.root += msol.RootIterations
+		iters.node += msol.NodeIterations
+		iters.nodes += msol.Nodes
+		iters.refac += msol.Refactorizations
+		iters.ft += msol.FTUpdates
+		iters.nnz += msol.UpdateNnz
 		hint = roundHint
 		progressed := advanceState(in, st, roundSends, off, Kr)
 		if !progressed && len(roundSends) == 0 && st.remaining > 0 {
-			return nil, fmt.Errorf("core: A* stalled at round %d with %d demands left", rounds, st.remaining)
+			return nil, rounds, 0, iters, fmt.Errorf("core: A* stalled at round %d with %d demands left", rounds, st.remaining)
 		}
 		sends = append(sends, roundSends...)
-		if gap > totalGap {
-			totalGap = gap
+		if msol.Gap > totalGap {
+			totalGap = msol.Gap
 		}
 		rounds++
+	}
+	return sends, rounds, totalGap, iters, nil
+}
+
+// solveAStar is SolveAStarContext returning the incremental payload the
+// session layer records for replanning.
+func solveAStar(ctx context.Context, t *topo.Topology, d *collective.Demand, opt Options) (*Result, *astarAux, error) {
+	ctx, cancel := withTimeLimit(ctx, opt.TimeLimit)
+	defer cancel()
+	start := time.Now()
+	in := newInstance(t, d, opt)
+	if len(in.comms) == 0 {
+		return emptyResult(in, start), nil, nil
+	}
+
+	Kr := astarRoundLength(in)
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	st := newAStarState(in)
+	hop := in.hopDistances()
+
+	sends, rounds, totalGap, iters, err := astarLoop(ctx, in, st, hop, Kr, maxRounds, 0, nil)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	s := &schedule.Schedule{
@@ -149,23 +199,30 @@ func SolveAStarContext(ctx context.Context, t *topo.Topology, d *collective.Dema
 	}
 	s = s.Prune()
 	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("core: A* produced invalid schedule: %w", err)
+		return nil, nil, fmt.Errorf("core: A* produced invalid schedule: %w", err)
 	}
 	return &Result{
-		Schedule:  s,
-		Gap:       totalGap,
-		Optimal:   false,
-		SolveTime: time.Since(start),
-		Epochs:    rounds * Kr,
-		Tau:       in.tau,
-		Rounds:    rounds,
-	}, nil
+		Schedule:         s,
+		Gap:              totalGap,
+		Optimal:          false,
+		SolveTime:        time.Since(start),
+		Epochs:           rounds * Kr,
+		Tau:              in.tau,
+		Rounds:           rounds,
+		Nodes:            iters.nodes,
+		RootIterations:   iters.root,
+		NodeIterations:   iters.node,
+		Refactorizations: iters.refac,
+		FTUpdates:        iters.ft,
+		UpdateNnz:        iters.nnz,
+	}, &astarAux{in: in, Kr: Kr}, nil
 }
 
 // solveRound builds and solves one A* round MILP. hint optionally seeds
 // the root relaxation from the previous round's basis; the returned hint
-// carries this round's basis forward.
-func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float64, Kr, off int, hint *basisHint) ([]schedule.Send, float64, *basisHint, error) {
+// carries this round's basis forward, and the milp.Solution carries the
+// round's gap and iteration counters.
+func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float64, Kr, off int, hint *basisHint) ([]schedule.Send, *milp.Solution, *basisHint, error) {
 	t := in.topo
 	nL := t.NumLinks()
 	nN := t.NumNodes()
@@ -556,12 +613,12 @@ func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float
 	case milp.StatusOptimal, milp.StatusFeasible:
 	default:
 		if ierr := interrupted(ctx); ierr != nil {
-			return nil, 0, nil, fmt.Errorf("core: A* round %d interrupted: %w", off/Kr+1, ierr)
+			return nil, nil, nil, fmt.Errorf("core: A* round %d interrupted: %w", off/Kr+1, ierr)
 		}
 		if budgetExpired(ctx) {
-			return nil, 0, nil, fmt.Errorf("core: A* hit its time limit in round %d; raise TimeLimit", off/Kr+1)
+			return nil, nil, nil, fmt.Errorf("core: A* hit its time limit in round %d; raise TimeLimit", off/Kr+1)
 		}
-		return nil, 0, nil, fmt.Errorf("core: A* round failed: %v", msol.Status)
+		return nil, nil, nil, fmt.Errorf("core: A* round failed: %v", msol.Status)
 	}
 
 	var out []schedule.Send
@@ -579,7 +636,7 @@ func solveRound(ctx context.Context, in *instance, st *astarState, hop [][]float
 			}
 		}
 	}
-	return out, msol.Gap, hintFromSolve(p, msol.RootBasis), nil
+	return out, msol, hintFromSolve(p, msol.RootBasis), nil
 }
 
 // advanceState applies a round's sends to the A* state: materializes

@@ -29,9 +29,14 @@ type lpModel struct {
 	// Row indexes the replanning layer edits in place (see replan.go):
 	// capRow[l][k] is the windowed capacity row of link l ending at epoch
 	// k, destRow[si][dst] the destination-total row of the pair; -1 when
-	// the row was not emitted.
+	// the row was not emitted. initRow[si] is source si's supply row and
+	// consRow[si][n][k] the conservation row of (source si, node n, epoch
+	// k) — the rows the demand-append replan path (lpappend.go) wires new
+	// columns into.
 	capRow  [][]int32
 	destRow [][]int32
+	initRow []int32
+	consRow [][][]int32
 }
 
 // landEpoch is the epoch by whose end a send at epoch e on link l is
@@ -203,6 +208,7 @@ func buildLP(in *instance) *lpModel {
 
 	// Initialization (Appendix A): the source's inventory plus its
 	// epoch-0 sends equal its total supply.
+	m.initRow = make([]int32, len(m.sources))
 	for si, s := range m.sources {
 		supply := 0.0
 		for dst := 0; dst < nN; dst++ {
@@ -214,15 +220,22 @@ func buildLP(in *instance) *lpModel {
 				terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: 1})
 			}
 		}
-		p.AddRow(terms, lp.EQ, supply)
+		m.initRow[si] = int32(p.AddRow(terms, lp.EQ, supply))
 	}
 
 	// Conservation for buffered nodes:
 	//   B_k + in(k) = B_{k+1} + R_k + out(k+1)
 	// where in(k) are sends landing during epoch k (sent at k-δ-κ+1) and
 	// out(k+1) are sends departing at epoch k+1.
+	m.consRow = make([][][]int32, len(m.sources))
 	for si := range m.sources {
+		m.consRow[si] = make([][]int32, nN)
 		for n := 0; n < nN; n++ {
+			col := make([]int32, K)
+			for k := range col {
+				col[k] = noVar
+			}
+			m.consRow[si][n] = col
 			if !isBuffered(si, n) {
 				continue
 			}
@@ -253,7 +266,7 @@ func buildLP(in *instance) *lpModel {
 				if len(terms) == 0 {
 					continue
 				}
-				p.AddRow(terms, lp.EQ, 0)
+				col[k] = int32(p.AddRow(terms, lp.EQ, 0))
 			}
 		}
 	}

@@ -22,6 +22,10 @@ type milpModel struct {
 	fvar [][][]int32
 	bvar [][][]int32
 	ints []lp.VarID
+	// capRow[l][k] indexes the windowed capacity row of link l ending at
+	// epoch k (-1 when not emitted) — the rows the replanning layer
+	// rewrites when a churned MILP incumbent re-roots (replan.go).
+	capRow [][]int32
 }
 
 const noVar = int32(-1)
@@ -288,9 +292,12 @@ func buildMILP(in *instance) (*milpModel, error) {
 
 	// Capacity (windowed when κ > 1, Appendix F), with per-epoch
 	// variable-bandwidth scaling (§5).
+	m.capRow = make([][]int32, nL)
 	for l := 0; l < nL; l++ {
+		m.capRow[l] = make([]int32, K)
 		kap := in.kappa[l]
 		for k := 0; k < K; k++ {
+			m.capRow[l][k] = noVar
 			var row []lp.Term
 			budget := 0.0
 			for kk := k - kap + 1; kk <= k; kk++ {
@@ -313,7 +320,7 @@ func buildMILP(in *instance) (*milpModel, error) {
 			if len(row) == 0 {
 				continue
 			}
-			p.AddRow(row, lp.LE, budget)
+			m.capRow[l][k] = int32(p.AddRow(row, lp.LE, budget))
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 
 	"teccl/internal/collective"
 	"teccl/internal/lp"
+	"teccl/internal/schedule"
 	"teccl/internal/topo"
 )
 
@@ -29,6 +30,9 @@ type PlannerOptions struct {
 	// Policy picks the formulation for requests that do not force one;
 	// nil means DefaultPolicy{}.
 	Policy Policy
+	// Replan tunes the bounded-regret budget and adaptive re-basing of
+	// Planner.Replan; the zero value means sensible defaults.
+	Replan ReplanOptions
 }
 
 // Request is one unit of work for a Planner session.
@@ -65,10 +69,17 @@ type Plan struct {
 	// re-solved against the churned topology/demand.
 	Replanned bool
 	// ReplanFallback marks a replan that could not reoptimize the
-	// incumbent LP incrementally (structural churn, a sour or infeasible
-	// incremental solve, or a non-LP incumbent) and degraded to a cold
-	// solve of the edited request.
+	// incumbent incrementally (structural churn, a sour or infeasible
+	// incremental solve, a bounded-regret budget abort, or an incumbent
+	// with no incremental payload) and degraded to a cold solve of the
+	// edited request.
 	ReplanFallback bool
+	// ReBased marks a replan served by a proactive crash-started re-base:
+	// the session detected that the incremental advantage had decayed
+	// (see ReplanOptions.RebaseThreshold) and chose a cold solve to
+	// refresh the incumbent basis. ReBased plans are not fallbacks — the
+	// session skipped the incremental attempt on purpose.
+	ReBased bool
 }
 
 // PlannerStats are cumulative session counters, retrievable at any time
@@ -98,8 +109,30 @@ type PlannerStats struct {
 	// the dual-simplex pivots that carried each incumbent basis to the
 	// churned optimum.
 	ReplanPivots int
+	// ReplanIncrementalPivots mirrors ReplanPivots under the name the
+	// churn-stream tooling reports it by, next to ColdEstimatePivots.
+	ReplanIncrementalPivots int
+	// ColdEstimatePivots is the session's current EWMA estimate of one
+	// cold solve's pivot count — the baseline the bounded-regret budget
+	// and the re-base trigger compare incremental replans against.
+	ColdEstimatePivots int
 	// ReplanFallbacks counts replans that degraded to a cold solve.
 	ReplanFallbacks int
+	// Per-kind fallback counters (each fallback increments exactly one):
+	// Structural — the churn changed the model's shape (δ/κ at the
+	// incumbent τ, topology growth, or demand churn the incumbent form
+	// cannot absorb); Budget — the incremental attempt was aborted by the
+	// bounded-regret pivot/deadline budget; Sour — the incremental solve
+	// came back non-optimal or its schedule failed re-validation; NoModel
+	// — the incumbent carried no incremental payload (a replayed schedule
+	// or an empty solve).
+	ReplanFallbackStructural int
+	ReplanFallbackBudget     int
+	ReplanFallbackSour       int
+	ReplanFallbackNoModel    int
+	// ReBases counts replans served by a proactive crash-started re-base
+	// (Plan.ReBased); they are not included in ReplanFallbacks.
+	ReBases int
 }
 
 // Planner is a long-lived solving session pinned to one topology.
@@ -119,6 +152,16 @@ type Planner struct {
 	lastMILP  sessionBasis // name-matched warm-start chain, MILP form
 	incumbent *incumbentState
 	stats     PlannerStats
+
+	// Bounded-regret bookkeeping (replan.go, all under mu): EWMAs of
+	// observed cold-solve cost seed the incremental pivot/deadline
+	// budget; the incremental-pivot EWMA tracks the advantage whose decay
+	// triggers a proactive re-base.
+	coldPivotEWMA float64
+	coldWallEWMA  float64 // seconds
+	incPivotEWMA  float64
+	incReplans    int
+	rebasePending bool
 }
 
 // sessionState is everything a session derives from its current
@@ -155,16 +198,34 @@ type sessionBasis struct {
 
 // incumbentState is the session's memory of the last successful Plan:
 // the request (demand snapshot, resolved options, forced solver) for
-// fallback re-solves, plus — when the plan came from a genuine LP-form
-// solve — the built model and optimal basis that Replan perturbs
-// incrementally.
+// fallback re-solves, plus the formulation-specific incremental payload
+// Replan perturbs — the LP model and optimal basis, the MILP model with
+// its root basis and integer incumbent, or the A* instance with its
+// round schedule.
 type incumbentState struct {
 	demand *collective.Demand // snapshot of the request demand
 	opt    Options            // resolved request options (estimates cleared)
 	solver Solver             // the request's forced solver (SolverAuto when policy-chosen)
 
-	model *lpModel  // nil for MILP/A*/replayed incumbents
+	model *lpModel  // LP incumbents; nil otherwise
 	basis *lp.Basis // final simplex basis of model.p
+
+	// MILP incumbents: Replan re-roots branch-and-bound from the repaired
+	// root-relaxation basis and re-validates the integer incumbent's
+	// sends against the churned topology.
+	mmodel *milpModel
+	mbasis *lp.Basis
+
+	// A* incumbents: Replan replays unaffected rounds through the state
+	// recurrence and re-solves only rounds touching churned links.
+	ain     *instance
+	aKr     int
+	aRounds int
+	aGap    float64
+
+	// sends is the incumbent schedule of the MILP and A* forms (the LP
+	// form replans from its basis instead).
+	sends []schedule.Send
 }
 
 // NewPlanner opens a session on a topology. The topology is snapshotted
@@ -191,6 +252,8 @@ func (pl *Planner) Topology() *topo.Topology { return pl.snapshot().t }
 func (pl *Planner) Stats() PlannerStats {
 	pl.mu.Lock()
 	st := pl.stats
+	st.ReplanIncrementalPivots = st.ReplanPivots
+	st.ColdEstimatePivots = int(pl.coldPivotEWMA + 0.5)
 	state := pl.state
 	pl.mu.Unlock()
 	st.ExactBasisHits = state.warmBases.hitCount()
@@ -242,22 +305,37 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 	case SolverLP:
 		plan, m, b, err := pl.planLP(ctx, st, req.Demand, opt)
 		if err == nil && plan != nil {
-			pl.recordIncumbent(st, req, incOpt, m, b)
+			pl.observeCold(plan.Result)
+			pl.recordIncumbent(st, req, incOpt, incumbentState{model: m, basis: b})
 		}
 		return plan, err
 	case SolverMILP:
-		plan, err := pl.planMILP(ctx, st, req.Demand, opt)
+		plan, m, b, err := pl.planMILP(ctx, st, req.Demand, opt)
 		if err == nil && plan != nil {
-			pl.recordIncumbent(st, req, incOpt, nil, nil)
+			pl.observeCold(plan.Result)
+			inc := incumbentState{mmodel: m, mbasis: b}
+			if m != nil && b != nil && plan.Schedule != nil {
+				inc.sends = plan.Schedule.Sends
+			}
+			pl.recordIncumbent(st, req, incOpt, inc)
 		}
 		return plan, err
 	case SolverAStar:
-		res, err := SolveAStarContext(ctx, st.t, req.Demand, opt)
+		res, aux, err := solveAStar(ctx, st.t, req.Demand, opt)
 		if res == nil {
 			return nil, err
 		}
 		if err == nil {
-			pl.recordIncumbent(st, req, incOpt, nil, nil)
+			pl.observeCold(res)
+			inc := incumbentState{}
+			if aux != nil && res.Schedule != nil {
+				inc.ain = aux.in
+				inc.aKr = aux.Kr
+				inc.aRounds = res.Rounds
+				inc.aGap = res.Gap
+				inc.sends = res.Schedule.Sends
+			}
+			pl.recordIncumbent(st, req, incOpt, inc)
 		}
 		return &Plan{Result: res, Solver: SolverAStar}, err
 	default:
@@ -266,24 +344,20 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 }
 
 // recordIncumbent remembers a successful request as the session's replan
-// target. The model/basis pair is kept only when the plan came from a
-// genuine LP solve (nil for replays and the other formulations — those
-// incumbents replan by cold re-solve). A request solved against an
-// already-replaced session state (a Plan racing a Replan) is not
-// recorded: its model references the pre-churn topology.
-func (pl *Planner) recordIncumbent(st *sessionState, req Request, incOpt Options, m *lpModel, b *lp.Basis) {
+// target. The incremental payload in inc is form-specific and may be
+// empty (replays and empty solves replan by cold re-solve). A request
+// solved against an already-replaced session state (a Plan racing a
+// Replan) is not recorded: its model references the pre-churn topology.
+func (pl *Planner) recordIncumbent(st *sessionState, req Request, incOpt Options, inc incumbentState) {
+	inc.demand = req.Demand.Clone()
+	inc.opt = incOpt
+	inc.solver = req.Solver
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	if pl.state != st {
 		return
 	}
-	pl.incumbent = &incumbentState{
-		demand: req.Demand.Clone(),
-		opt:    incOpt,
-		solver: req.Solver,
-		model:  m,
-		basis:  b,
-	}
+	pl.incumbent = &inc
 }
 
 // choose resolves the session policy for one request.
@@ -360,7 +434,7 @@ func (pl *Planner) planLP(ctx context.Context, st *sessionState, d *collective.D
 
 // planMILP serves a MILP-form request, warm-starting the root relaxation
 // from the fingerprint store or the previous MILP's root basis by name.
-func (pl *Planner) planMILP(ctx context.Context, st *sessionState, d *collective.Demand, opt Options) (*Plan, error) {
+func (pl *Planner) planMILP(ctx context.Context, st *sessionState, d *collective.Demand, opt Options) (*Plan, *milpModel, *lp.Basis, error) {
 	pl.mu.Lock()
 	last := pl.lastMILP
 	pl.mu.Unlock()
@@ -385,10 +459,10 @@ func (pl *Planner) planMILP(ctx context.Context, st *sessionState, d *collective
 		st.warmBases.record(m.p, b)
 	}
 	if res == nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	return &Plan{Result: res, Solver: SolverMILP,
-		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, err
+		WarmStart: res.WarmStarted, CrashStart: res.CrashStarted}, m, b, err
 }
 
 // estimateCache memoizes the per-topology derived quantities of a

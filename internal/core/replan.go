@@ -1,39 +1,62 @@
 package core
 
 // replan.go is the online-replanning layer: Planner.Replan applies
-// topology/demand churn (links or nodes lost, bandwidth degradation,
-// straggler slowdown, demand add/drop) to a live session and re-solves
-// the incumbent request against the churned world.
+// topology/demand churn (links or nodes lost, bandwidth change,
+// straggler slowdown, topology growth, demand add/drop) to a live
+// session and re-solves the incumbent request against the churned
+// world.
 //
-// The fast path is a dual-feasible perturbation of the incumbent LP.
-// Every churn kind the LP can absorb reduces to bound and right-hand-
-// side edits of the already-built model: a downed link fixes its flow
-// columns to [0,0] (a column drop), capacity degradation rewrites the
-// windowed capacity rows' budgets, and a dropped demand pair fixes its
-// read columns to [0,0] and zeroes its destination-total row. None of
-// those edits touch the cost vector or the constraint matrix, so the
-// incumbent optimal basis stays dual feasible and the dual simplex
-// reoptimizes from it in a handful of pivots — the Forrest–Tomlin
-// machinery then carries those pivots as cheap eta updates instead of
-// refactorizations.
+// The fast path depends on the incumbent's formulation:
 //
-// Churn the incumbent model cannot absorb — a new demand, or a scale
-// that changes a live link's δ or κ at the incumbent epoch duration
-// (the time discretization itself shifts) — and any incremental solve
-// that comes back non-optimal, numerically sour, or with a schedule
-// that fails re-validation degrades gracefully to a crash-started cold
-// solve of the edited request. Replan never errors when that cold solve
-// would succeed.
+//   - LP incumbents reoptimize by dual-feasible perturbation. Churn the
+//     LP can absorb reduces to bound and right-hand-side edits of the
+//     already-built model: a downed link fixes its flow columns to
+//     [0,0] (a column drop), capacity change rewrites the windowed
+//     capacity rows' budgets, and a dropped demand pair fixes its read
+//     columns to [0,0] and zeroes its destination-total row. None of
+//     those edits touch the cost vector or the constraint matrix, so
+//     the incumbent optimal basis stays dual feasible and the dual
+//     simplex reoptimizes from it in a handful of pivots. New demand is
+//     absorbed structurally: lpappend.go prices the new (source,
+//     destination) pairs in as appended columns and rows of the
+//     incumbent model, and the basis — padded so appended columns
+//     enter nonbasic and appended rows enter slack-basic — warm-starts
+//     the reoptimization.
+//
+//   - MILP incumbents re-root branch-and-bound: the root relaxation
+//     reoptimizes from the repaired incumbent root basis under the same
+//     bound/RHS edits, and the incumbent integer schedule, re-validated
+//     against the churned topology, seeds the search as a feasible
+//     incumbent when it survives.
+//
+//   - A* incumbents replay unaffected rounds through the round-state
+//     recurrence without solving anything, and resume the round loop at
+//     the first round whose sends touch a newly-downed or degraded
+//     link.
+//
+// Every incremental attempt runs under a bounded-regret budget derived
+// from an EWMA of observed cold-solve cost (ReplanOptions): the LP path
+// gets a pivot budget, the MILP and A* paths a wall-clock deadline. An
+// attempt that exhausts its budget — or churn no incumbent can absorb,
+// like a scale that changes a live link's δ or κ at the incumbent epoch
+// duration, or topology growth — degrades gracefully to a crash-started
+// cold solve of the edited request. Sessions additionally track the
+// incremental path's advantage over cold solving and proactively
+// re-base (crash-started refactorization of the incumbent) when it
+// decays. Replan never errors when the cold solve would succeed.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"time"
 
 	"teccl/internal/collective"
 	"teccl/internal/lp"
+	"teccl/internal/milp"
+	"teccl/internal/schedule"
 	"teccl/internal/topo"
 )
 
@@ -54,19 +77,258 @@ type Delta struct {
 	// down, and every demand pair involving it is dropped.
 	NodesDown []topo.NodeID
 	// Scale lists per-link capacity/α multipliers — bandwidth
-	// degradation and straggler slowdown. See topo.LinkScale.
+	// degradation, capacity restoration, and straggler slowdown. See
+	// topo.LinkScale.
 	Scale []topo.LinkScale
+	// AddNodes appends new nodes and AddLinks new links (structural
+	// growth — a scale-up joining the job). Grown topologies replan by
+	// cold solve; the incumbent demand follows the session onto the
+	// grown node space with the new nodes demandless.
+	AddNodes []topo.Node
+	AddLinks []topo.Link
 	// DropPairs lists demand pairs to remove from the incumbent demand.
 	DropPairs []DemandPair
 	// AddDemand, when non-nil, is OR-ed into the incumbent demand (same
-	// shape required). New demand is structural churn: the replan solves
-	// cold rather than incrementally.
+	// shape as the post-growth demand required). An LP incumbent absorbs
+	// it incrementally by appending priced-out columns to the incumbent
+	// model; the other forms solve cold.
 	AddDemand *collective.Demand
 }
 
 // topoDelta extracts the topology part of the churn.
 func (d Delta) topoDelta() topo.Delta {
-	return topo.Delta{LinksDown: d.LinksDown, NodesDown: d.NodesDown, Scale: d.Scale}
+	return topo.Delta{
+		LinksDown: d.LinksDown, NodesDown: d.NodesDown, Scale: d.Scale,
+		AddNodes: d.AddNodes, AddLinks: d.AddLinks,
+	}
+}
+
+// ReplanOptions tunes the bounded-regret budget and the adaptive
+// re-basing of Planner.Replan. The zero value means defaults; set a
+// field negative to disable that mechanism.
+type ReplanOptions struct {
+	// RegretFraction bounds every incremental replan attempt to this
+	// fraction of the session's cold-solve cost estimate (an EWMA of
+	// observed cold pivots and wall time): the LP path gets a pivot
+	// budget, the MILP and A* paths a wall-clock deadline. An attempt
+	// that exhausts its budget aborts to the crash-started cold
+	// fallback, so a sour incremental replan can never cost much more
+	// than the cold solve it degrades to. Default 0.2; negative
+	// disables the budget.
+	RegretFraction float64
+	// PivotFloor is the minimum LP pivot budget, so small cold-pivot
+	// estimates do not starve legitimate incremental replans (on small
+	// models a disruptive delta legitimately reoptimizes in a sizable
+	// fraction of the cold pivot count; the regret fraction only
+	// governs at scale, where it is the binding bound). Default 2048;
+	// negative means no floor.
+	PivotFloor int
+	// RebaseThreshold arms proactive re-basing: when the EWMA of
+	// incremental pivots per replan exceeds this fraction of the
+	// effective pivot budget (max(PivotFloor, RegretFraction·cold)) —
+	// the warm basis has drifted so far from the churned world that
+	// reoptimization trends toward the budget-abort region — the next
+	// Replan skips the incremental attempt and runs a crash-started
+	// cold solve to refresh the incumbent basis (Plan.ReBased,
+	// PlannerStats.ReBases). Keep it below 1 so re-basing fires before
+	// the budget abort would. Default 0.75; negative disables
+	// re-basing.
+	RebaseThreshold float64
+}
+
+func (o ReplanOptions) regretFraction() float64 {
+	if o.RegretFraction < 0 {
+		return 0
+	}
+	if o.RegretFraction == 0 {
+		return 0.2
+	}
+	return o.RegretFraction
+}
+
+func (o ReplanOptions) pivotFloor() int {
+	if o.PivotFloor < 0 {
+		return 0
+	}
+	if o.PivotFloor == 0 {
+		return 2048
+	}
+	return o.PivotFloor
+}
+
+func (o ReplanOptions) rebaseThreshold() float64 {
+	if o.RebaseThreshold < 0 {
+		return 0
+	}
+	if o.RebaseThreshold == 0 {
+		return 0.75
+	}
+	return o.RebaseThreshold
+}
+
+// fallbackKind classifies why an incremental replan attempt degraded to
+// the cold fallback, for PlannerStats' per-kind counters.
+type fallbackKind int
+
+const (
+	fbNone fallbackKind = iota
+	// fbStructural: churn the incumbent model cannot express — δ/κ
+	// change, topology growth, demand churn on a MILP/A* incumbent, or
+	// new demand the append path cannot price in.
+	fbStructural
+	// fbBudget: the bounded-regret pivot/deadline budget expired.
+	fbBudget
+	// fbSour: the incremental solve came back non-optimal, numerically
+	// sour, or produced a schedule that failed re-validation.
+	fbSour
+	// fbNoModel: the incumbent carries no incremental payload (replays,
+	// empty solves).
+	fbNoModel
+)
+
+// replanDebug mirrors the lp package's LP_DEBUG switch for the replan
+// layer: incremental aborts print their reason to stderr.
+var replanDebug = os.Getenv("LP_DEBUG") != ""
+
+func replanAbortf(format string, args ...any) {
+	if replanDebug {
+		fmt.Fprintf(os.Stderr, "replan: "+format+"\n", args...)
+	}
+}
+
+// regretEWMAAlpha is the smoothing factor of the session cost EWMAs: new
+// observations count half, so estimates track drift within a few solves.
+const regretEWMAAlpha = 0.5
+
+// observeCold folds a genuinely cold solve's observed cost into the
+// session's cold-cost estimate. Replays and warm-started solves are
+// skipped: the budget must be calibrated against what the crash-started
+// fallback would actually cost.
+func (pl *Planner) observeCold(res *Result) {
+	if res == nil || res.Reused || res.WarmStarted {
+		return
+	}
+	pivots := float64(res.RootIterations + res.NodeIterations)
+	wall := res.SolveTime.Seconds()
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.coldPivotEWMA == 0 {
+		pl.coldPivotEWMA = pivots
+	} else {
+		pl.coldPivotEWMA += regretEWMAAlpha * (pivots - pl.coldPivotEWMA)
+	}
+	if pl.coldWallEWMA == 0 {
+		pl.coldWallEWMA = wall
+	} else {
+		pl.coldWallEWMA += regretEWMAAlpha * (wall - pl.coldWallEWMA)
+	}
+}
+
+// noteIncremental folds a successful incremental replan's pivot count
+// into the advantage EWMA and arms the re-base trigger when the
+// incremental advantage over cold solving has decayed — smoothed cost
+// trending into the budget-abort region means the warm basis has
+// drifted too far from the churned world to stay worth reoptimizing.
+func (pl *Planner) noteIncremental(pivots int) {
+	thr := pl.opt.Replan.rebaseThreshold()
+	budget := pl.pivotBudget()
+	v := float64(pivots)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.incReplans == 0 {
+		pl.incPivotEWMA = v
+	} else {
+		pl.incPivotEWMA += regretEWMAAlpha * (v - pl.incPivotEWMA)
+	}
+	pl.incReplans++
+	if thr > 0 && budget > 0 && pl.incPivotEWMA > thr*float64(budget) {
+		pl.rebasePending = true
+	}
+}
+
+// coldEstimate snapshots the session's cold-cost EWMAs (pivots,
+// seconds) under the lock, for budget derivation and debug output.
+func (pl *Planner) coldEstimate() (float64, float64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.coldPivotEWMA, pl.coldWallEWMA
+}
+
+// pivotBudget derives the LP incremental attempt's iteration budget
+// from the cold-pivot estimate; 0 means unbudgeted (no estimate yet, or
+// budgeting disabled).
+func (pl *Planner) pivotBudget() int {
+	frac := pl.opt.Replan.regretFraction()
+	if frac == 0 {
+		return 0
+	}
+	cold, _ := pl.coldEstimate()
+	if cold <= 0 {
+		return 0
+	}
+	b := int(frac*cold + 0.5)
+	if f := pl.opt.Replan.pivotFloor(); b < f {
+		b = f
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// minWallBudget keeps the MILP/A* incremental deadline from rounding to
+// nothing when the cold estimate is tiny.
+const minWallBudget = 100 * time.Millisecond
+
+// wallBudget derives the MILP/A* incremental attempt's deadline from
+// the cold wall-time estimate; 0 means unbudgeted.
+func (pl *Planner) wallBudget() time.Duration {
+	frac := pl.opt.Replan.regretFraction()
+	if frac == 0 {
+		return 0
+	}
+	_, wall := pl.coldEstimate()
+	if wall <= 0 {
+		return 0
+	}
+	d := time.Duration(frac * wall * float64(time.Second))
+	if d < minWallBudget {
+		d = minWallBudget
+	}
+	return d
+}
+
+// deltaKappaPreserved is the structural gate every incremental form
+// shares: each live link of newTopo must keep the δ/κ it has in the
+// incumbent instance at the incumbent τ, or the time discretization of
+// the model no longer matches the world. It returns the churned
+// per-epoch chunk budgets when the gate passes.
+func deltaKappaPreserved(in *instance, newTopo *topo.Topology) ([]float64, bool) {
+	nL := newTopo.NumLinks()
+	if nL != in.topo.NumLinks() || nL != len(in.kappa) {
+		return nil, false
+	}
+	capChunks := make([]float64, nL)
+	for l := 0; l < nL; l++ {
+		if newTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		lk := newTopo.Link(topo.LinkID(l))
+		del := 0
+		if lk.Alpha > 0 {
+			del = int(math.Ceil(lk.Alpha/in.tau - 1e-9))
+		}
+		per := lk.Capacity * in.tau / in.demand.ChunkBytes
+		kap := 1
+		if per < 1-1e-9 {
+			kap = int(math.Ceil(1/per - 1e-9))
+		}
+		if del != in.delta[l] || kap != in.kappa[l] {
+			return nil, false
+		}
+		capChunks[l] = per
+	}
+	return capChunks, true
 }
 
 // Replan applies churn to the session and re-solves the incumbent
@@ -79,18 +341,22 @@ func (d Delta) topoDelta() topo.Delta {
 // consistent snapshot and in-flight solves against the old topology
 // cannot contaminate the new caches.
 //
-// When the incumbent is a genuine LP solve and the churn is
-// non-structural, the re-solve is incremental (see the file comment);
-// otherwise, or when the incremental path sours, Replan degrades to a
-// cold solve of the edited request — Plan.ReplanFallback reports which
-// happened, and PlannerStats.Replans/ReplanPivots/ReplanFallbacks
-// aggregate the session's churn history. An infeasible edited request
-// (e.g. a demand whose destination was disconnected without dropping
-// the pair) returns the cold solve's error.
+// When the churn is non-structural, the re-solve is incremental per the
+// incumbent's formulation (see the file comment) under the
+// bounded-regret budget of PlannerOptions.Replan; otherwise, or when
+// the incremental path sours or exhausts its budget, Replan degrades to
+// a cold solve of the edited request — Plan.ReplanFallback reports
+// which happened, and PlannerStats aggregates the session's churn
+// history per fallback kind. A session whose incremental advantage has
+// decayed re-bases instead: a deliberate crash-started cold solve that
+// refreshes the incumbent basis (Plan.ReBased; counted in ReBases, not
+// in ReplanFallbacks). An infeasible edited request (e.g. a demand
+// whose destination was disconnected without dropping the pair) returns
+// the cold solve's error.
 //
 // Replan requires a prior successful Plan; an invalid delta (unknown
-// IDs, negative scales, mismatched AddDemand shape) errors without
-// changing any session state.
+// IDs, negative scales, malformed growth, mismatched AddDemand shape)
+// errors without changing any session state.
 func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	pl.replanMu.Lock()
 	defer pl.replanMu.Unlock()
@@ -107,7 +373,13 @@ func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	grew := len(d.AddNodes) > 0 || len(d.AddLinks) > 0
 	newDemand := inc.demand.Clone()
+	if newTopo.NumNodes() > newDemand.NumNodes() {
+		// Structural growth: the incumbent demand follows the session
+		// onto the grown node space; the new nodes start demandless.
+		newDemand = newDemand.WithNodes(newTopo.NumNodes())
+	}
 	for _, pr := range d.DropPairs {
 		if pr.Src < 0 || pr.Src >= newDemand.NumNodes() || pr.Dst < 0 || pr.Dst >= newDemand.NumNodes() {
 			return nil, fmt.Errorf("core: Replan drops unknown demand pair (%d,%d)", pr.Src, pr.Dst)
@@ -136,10 +408,47 @@ func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	pl.lastLP = sessionBasis{}
 	pl.lastMILP = sessionBasis{}
 	pl.stats.Replans++
+	// Adaptive re-basing: when the incremental advantage has decayed
+	// (see noteIncremental), skip the incremental attempt on purpose and
+	// let the cold solve below refresh the incumbent basis.
+	rebase := pl.rebasePending
+	if rebase {
+		pl.rebasePending = false
+		pl.stats.ReBases++
+		pl.incPivotEWMA = 0
+		pl.incReplans = 0
+	}
 	pl.mu.Unlock()
 
-	if d.AddDemand == nil && inc.model != nil && inc.basis != nil {
-		if plan := pl.replanIncremental(ctx, newState, inc, st.t, newTopo, newDemand, d); plan != nil {
+	kind := fbNoModel
+	if !rebase {
+		demandChurn := d.AddDemand != nil || len(d.DropPairs) > 0 || len(d.NodesDown) > 0
+		var plan *Plan
+		switch {
+		case grew:
+			// Growth changes the node space (and usually reachability);
+			// every formulation rebuilds cold.
+			kind = fbStructural
+			replanAbortf("structural fallback: topology growth (+%d nodes, +%d links)",
+				len(d.AddNodes), len(d.AddLinks))
+		case inc.model != nil && inc.basis != nil:
+			plan, kind = pl.replanIncrementalLP(ctx, newState, inc, st.t, newTopo, newDemand, d)
+		case inc.mmodel != nil && inc.mbasis != nil:
+			if demandChurn {
+				kind = fbStructural
+				replanAbortf("structural fallback: demand churn on a MILP incumbent")
+			} else {
+				plan, kind = pl.replanIncrementalMILP(ctx, newState, inc, st.t, newTopo, newDemand)
+			}
+		case inc.ain != nil && inc.aKr > 0:
+			if demandChurn {
+				kind = fbStructural
+				replanAbortf("structural fallback: demand churn on an A* incumbent")
+			} else {
+				plan, kind = pl.replanIncrementalAStar(ctx, newState, inc, st.t, newTopo, newDemand)
+			}
+		}
+		if plan != nil {
 			return plan, nil
 		}
 		if ierr := interrupted(ctx); ierr != nil {
@@ -152,60 +461,56 @@ func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	// from before the churn, so this is exactly the solve a brand-new
 	// session would run.
 	pl.mu.Lock()
-	pl.stats.ReplanFallbacks++
+	if !rebase {
+		pl.stats.ReplanFallbacks++
+		switch kind {
+		case fbStructural:
+			pl.stats.ReplanFallbackStructural++
+		case fbBudget:
+			pl.stats.ReplanFallbackBudget++
+		case fbSour:
+			pl.stats.ReplanFallbackSour++
+		default:
+			pl.stats.ReplanFallbackNoModel++
+		}
+	}
 	pl.mu.Unlock()
 	fopt := inc.opt
 	plan, err := pl.Plan(ctx, Request{Demand: newDemand, Options: &fopt, Solver: inc.solver})
 	if plan != nil {
 		plan.Replanned = true
-		plan.ReplanFallback = true
+		if rebase {
+			plan.ReBased = true
+		} else {
+			plan.ReplanFallback = true
+		}
 	}
 	return plan, err
 }
 
-// replanIncremental attempts the dual-feasible incremental re-solve of
-// the incumbent LP. It returns nil when the churn is structural at the
-// incumbent discretization, the dual simplex does not reach a verified
-// optimum, or the reoptimized rates fail to decompose into a schedule
-// that re-validates on the churned topology — the caller then falls
-// back to a cold solve.
-func (pl *Planner) replanIncremental(ctx context.Context, newState *sessionState, inc *incumbentState,
-	oldTopo, newTopo *topo.Topology, newDemand *collective.Demand, d Delta) *Plan {
+// replanIncrementalLP attempts the dual-feasible incremental re-solve
+// of the incumbent LP, including column appends for new demand. It
+// returns the fallback kind when the churn is structural at the
+// incumbent discretization, the bounded-regret pivot budget expires,
+// the dual simplex does not reach a verified optimum, or the
+// reoptimized rates fail to decompose into a schedule that re-validates
+// on the churned topology — the caller then falls back to a cold solve.
+func (pl *Planner) replanIncrementalLP(ctx context.Context, newState *sessionState, inc *incumbentState,
+	oldTopo, newTopo *topo.Topology, newDemand *collective.Demand, d Delta) (*Plan, fallbackKind) {
 	m := inc.model
 	in := m.in
 	start := time.Now()
 
-	// Structural compatibility: every live link must keep the δ/κ it had
-	// at the incumbent tau, or the time discretization of the model no
-	// longer matches the world.
-	nL := newTopo.NumLinks()
-	if nL != oldTopo.NumLinks() || nL != len(in.kappa) {
-		return nil
-	}
-	capChunks := make([]float64, nL)
-	for l := 0; l < nL; l++ {
-		if newTopo.LinkDown(topo.LinkID(l)) {
-			continue
-		}
-		lk := newTopo.Link(topo.LinkID(l))
-		del := 0
-		if lk.Alpha > 0 {
-			del = int(math.Ceil(lk.Alpha/in.tau - 1e-9))
-		}
-		per := lk.Capacity * in.tau / in.demand.ChunkBytes
-		kap := 1
-		if per < 1-1e-9 {
-			kap = int(math.Ceil(1/per - 1e-9))
-		}
-		if del != in.delta[l] || kap != in.kappa[l] {
-			return nil
-		}
-		capChunks[l] = per
+	capChunks, ok := deltaKappaPreserved(in, newTopo)
+	if !ok {
+		replanAbortf("structural fallback: a live link changed δ/κ at the incumbent τ")
+		return nil, fbStructural
 	}
 
 	// Perturb a clone of the incumbent model. Bound and RHS edits only:
 	// the basis stays dual feasible.
 	q := m.p.Clone()
+	nL := newTopo.NumLinks()
 	for l := 0; l < nL; l++ {
 		if !newTopo.LinkDown(topo.LinkID(l)) || oldTopo.LinkDown(topo.LinkID(l)) {
 			continue
@@ -295,18 +600,50 @@ func (pl *Planner) replanIncremental(ctx context.Context, newState *sessionState
 	m2.in = &in2
 	m2.dem = dem
 
-	// Dual-simplex reoptimization from the incumbent basis. MethodDual
-	// falls back to the primal internally if the basis turns out not to
-	// be dual feasible after repair.
+	// New demand: price the appended pairs into the incumbent model as
+	// appended columns and rows (lpappend.go). The incumbent basis is
+	// padded across the append — new columns nonbasic, new rows
+	// slack-basic — so the warm start stays structurally valid.
+	basis := inc.basis.Clone()
+	if d.AddDemand != nil {
+		if err := m2.appendDemand(d.AddDemand); err != nil {
+			replanAbortf("structural fallback: demand append: %v", err)
+			return nil, fbStructural
+		}
+		if basis = inc.basis.Extended(q.NumVars(), q.NumRows()); basis == nil {
+			return nil, fbStructural
+		}
+	}
+
+	// Reoptimization from the incumbent basis under the bounded-regret
+	// pivot budget. MethodDual falls back to the primal internally if
+	// the basis turns out not to be dual feasible after repair.
+	budget := pl.pivotBudget()
 	ctx, cancel := withTimeLimit(ctx, inc.opt.TimeLimit)
 	defer cancel()
-	sol, err := lp.Solve(q, lp.Options{Context: ctx, WarmStart: inc.basis.Clone(), Method: lp.MethodDual})
-	if err != nil || sol.Status != lp.StatusOptimal {
-		return nil
+	sol, err := lp.Solve(q, lp.Options{
+		Context: ctx, WarmStart: basis, Method: lp.MethodDual, MaxIter: budget,
+	})
+	if err != nil {
+		return nil, fbSour
+	}
+	switch sol.Status {
+	case lp.StatusOptimal:
+	case lp.StatusIterLimit:
+		if interrupted(ctx) != nil {
+			return nil, fbSour // caller surfaces the cancellation
+		}
+		coldPivots, _ := pl.coldEstimate()
+		replanAbortf("bounded-regret abort: %d pivots exhausted the incremental budget (%d; cold estimate %d); falling back to a cold solve",
+			sol.Iterations, budget, int(coldPivots+0.5))
+		return nil, fbBudget
+	default:
+		return nil, fbSour
 	}
 	sch, err := m2.decompose(sol.X) // re-validates on the churned topology
 	if err != nil {
-		return nil
+		replanAbortf("sour fallback: %v", err)
+		return nil, fbSour
 	}
 
 	res := &Result{
@@ -339,6 +676,323 @@ func (pl *Planner) replanIncremental(ctx context.Context, newState *sessionState
 		}
 	}
 	pl.mu.Unlock()
+	pl.noteIncremental(sol.Iterations)
 	newState.warmBases.record(q, sol.Basis)
-	return plan
+	return plan, fbNone
+}
+
+// replanIncrementalMILP re-roots the incumbent branch-and-bound on the
+// churned world: the same bound/RHS perturbation as the LP path applied
+// to the incumbent MILP relaxation, reoptimized from the repaired root
+// basis, with the incumbent integer schedule — re-validated against the
+// churned topology — seeding the search when it survives. Runs under
+// the bounded-regret wall deadline.
+func (pl *Planner) replanIncrementalMILP(ctx context.Context, newState *sessionState, inc *incumbentState,
+	oldTopo, newTopo *topo.Topology, newDemand *collective.Demand) (*Plan, fallbackKind) {
+	m := inc.mmodel
+	in := m.in
+	start := time.Now()
+
+	capChunks, ok := deltaKappaPreserved(in, newTopo)
+	if !ok {
+		replanAbortf("structural fallback: a live link changed δ/κ at the incumbent τ")
+		return nil, fbStructural
+	}
+
+	q := m.p.Clone()
+	nL := newTopo.NumLinks()
+	for l := 0; l < nL; l++ {
+		if !newTopo.LinkDown(topo.LinkID(l)) || oldTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		for ci := range m.fvar {
+			for _, v := range m.fvar[ci][l] {
+				if v != noVar {
+					q.SetBounds(lp.VarID(v), 0, 0)
+				}
+			}
+		}
+	}
+	for l := 0; l < nL; l++ {
+		if newTopo.LinkDown(topo.LinkID(l)) {
+			continue
+		}
+		kap := in.kappa[l]
+		for k, r := range m.capRow[l] {
+			if r == noVar {
+				continue
+			}
+			budget := 0.0
+			for kk := k - kap + 1; kk <= k; kk++ {
+				se := kk
+				if se < 0 {
+					se = 0
+				}
+				budget += capChunks[l] * in.opt.capScale(topo.LinkID(l), se)
+			}
+			q.SetRHS(int(r), budget)
+		}
+	}
+	in2 := *in
+	in2.topo = newTopo
+	in2.capChunks = capChunks
+	in2.opt.estimates = nil
+	m2 := *m
+	m2.p = q
+	m2.in = &in2
+
+	// Re-validate the integer incumbent against the churned world: a
+	// surviving incumbent both bounds the re-rooted search from below
+	// and guarantees a feasible answer under the wall budget.
+	var incX []float64
+	if len(inc.sends) > 0 {
+		s := &schedule.Schedule{
+			Topo: newTopo, Demand: in2.demand, Tau: in2.tau, NumEpochs: in2.K,
+			Sends: inc.sends, AllowCopy: true, EpochsPerChunk: in2.epochsPerChunk(),
+		}
+		if s.Validate() == nil {
+			incX = m2.pointFromSends(inc.sends)
+		}
+	}
+
+	ctx, cancel := withTimeLimit(ctx, inc.opt.TimeLimit)
+	defer cancel()
+	if wb := pl.wallBudget(); wb > 0 {
+		var c2 context.CancelFunc
+		ctx, c2 = withTimeLimit(ctx, wb)
+		defer c2()
+	}
+	mopt := milp.Options{
+		Context:       ctx,
+		GapLimit:      in2.opt.GapLimit,
+		Workers:       in2.opt.Workers,
+		RootWarmStart: inc.mbasis.Clone(),
+		IncumbentX:    incX,
+		Progress:      in2.opt.Progress.milpHook("milp", 0),
+	}
+	// Re-roots reoptimize the root relaxation with the dual simplex
+	// (safe: it falls back to the primal when the transferred basis is
+	// not dual feasible).
+	mopt.LP.Method = lp.MethodDual
+	msol := milp.Solve(&milp.Problem{LP: q, Integer: m.ints}, mopt)
+	switch msol.Status {
+	case milp.StatusOptimal, milp.StatusFeasible:
+	default:
+		if interrupted(ctx) != nil {
+			return nil, fbSour // caller surfaces the cancellation
+		}
+		if budgetExpired(ctx) {
+			_, coldWall := pl.coldEstimate()
+			replanAbortf("bounded-regret abort: MILP re-root exceeded its wall budget (%v, cold estimate %.3fs) without an incumbent; falling back to a cold solve",
+				pl.wallBudget(), coldWall)
+			return nil, fbBudget
+		}
+		return nil, fbSour
+	}
+	sch, err := m2.extractSchedule(msol.X)
+	if err != nil {
+		replanAbortf("sour fallback: %v", err)
+		return nil, fbSour
+	}
+	pivots := msol.RootIterations + msol.NodeIterations
+	res := &Result{
+		Schedule:         sch,
+		Objective:        msol.Objective,
+		Gap:              msol.Gap,
+		Optimal:          msol.Status == milp.StatusOptimal,
+		SolveTime:        time.Since(start),
+		Epochs:           in2.K,
+		Tau:              in2.tau,
+		Nodes:            msol.Nodes,
+		RootIterations:   msol.RootIterations,
+		NodeIterations:   msol.NodeIterations,
+		Refactorizations: msol.Refactorizations,
+		FTUpdates:        msol.FTUpdates,
+		UpdateNnz:        msol.UpdateNnz,
+		WarmStarted:      true,
+	}
+	plan := &Plan{Result: res, Solver: SolverMILP, WarmStart: true, Replanned: true}
+
+	pl.mu.Lock()
+	pl.stats.ReplanPivots += pivots
+	if pl.state == newState {
+		if msol.RootBasis != nil {
+			pl.lastMILP = sessionBasis{prob: q, basis: msol.RootBasis}
+		}
+		pl.incumbent = &incumbentState{
+			demand: newDemand.Clone(),
+			opt:    inc.opt,
+			solver: inc.solver,
+			mmodel: &m2,
+			mbasis: msol.RootBasis,
+			sends:  sch.Sends,
+		}
+	}
+	pl.mu.Unlock()
+	pl.noteIncremental(pivots)
+	if msol.RootBasis != nil {
+		newState.warmBases.record(q, msol.RootBasis)
+	}
+	return plan, fbNone
+}
+
+// replanIncrementalAStar replays the incumbent round schedule through
+// the A* state recurrence up to the first round whose sends touch a
+// newly-downed or capacity-degraded link, then resumes the round loop
+// from there on the churned instance. Pure capacity increases replay
+// the whole schedule without solving anything. Runs under the
+// bounded-regret wall deadline.
+func (pl *Planner) replanIncrementalAStar(ctx context.Context, newState *sessionState, inc *incumbentState,
+	oldTopo, newTopo *topo.Topology, newDemand *collective.Demand) (*Plan, fallbackKind) {
+	ain := inc.ain
+	start := time.Now()
+
+	capChunks, ok := deltaKappaPreserved(ain, newTopo)
+	if !ok {
+		replanAbortf("structural fallback: a live link changed δ/κ at the incumbent τ")
+		return nil, fbStructural
+	}
+
+	in2 := *ain
+	in2.topo = newTopo
+	in2.capChunks = capChunks
+	in2.opt.estimates = nil
+	Kr := inc.aKr
+
+	// Affected horizon: the first round whose sends ride a newly-downed
+	// or capacity-degraded link must be re-solved; every round before it
+	// replays verbatim (its sends remain feasible — budgets only grew).
+	changed := make([]bool, newTopo.NumLinks())
+	anyChanged := false
+	for l := range changed {
+		lid := topo.LinkID(l)
+		if newTopo.LinkDown(lid) {
+			if !oldTopo.LinkDown(lid) {
+				changed[l] = true
+				anyChanged = true
+			}
+			continue
+		}
+		if oldTopo.LinkDown(lid) {
+			continue
+		}
+		if newTopo.Link(lid).Capacity < oldTopo.Link(lid).Capacity*(1-1e-12) {
+			changed[l] = true
+			anyChanged = true
+		}
+	}
+	totalRounds := inc.aRounds
+	r0 := totalRounds // no affected round: replay everything
+	if anyChanged {
+		for _, snd := range inc.sends {
+			if changed[snd.Link] {
+				if r := snd.Epoch / Kr; r < r0 {
+					r0 = r
+				}
+			}
+		}
+	}
+
+	// Replay rounds [0, r0) through the state recurrence; sends of later
+	// rounds are discarded and re-solved below.
+	st := newAStarState(&in2)
+	byRound := make([][]schedule.Send, r0)
+	for _, snd := range inc.sends {
+		if r := snd.Epoch / Kr; r < r0 {
+			byRound[r] = append(byRound[r], snd)
+		}
+	}
+	var sends []schedule.Send
+	for r := 0; r < r0; r++ {
+		advanceState(&in2, st, byRound[r], r*Kr, Kr)
+		sends = append(sends, byRound[r]...)
+	}
+
+	gap := inc.aGap
+	var iters iterTotals
+	if st.remaining > 0 {
+		maxRounds := in2.opt.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 64
+		}
+		hop := in2.hopDistances()
+		ctx, cancel := withTimeLimit(ctx, inc.opt.TimeLimit)
+		defer cancel()
+		if wb := pl.wallBudget(); wb > 0 {
+			var c2 context.CancelFunc
+			ctx, c2 = withTimeLimit(ctx, wb)
+			defer c2()
+		}
+		resumed, rounds, rGap, rIters, err := astarLoop(ctx, &in2, st, hop, Kr, maxRounds, r0, nil)
+		if err != nil {
+			if interrupted(ctx) != nil {
+				return nil, fbSour // caller surfaces the cancellation
+			}
+			if budgetExpired(ctx) {
+				_, coldWall := pl.coldEstimate()
+				replanAbortf("bounded-regret abort: A* resume exceeded its wall budget (%v, cold estimate %.3fs); falling back to a cold solve",
+					pl.wallBudget(), coldWall)
+				return nil, fbBudget
+			}
+			replanAbortf("sour fallback: %v", err)
+			return nil, fbSour
+		}
+		sends = append(sends, resumed...)
+		totalRounds = rounds
+		if rGap > gap {
+			gap = rGap
+		}
+		iters = rIters
+	}
+
+	s := &schedule.Schedule{
+		Topo:           newTopo,
+		Demand:         in2.demand,
+		Tau:            in2.tau,
+		NumEpochs:      totalRounds * Kr,
+		Sends:          sends,
+		AllowCopy:      true,
+		EpochsPerChunk: in2.epochsPerChunk(),
+	}
+	s = s.Prune()
+	if err := s.Validate(); err != nil {
+		replanAbortf("sour fallback: replayed A* schedule failed re-validation: %v", err)
+		return nil, fbSour
+	}
+	pivots := iters.root + iters.node
+	res := &Result{
+		Schedule:         s,
+		Gap:              gap,
+		Optimal:          false,
+		SolveTime:        time.Since(start),
+		Epochs:           totalRounds * Kr,
+		Tau:              in2.tau,
+		Rounds:           totalRounds,
+		Nodes:            iters.nodes,
+		RootIterations:   iters.root,
+		NodeIterations:   iters.node,
+		Refactorizations: iters.refac,
+		FTUpdates:        iters.ft,
+		UpdateNnz:        iters.nnz,
+		WarmStarted:      true,
+	}
+	plan := &Plan{Result: res, Solver: SolverAStar, WarmStart: true, Replanned: true}
+
+	pl.mu.Lock()
+	pl.stats.ReplanPivots += pivots
+	if pl.state == newState {
+		pl.incumbent = &incumbentState{
+			demand:  newDemand.Clone(),
+			opt:     inc.opt,
+			solver:  inc.solver,
+			ain:     &in2,
+			aKr:     Kr,
+			aRounds: totalRounds,
+			aGap:    gap,
+			sends:   s.Sends,
+		}
+	}
+	pl.mu.Unlock()
+	pl.noteIncremental(pivots)
+	return plan, fbNone
 }

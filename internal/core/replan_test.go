@@ -213,21 +213,36 @@ func TestReplanDropPairAndAddDemand(t *testing.T) {
 		t.Fatal("dropped pair still demanded")
 	}
 
-	// Adding demand is structural → cold fallback, satisfied in full.
+	// Re-adding the dropped pair resurrects its columns incrementally:
+	// the append path widens the existing read columns and re-raises the
+	// destination-total row instead of forcing a cold rebuild.
 	add := collective.New(tt.NumNodes(), d.NumChunks(), d.ChunkBytes)
 	add.Set(gpus[0], 0, gpus[1])
 	rp2, err := pl.Replan(context.Background(), Delta{AddDemand: add})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !rp2.ReplanFallback {
-		t.Fatal("demand addition must fall back to a cold solve")
+	if rp2.ReplanFallback {
+		t.Fatal("re-added demand pair should replan incrementally")
+	}
+	if !rp2.WarmStart {
+		t.Fatal("demand append must warm-start from the padded incumbent basis")
 	}
 	if !rp2.Schedule.Demand.Wants(gpus[0], 0, gpus[1]) {
 		t.Fatal("added demand missing from replanned schedule")
 	}
 	if err := rp2.Schedule.Validate(); err != nil {
-		t.Fatalf("fallback schedule invalid: %v", err)
+		t.Fatalf("appended schedule invalid: %v", err)
+	}
+
+	// The incremental append must agree with a cold solve of the union
+	// demand at the incumbent discretization.
+	cold, err := SolveLP(pl.Topology(), rp2.Schedule.Demand, Options{Tau: rp2.Tau, Epochs: rp2.Epochs})
+	if err != nil {
+		t.Fatalf("cold union solve: %v", err)
+	}
+	if !objClose(rp2.Objective, cold.Objective) {
+		t.Fatalf("append objective %.9g != cold %.9g", rp2.Objective, cold.Objective)
 	}
 }
 
@@ -260,7 +275,7 @@ func TestReplanErrors(t *testing.T) {
 	}
 }
 
-func TestReplanNonLPIncumbentFallsBack(t *testing.T) {
+func TestReplanNonLPIncumbentChurn(t *testing.T) {
 	tt := topo.DGX1()
 	// A broadcast benefits from copy → MILP/A* route; force A* to get a
 	// non-LP incumbent.
@@ -269,17 +284,36 @@ func TestReplanNonLPIncumbentFallsBack(t *testing.T) {
 	if _, err := pl.Plan(context.Background(), Request{Demand: d, Solver: SolverAStar}); err != nil {
 		t.Fatal(err)
 	}
+	// Topology churn on an A* incumbent replans by replay-and-resume.
 	rp, err := pl.Replan(context.Background(), Delta{LinksDown: []topo.LinkID{0}})
+	if err != nil {
+		t.Fatalf("A* replan: %v", err)
+	}
+	if !rp.Replanned {
+		t.Fatal("A* replan must be marked Replanned")
+	}
+	if rp.Solver != SolverAStar {
+		t.Fatalf("replan solver = %v, want the incumbent's forced A*", rp.Solver)
+	}
+	assertAvoidsDown(t, rp)
+	// Every demand of the churned world must still be satisfied.
+	if err := rp.Schedule.Validate(); err != nil {
+		t.Fatalf("A* replanned schedule invalid: %v", err)
+	}
+
+	// Demand churn stays structural for non-LP incumbents → cold
+	// fallback classified as such.
+	gpus := testGPUs(tt)
+	rp2, err := pl.Replan(context.Background(), Delta{DropPairs: []DemandPair{{Src: gpus[0], Dst: gpus[1]}}})
 	if err != nil {
 		t.Fatalf("fallback replan: %v", err)
 	}
-	if !rp.ReplanFallback {
-		t.Fatal("non-LP incumbent must fall back to a cold solve")
+	if !rp2.ReplanFallback {
+		t.Fatal("demand churn on a non-LP incumbent must fall back to a cold solve")
 	}
-	if rp.Solver != SolverAStar {
-		t.Fatalf("fallback solver = %v, want the incumbent's forced A*", rp.Solver)
+	if st := pl.Stats(); st.ReplanFallbackStructural == 0 {
+		t.Fatalf("structural fallback not counted: %+v", st)
 	}
-	assertAvoidsDown(t, rp)
 }
 
 // TestReplanEvictsReplayCache pins the cache-invalidation bugfix: a

@@ -251,6 +251,7 @@ func All(short bool) []*Table {
 		Table8(short),
 		WorkersSweep(short),
 		Churn(short),
+		ChurnStream(short),
 	}
 }
 
@@ -304,6 +305,8 @@ func byID(id string, short bool) *Table {
 		return WorkersSweep(short)
 	case "churn":
 		return Churn(short)
+	case "churnstream":
+		return ChurnStream(short)
 	}
 	return nil
 }
@@ -311,5 +314,6 @@ func byID(id string, short bool) *Table {
 // IDs lists the available experiment identifiers.
 func IDs() []string {
 	return []string{"fig2", "table3", "fig4and5", "fig6", "table4",
-		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers", "churn"}
+		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers", "churn",
+		"churnstream"}
 }

@@ -27,6 +27,31 @@ func (b *Basis) Clone() *Basis {
 	}
 }
 
+// Extended returns a copy of b padded to numVars variables and numRows
+// rows: appended variables enter nonbasic at their lower bound and
+// appended rows enter with their slack basic, so the padded basis keeps
+// the original basis matrix nonsingular — exactly the invariant a warm
+// start across a column/row append (AddVar + AppendToRow + AddRow on a
+// solved model) relies on. Slacks of appended equality rows start
+// primal-infeasible when the new right-hand side is nonzero; the dual
+// simplex (or the warm-start repair's composite phase 1) drives them
+// out. Returns nil if b is nil or already larger than the target shape.
+func (b *Basis) Extended(numVars, numRows int) *Basis {
+	if b == nil || len(b.Vars) > numVars || len(b.Rows) > numRows {
+		return nil
+	}
+	out := &Basis{
+		Vars: make([]BasisStatus, numVars),
+		Rows: make([]BasisStatus, numRows),
+	}
+	copy(out.Vars, b.Vars) // appended vars default to BasisAtLower (zero value)
+	copy(out.Rows, b.Rows)
+	for i := len(b.Rows); i < numRows; i++ {
+		out.Rows[i] = BasisBasic
+	}
+	return out
+}
+
 // Clone returns an independent copy of the problem: bound, objective,
 // sense, and right-hand-side storage is owned by the copy, so SetBounds/
 // SetObj/AddVar/AddRow on either side never touch the other. The per-row

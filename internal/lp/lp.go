@@ -167,6 +167,25 @@ func (p *Problem) AddRow(terms []Term, sense Sense, rhs float64) int {
 	return len(p.rows) - 1
 }
 
+// AppendToRow merges additional terms into existing row r — the
+// column-append counterpart of SetBounds/SetRHS for warm model growth:
+// columns created by a later AddVar are wired into the rows they
+// participate in without rebuilding the model. The stored row is
+// replaced with a fresh merged slice, never mutated in place, so clones
+// that share the previous term slice (see Clone's write-once contract)
+// are unaffected. Note that unlike SetBounds/SetRHS this edits the
+// matrix: a basis warm-started across an AppendToRow is only safe if
+// the appended variables are nonbasic (see Basis.Extended).
+func (p *Problem) AppendToRow(r int, terms []Term) {
+	if len(terms) == 0 {
+		return
+	}
+	merged := make([]Term, 0, len(p.rows[r])+len(terms))
+	merged = append(merged, p.rows[r]...)
+	merged = append(merged, terms...)
+	p.rows[r] = p.combineTerms(merged)
+}
+
 // combineTerms merges duplicate variables and drops zero coefficients,
 // returning a fresh exact-size slice in variable order. The sort+merge
 // runs in place on a reusable scratch buffer — no map, and the only

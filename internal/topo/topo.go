@@ -323,9 +323,12 @@ type LinkScale struct {
 }
 
 // Delta describes topology churn: links lost outright, nodes lost (all
-// their links go down), and links degraded or slowed by scaling. Deltas
-// are applied immutably via ApplyDelta; IDs refer to the topology the
-// delta is applied to.
+// their links go down), links degraded or slowed by scaling, and
+// structural growth (new nodes and links appended to the cluster).
+// Deltas are applied immutably via ApplyDelta; IDs refer to the
+// topology the delta is applied to, except that AddLinks may also name
+// the nodes added by the same delta (IDs continue past the current
+// node count, in AddNodes order).
 type Delta struct {
 	// LinksDown lists links that failed.
 	LinksDown []LinkID
@@ -335,11 +338,25 @@ type Delta struct {
 	// Scale lists per-link capacity/α multipliers — bandwidth
 	// degradation and straggler slowdown.
 	Scale []LinkScale
+	// AddNodes appends new nodes; they receive the next NodeIDs in
+	// order, so existing IDs stay stable.
+	AddNodes []Node
+	// AddLinks appends new links (next LinkIDs in order). Endpoints may
+	// be existing nodes or nodes added by this delta. A link that
+	// duplicates a live existing link, self-loops, or has non-positive
+	// capacity or negative α is rejected.
+	AddLinks []Link
 }
 
 // Empty reports whether the delta edits nothing.
 func (d Delta) Empty() bool {
-	return len(d.LinksDown) == 0 && len(d.NodesDown) == 0 && len(d.Scale) == 0
+	return len(d.LinksDown) == 0 && len(d.NodesDown) == 0 && len(d.Scale) == 0 &&
+		len(d.AddNodes) == 0 && len(d.AddLinks) == 0
+}
+
+// Grows reports whether the delta structurally grows the topology.
+func (d Delta) Grows() bool {
+	return len(d.AddNodes) > 0 || len(d.AddLinks) > 0
 }
 
 // ApplyDelta returns a new topology with the delta applied; t itself is
@@ -368,8 +385,46 @@ func (t *Topology) ApplyDelta(d Delta) (*Topology, error) {
 			return nil, fmt.Errorf("topo: delta scales link %d by negative factor", s.Link)
 		}
 	}
+	// Growth validation happens before any mutation: a malformed delta
+	// returns an error and leaves t (and any session holding it) intact.
+	grownNodes := len(t.nodes) + len(d.AddNodes)
+	for i, lk := range d.AddLinks {
+		if int(lk.Src) < 0 || int(lk.Src) >= grownNodes || int(lk.Dst) < 0 || int(lk.Dst) >= grownNodes {
+			return nil, fmt.Errorf("topo: delta adds link %d with unknown endpoint (%d→%d)", i, lk.Src, lk.Dst)
+		}
+		if lk.Src == lk.Dst {
+			return nil, fmt.Errorf("topo: delta adds self-loop link %d on node %d", i, lk.Src)
+		}
+		if lk.Capacity <= 0 {
+			return nil, fmt.Errorf("topo: delta adds link %d with non-positive capacity %g", i, lk.Capacity)
+		}
+		if lk.Alpha < 0 {
+			return nil, fmt.Errorf("topo: delta adds link %d with negative alpha %g", i, lk.Alpha)
+		}
+		for j := 0; j < i; j++ {
+			if d.AddLinks[j].Src == lk.Src && d.AddLinks[j].Dst == lk.Dst {
+				return nil, fmt.Errorf("topo: delta adds duplicate link %d→%d", lk.Src, lk.Dst)
+			}
+		}
+		for l := range t.links {
+			if !t.LinkDown(LinkID(l)) && t.links[l].Src == lk.Src && t.links[l].Dst == lk.Dst {
+				return nil, fmt.Errorf("topo: delta adds link %d→%d duplicating live link %d", lk.Src, lk.Dst, l)
+			}
+		}
+	}
 
 	out := t.Clone()
+	for _, n := range d.AddNodes {
+		out.nodes = append(out.nodes, n)
+		out.out = append(out.out, nil)
+		out.in = append(out.in, nil)
+	}
+	if len(d.AddLinks) > 0 {
+		out.links = append(out.links, d.AddLinks...)
+		if out.down != nil {
+			out.down = append(out.down, make([]bool, len(d.AddLinks))...)
+		}
+	}
 	if out.down == nil {
 		out.down = make([]bool, len(out.links))
 	}

@@ -24,9 +24,15 @@ import (
 // the session is alive.
 type Planner = core.Planner
 
-// PlannerOptions configures a session: default solve options and the
-// solver-selection policy.
+// PlannerOptions configures a session: default solve options, the
+// solver-selection policy, and the replanning budget (Replan field).
 type PlannerOptions = core.PlannerOptions
+
+// ReplanOptions tunes Replan's bounded-regret budget (the pivot or
+// wall-clock cap on every incremental attempt, derived from observed
+// cold-solve cost) and the adaptive re-basing trigger. The zero value
+// means sensible defaults; negative fields disable a mechanism.
+type ReplanOptions = core.ReplanOptions
 
 // Request is one unit of work for a Planner: a demand plus optional
 // per-request options, a forced solver, and a progress hook.
@@ -75,11 +81,18 @@ var (
 )
 
 // Delta describes one step of churn for Planner.Replan: links or nodes
-// lost, per-link bandwidth/latency scaling (degradation, stragglers),
-// and demand pairs added or dropped. Topology edits are applied
-// immutably to the session's snapshot; the caller's Topology is never
-// touched.
+// lost, per-link bandwidth/latency scaling (degradation, stragglers,
+// restoration), structural growth (AddNodes/AddLinks — a scale-up
+// joining the job), and demand pairs added or dropped. Topology edits
+// are applied immutably to the session's snapshot; the caller's
+// Topology is never touched.
 type Delta = core.Delta
+
+// Node is one node of a Topology, for Delta.AddNodes.
+type Node = topo.Node
+
+// Link is one directed link of a Topology, for Delta.AddLinks.
+type Link = topo.Link
 
 // DemandPair names one (source, destination) demand pair in
 // Delta.DropPairs.
@@ -121,15 +134,39 @@ type ProgressFunc = core.ProgressFunc
 //	})
 //
 // Replan re-solves the session's last successful request against the
-// churned topology. When the incumbent plan came from the LP form and
-// the churn keeps the time discretization intact, the re-solve is
-// incremental: the churn is applied as bound and right-hand-side edits
-// to the incumbent model (dual-feasible perturbations), and the dual
-// simplex reoptimizes from the incumbent basis in a handful of pivots
-// instead of solving cold. Structural churn — new demand, or a scale
-// that changes a link's per-chunk epochs — and any incremental solve
-// that goes sour degrade gracefully to a cold crash-started solve
-// (Plan.ReplanFallback). Every replanned schedule is re-validated
+// churned topology, incrementally when the incumbent's form allows:
+//
+//   - LP incumbents absorb link failures, capacity scaling in either
+//     direction, straggler restoration, and dropped demand pairs as
+//     bound and right-hand-side edits to the incumbent model; the dual
+//     simplex reoptimizes from the incumbent basis in a handful of
+//     pivots instead of solving cold. Delta.AddDemand — including new
+//     (source, destination) pairs and entirely new sources — is
+//     absorbed by appending priced-out columns and rows to the
+//     incumbent model and padding the basis, provided the addition
+//     keeps the time discretization intact.
+//   - MILP incumbents re-root branch-and-bound from the repaired root
+//     relaxation basis, and the pre-churn integer incumbent is
+//     re-validated against the churned topology: when it survives, it
+//     seeds the search as a feasible incumbent, so even a
+//     budget-truncated re-solve returns a valid schedule.
+//   - A* incumbents replay the rounds untouched by the churn and
+//     re-solve only from the first round that routed over a failed or
+//     degraded link; a pure capacity increase replays the whole
+//     schedule with no solver work at all.
+//
+// Churn that changes the model's shape — a scale that changes a link's
+// per-chunk epochs, topology growth (Delta.AddNodes/AddLinks), or
+// demand churn the incumbent form cannot absorb — degrades gracefully
+// to a cold crash-started solve (Plan.ReplanFallback). Incremental
+// attempts run under a bounded-regret budget derived from an EWMA of
+// observed cold-solve cost (pivots for the LP, wall clock for MILP and
+// A*; see ReplanOptions), so one replan never costs more than a small
+// multiple of solving cold; a budget abort falls back the same way.
+// When the per-replan pivot cost drifts upward across a long churn
+// stream, the session proactively re-bases — refactorizes and re-crash
+// starts (Plan.ReBased, PlannerStats.ReBases) — to restore the
+// incremental advantage. Every replanned schedule is re-validated
 // against the churned topology before being returned, and all session
 // caches are invalidated atomically, so no pre-churn schedule or basis
 // can leak into post-churn requests.
