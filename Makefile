@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables api-compat
+.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables api-compat daemon-smoke
 
-ci: vet build test race api-compat bench-smoke
+ci: vet build test race api-compat daemon-smoke bench-smoke
 
 # vet gates on both the analyzer and formatting: a gofmt diff anywhere
 # fails the target (and with it the CI vet+build job).
@@ -37,6 +37,30 @@ test:
 # and batched sweep solving are only trustworthy if this stays clean.
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke of the serving path: build both binaries, boot a real
+# teccld on a localhost port, drive it through the CLI (health poll,
+# two plans over one fabric — the second must hit the session's replay
+# cache — then the session table), and require a clean SIGTERM drain.
+daemon-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/teccld ./cmd/teccld; \
+	$(GO) build -o $$tmp/teccl ./cmd/teccl; \
+	$$tmp/teccld -listen 127.0.0.1:17447 & pid=$$!; \
+	addr=http://127.0.0.1:17447; \
+	for i in $$(seq 1 50); do \
+		if $$tmp/teccl health -daemon $$addr >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	$$tmp/teccl health -daemon $$addr; \
+	$$tmp/teccl plan -daemon $$addr -topo dgx1 -coll alltoall -chunk-bytes 25e3 -q; \
+	$$tmp/teccl plan -daemon $$addr -topo dgx1 -coll alltoall -chunk-bytes 25e3 -q \
+		| tee /dev/stderr | grep -q "schedule-replay cache"; \
+	$$tmp/teccl sessions -daemon $$addr; \
+	kill -TERM $$pid; \
+	wait $$pid
 
 # One iteration of the Fig 5 solver-time sweep plus the solver and
 # concurrency micro-benchmarks across all packages; fast enough for CI,

@@ -1,0 +1,58 @@
+package teccl
+
+// client.go re-exports the teccld Go client (package teccl/client), so
+// dialing a planner daemon is symmetric with opening a local session:
+//
+//	var p teccl.PlannerAPI
+//	if remote {
+//		c, _ := teccl.Dial("http://planner:7447", teccl.ClientOptions{})
+//		p = c.Planner(topology)
+//	} else {
+//		p = teccl.NewPlanner(topology, teccl.PlannerOptions{})
+//	}
+//	plan, err := p.Plan(ctx, teccl.Request{Demand: demand})
+
+import (
+	"context"
+
+	"teccl/client"
+	"teccl/internal/core"
+)
+
+// PlannerAPI is the planning surface shared by the in-process *Planner
+// and the wire-backed *RemotePlanner. Code written against it runs
+// unchanged over either.
+type PlannerAPI interface {
+	Plan(ctx context.Context, req Request) (*Plan, error)
+	Replan(ctx context.Context, d Delta) (*Plan, error)
+	Stats() PlannerStats
+	Topology() *Topology
+	Close() error
+}
+
+var (
+	_ PlannerAPI = (*Planner)(nil)
+	_ PlannerAPI = (*RemotePlanner)(nil)
+)
+
+// ErrPlannerClosed is returned by Plan and Replan on a closed session,
+// local or remote.
+var ErrPlannerClosed = core.ErrPlannerClosed
+
+// Client speaks the v1 wire API to one teccld daemon; see Dial.
+type Client = client.Client
+
+// ClientOptions configures Dial.
+type ClientOptions = client.ClientOptions
+
+// RemotePlanner is a planning session backed by a teccld daemon,
+// mirroring *Planner (see PlannerAPI). The daemon session is created
+// lazily on the first Plan; topologies with equal fingerprints share
+// one daemon session and its caches.
+type RemotePlanner = client.RemotePlanner
+
+// Dial creates a client for the daemon at baseURL (e.g.
+// "http://localhost:7447"). No connection is made until the first call.
+func Dial(baseURL string, opts ClientOptions) (*Client, error) {
+	return client.Dial(baseURL, opts)
+}

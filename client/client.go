@@ -1,0 +1,364 @@
+// Package client implements the Go client of the teccld planning
+// service over the v1 wire schema. The root teccl package re-exports
+// everything here (teccl.Dial, teccl.Client, teccl.RemotePlanner), so
+// most callers never import this package directly.
+package client
+
+// Dial returns a Client for the daemon-level endpoints; Client.Planner
+// opens a RemotePlanner — the wire twin of *core.Planner, satisfying
+// the same teccl.PlannerAPI interface — so local and remote planning
+// are interchangeable behind one small seam:
+//
+//	var p teccl.PlannerAPI
+//	if remote {
+//		c, _ := teccl.Dial("http://planner:7447", teccl.ClientOptions{})
+//		p = c.Planner(topology)
+//	} else {
+//		p = teccl.NewPlanner(topology, teccl.PlannerOptions{})
+//	}
+//	plan, err := p.Plan(ctx, teccl.Request{Demand: demand})
+//
+// Function-valued options cannot cross the wire: Options.LinkCapacity
+// is rejected, Request.Progress/Options.Progress are dropped (progress
+// is daemon-side observability — scrape /metrics instead), and the
+// multi-tenant Options.Priority function is sampled exactly over the
+// request's demanded triples and sent as explicit weights.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/topo"
+	"teccl/wire"
+)
+
+// ErrPlannerClosed is returned by Plan and Replan on a closed session,
+// local or remote.
+var ErrPlannerClosed = core.ErrPlannerClosed
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	// HTTPClient, when non-nil, replaces http.DefaultClient. Set one
+	// with a Timeout for production use; solve calls can run as long as
+	// the request's TimeLimit allows.
+	HTTPClient *http.Client
+}
+
+// Client speaks the v1 wire API to one teccld daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Dial creates a client for the daemon at baseURL (e.g.
+// "http://localhost:7447"). No connection is made until the first call.
+func Dial(baseURL string, opts ClientOptions) (*Client, error) {
+	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		return nil, fmt.Errorf("teccl: Dial: base URL %q is not http(s)", baseURL)
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}, nil
+}
+
+// apiError is a non-2xx daemon response.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("teccl: server error (http %d): %s", e.status, e.msg)
+}
+
+// do runs one JSON round trip. in is encoded when non-nil; a 2xx body
+// is decoded into out when non-nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		js, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("teccl: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(js)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("teccl: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("teccl: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var we wire.Error
+		if json.Unmarshal(raw, &we) == nil && we.Error != "" {
+			return &apiError{status: resp.StatusCode, msg: we.Error}
+		}
+		return &apiError{status: resp.StatusCode, msg: strings.TrimSpace(string(raw))}
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("teccl: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Health checks the daemon's /healthz, returning an error when it is
+// unreachable or draining.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Sessions lists the daemon's live planner sessions.
+func (c *Client) Sessions(ctx context.Context) ([]wire.SessionInfo, error) {
+	var resp wire.SessionsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// SessionStats fetches one session's cumulative counters.
+func (c *Client) SessionStats(ctx context.Context, id string) (core.PlannerStats, error) {
+	var resp wire.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &resp); err != nil {
+		return core.PlannerStats{}, err
+	}
+	return resp.Stats.ToStats(), nil
+}
+
+// CloseSession closes and drops a daemon session by ID.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Planner opens a remote planning session on a topology. Like
+// NewPlanner, the topology is snapshotted. The daemon session is
+// created lazily on the first Plan call; topologies with equal
+// fingerprints share one daemon session (and its caches) across
+// clients.
+func (c *Client) Planner(t *topo.Topology) *RemotePlanner {
+	return &RemotePlanner{client: c, topo: t.Clone()}
+}
+
+// RemotePlanner is a planning session backed by a teccld daemon. It
+// mirrors *Planner: Plan, Replan, Stats, Topology, Close — see
+// PlannerAPI. Methods are safe for concurrent use.
+//
+// Provenance semantics are the daemon session's: a fresh RemotePlanner
+// can see CacheHit on its first request when another client already
+// solved the same model in the shared session.
+type RemotePlanner struct {
+	client *Client
+
+	mu        sync.Mutex
+	sessionID string
+	topo      *topo.Topology     // current (post-churn) topology snapshot
+	demand    *collective.Demand // last demand, for schedule rebinding
+	stats     core.PlannerStats
+	closed    bool
+}
+
+// buildRequest converts one in-process request to wire form, holding
+// back the session routing (filled per attempt).
+func buildRequest(req core.Request) (wire.PlanRequest, error) {
+	out := wire.PlanRequest{
+		Demand: wire.FromDemand(req.Demand),
+		Solver: wire.SolverName(req.Solver),
+	}
+	if req.Options != nil {
+		if req.Options.LinkCapacity != nil {
+			return out, errors.New("teccl: Options.LinkCapacity cannot cross the wire; model per-epoch capacity on the daemon side or use a local Planner")
+		}
+		wopts := wire.FromOptions(*req.Options)
+		wopts.Priority = wire.SamplePriority(req.Options.Priority, req.Demand)
+		out.Options = &wopts
+	}
+	return out, nil
+}
+
+// Plan solves one request on the daemon session, opening it on first
+// use. If the daemon evicted the session between calls (404/410), Plan
+// transparently reopens it once with the topology and retries.
+func (r *RemotePlanner) Plan(ctx context.Context, req core.Request) (*core.Plan, error) {
+	if req.Demand == nil {
+		return nil, errors.New("teccl: Plan requires a Demand")
+	}
+	wreq, err := buildRequest(req)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrPlannerClosed
+	}
+	sessionID := r.sessionID
+	topoSnap := r.topo
+	r.mu.Unlock()
+
+	var resp wire.PlanResponse
+	if sessionID != "" {
+		wreq.SessionID = sessionID
+		err = r.client.do(ctx, http.MethodPost, "/v1/plan", wreq, &resp)
+		var ae *apiError
+		if errors.As(err, &ae) && (ae.status == http.StatusNotFound || ae.status == http.StatusGone) {
+			sessionID = "" // evicted server-side: reopen below
+		} else if err != nil {
+			return nil, err
+		}
+	}
+	if sessionID == "" {
+		wreq.SessionID = ""
+		wreq.Topology = topoSnap
+		if err := r.client.do(ctx, http.MethodPost, "/v1/plan", wreq, &resp); err != nil {
+			return nil, err
+		}
+	}
+	if resp.API != wire.Version {
+		return nil, fmt.Errorf("teccl: daemon speaks api %q, client %q", resp.API, wire.Version)
+	}
+	plan, err := resp.Plan.ToPlan(topoSnap, req.Demand)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.sessionID = resp.SessionID
+	r.demand = req.Demand
+	r.mu.Unlock()
+	return plan, nil
+}
+
+// Replan applies session-scoped churn on the daemon and reoptimizes.
+// It requires a prior successful Plan (like a local session, which
+// replans its last request). The daemon returns post-churn topology and
+// demand snapshots; Replan adopts them, so Topology() and returned
+// schedules track the churned fabric.
+func (r *RemotePlanner) Replan(ctx context.Context, d core.Delta) (*core.Plan, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrPlannerClosed
+	}
+	sessionID := r.sessionID
+	topoSnap, demandSnap := r.topo, r.demand
+	r.mu.Unlock()
+	if sessionID == "" {
+		return nil, errors.New("teccl: Replan needs a prior successful Plan on this session")
+	}
+
+	var resp wire.ReplanResponse
+	wreq := wire.ReplanRequest{SessionID: sessionID, Delta: wire.FromDelta(d)}
+	if err := r.client.do(ctx, http.MethodPost, "/v1/replan", wreq, &resp); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.status == http.StatusGone {
+			return nil, fmt.Errorf("%w (daemon session %s)", ErrPlannerClosed, sessionID)
+		}
+		return nil, err
+	}
+	if resp.API != wire.Version {
+		return nil, fmt.Errorf("teccl: daemon speaks api %q, client %q", resp.API, wire.Version)
+	}
+	if resp.Topology != nil {
+		topoSnap = resp.Topology
+	}
+	if resp.Demand != nil {
+		nd, err := resp.Demand.ToDemand()
+		if err != nil {
+			return nil, fmt.Errorf("teccl: bad replan demand snapshot: %w", err)
+		}
+		demandSnap = nd
+	}
+	plan, err := resp.Plan.ToPlan(topoSnap, demandSnap)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.topo = topoSnap
+	r.demand = demandSnap
+	r.mu.Unlock()
+	return plan, nil
+}
+
+// Stats snapshots the daemon session's counters. Planner.Stats has no
+// error path, so a failed fetch (daemon down, session evicted) returns
+// the last successfully fetched snapshot.
+func (r *RemotePlanner) Stats() core.PlannerStats {
+	r.mu.Lock()
+	sessionID := r.sessionID
+	last := r.stats
+	r.mu.Unlock()
+	if sessionID == "" {
+		return last
+	}
+	st, err := r.client.SessionStats(context.Background(), sessionID)
+	if err != nil {
+		return last
+	}
+	r.mu.Lock()
+	r.stats = st
+	r.mu.Unlock()
+	return st
+}
+
+// Topology returns the session's current topology snapshot (the churned
+// one after Replan calls). Callers must not mutate it.
+func (r *RemotePlanner) Topology() *topo.Topology {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.topo
+}
+
+// SessionID reports the daemon session backing this planner ("" before
+// the first successful Plan).
+func (r *RemotePlanner) SessionID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sessionID
+}
+
+// Close marks the planner closed and best-effort closes the daemon
+// session. The daemon session may be shared by other clients planning
+// the same topology; they will transparently reopen it on their next
+// Plan. Close is idempotent.
+func (r *RemotePlanner) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	sessionID := r.sessionID
+	r.mu.Unlock()
+	if sessionID == "" {
+		return nil
+	}
+	err := r.client.CloseSession(context.Background(), sessionID)
+	var ae *apiError
+	if errors.As(err, &ae) && ae.status == http.StatusNotFound {
+		return nil // already evicted
+	}
+	return err
+}

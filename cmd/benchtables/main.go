@@ -38,12 +38,18 @@ type benchRecord struct {
 	// Replan fields are populated by the churn experiment only: the
 	// incremental-reoptimization pivots, their wall clock, and how many
 	// replans degraded to cold solves.
-	ReplanPivots    float64    `json:"replan_pivots,omitempty"`
-	ReplanWallMs    float64    `json:"replan_wall_ms,omitempty"`
-	ReplanFallbacks float64    `json:"replan_fallbacks,omitempty"`
-	Header          []string   `json:"header,omitempty"`
-	Rows            [][]string `json:"rows,omitempty"`
-	Notes           string     `json:"notes,omitempty"`
+	ReplanPivots    float64 `json:"replan_pivots,omitempty"`
+	ReplanWallMs    float64 `json:"replan_wall_ms,omitempty"`
+	ReplanFallbacks float64 `json:"replan_fallbacks,omitempty"`
+	// Serving fields are populated by the loadgen experiment only: the
+	// daemon saturation benchmark's throughput and client-side latency
+	// percentiles over the wire API.
+	PlansPerSec float64    `json:"plans_per_sec,omitempty"`
+	P50Ms       float64    `json:"p50_ms,omitempty"`
+	P99Ms       float64    `json:"p99_ms,omitempty"`
+	Header      []string   `json:"header,omitempty"`
+	Rows        [][]string `json:"rows,omitempty"`
+	Notes       string     `json:"notes,omitempty"`
 	// Metrics carries every experiment-specific counter not hoisted into
 	// a dedicated field above (e.g. churnstream's per-platform
 	// incremental/fallback/re-base counts and max replan regret).
@@ -55,7 +61,8 @@ type benchRecord struct {
 var hoisted = map[string]bool{
 	"iterations": true, "refactorizations": true, "ft_updates": true,
 	"update_nnz": true, "replan_pivots": true, "replan_wall_ms": true,
-	"replan_fallbacks": true,
+	"replan_fallbacks": true, "plans_per_sec": true, "p50_ms": true,
+	"p99_ms": true,
 }
 
 func extraMetrics(m map[string]float64) map[string]float64 {
@@ -118,6 +125,9 @@ func main() {
 				ReplanPivots:     tab.Metrics["replan_pivots"],
 				ReplanWallMs:     tab.Metrics["replan_wall_ms"],
 				ReplanFallbacks:  tab.Metrics["replan_fallbacks"],
+				PlansPerSec:      tab.Metrics["plans_per_sec"],
+				P50Ms:            tab.Metrics["p50_ms"],
+				P99Ms:            tab.Metrics["p99_ms"],
 				Metrics:          extraMetrics(tab.Metrics),
 				Header:           tab.Header,
 				Rows:             tab.Rows,

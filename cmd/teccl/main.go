@@ -7,6 +7,14 @@
 //	teccl -topo dgx1 -coll allgather -chunk-bytes 25000
 //	teccl -topo internal2:4 -coll alltoall -solver lp -out sched.xml
 //	teccl -topo-json cluster.json -coll allgather -solver astar
+//
+// With a subcommand, teccl talks to a running teccld daemon instead of
+// solving in-process (see remote.go and cmd/teccld):
+//
+//	teccl plan -daemon http://localhost:7447 -topo dgx1 -coll alltoall
+//	teccl sessions
+//	teccl stats s1
+//	teccl health
 package main
 
 import (
@@ -24,6 +32,12 @@ import (
 )
 
 func main() {
+	// A non-flag first argument selects a daemon-backed subcommand; the
+	// historical flag interface (local in-process solve) is unchanged.
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		runSubcommand(os.Args[1], os.Args[2:])
+		return
+	}
 	var (
 		topoSpec   = flag.String("topo", "dgx1", "topology: dgx1, ndv2:N, ndv2mini:N, dgx2:N, dgx2mini:N, internal1:N, internal2:N, ring:N, mesh:N, star:N")
 		topoJSON   = flag.String("topo-json", "", "load topology from a JSON file instead of -topo")
@@ -116,21 +130,7 @@ func main() {
 	fmt.Printf("bytes on wire: %.0f (demand %.0f)\n", sim.TotalBytes, d.TotalBytes())
 
 	if !*quiet {
-		fmt.Println("\nschedule:")
-		for epoch := 0; epoch <= sched.FinishEpoch(); epoch++ {
-			for _, snd := range sched.Sends {
-				if snd.Epoch != epoch {
-					continue
-				}
-				l := t.Link(snd.Link)
-				frac := ""
-				if snd.Fraction != 1 {
-					frac = fmt.Sprintf(" (%.0f%%)", 100*snd.Fraction)
-				}
-				fmt.Printf("  epoch %d: %s -> %s chunk(%d,%d)%s\n",
-					epoch, t.Node(l.Src).Name, t.Node(l.Dst).Name, snd.Src, snd.Chunk, frac)
-			}
-		}
+		printSchedule(t, sched)
 	}
 
 	if *out != "" {
@@ -142,6 +142,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *out, len(xml))
+	}
+}
+
+func printSchedule(t *teccl.Topology, sched *teccl.Schedule) {
+	fmt.Println("\nschedule:")
+	for epoch := 0; epoch <= sched.FinishEpoch(); epoch++ {
+		for _, snd := range sched.Sends {
+			if snd.Epoch != epoch {
+				continue
+			}
+			l := t.Link(snd.Link)
+			frac := ""
+			if snd.Fraction != 1 {
+				frac = fmt.Sprintf(" (%.0f%%)", 100*snd.Fraction)
+			}
+			fmt.Printf("  epoch %d: %s -> %s chunk(%d,%d)%s\n",
+				epoch, t.Node(l.Src).Name, t.Node(l.Dst).Name, snd.Src, snd.Chunk, frac)
+		}
 	}
 }
 

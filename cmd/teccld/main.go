@@ -1,0 +1,84 @@
+// Command teccld is the TE-CCL planner daemon: a long-lived planning
+// service owning a pool of Planner sessions keyed by topology
+// fingerprint and serving the v1 HTTP/JSON management plane (plan,
+// replan, sessions, stats, healthz, metrics).
+//
+// Usage:
+//
+//	teccld -listen :7447 -max-concurrency 8 -max-time-limit 5m
+//
+// Clients are teccl.Dial (Go), the teccl CLI subcommands (teccl plan,
+// teccl sessions, ...), or anything speaking the v1 wire schema; see
+// the README in this directory. SIGTERM/SIGINT drain gracefully:
+// in-flight solves finish (up to -drain-timeout), new solves get 503,
+// and /healthz goes unhealthy so load balancers rotate the instance
+// out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"teccl"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", ":7447", "HTTP listen address")
+		maxSessions   = flag.Int("max-sessions", 64, "planner sessions kept live (LRU eviction past this)")
+		maxConcurrent = flag.Int("max-concurrency", 4, "solves running at once")
+		queueDepth    = flag.Int("queue-depth", 16, "solves waiting beyond -max-concurrency before 429")
+		workers       = flag.Int("workers", 0, "default branch-and-bound workers per solve (0 = solver default)")
+		defaultTL     = flag.Duration("default-time-limit", 2*time.Minute, "time limit for requests that carry none (0 = unlimited)")
+		maxTL         = flag.Duration("max-time-limit", 0, "hard cap on any request's time limit (0 = no cap)")
+		drainTimeout  = flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight solves")
+	)
+	flag.Parse()
+
+	srv := teccl.NewServer(teccl.ServerOptions{
+		MaxSessions:      *maxSessions,
+		MaxConcurrent:    *maxConcurrent,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		DefaultTimeLimit: *defaultTL,
+		MaxTimeLimit:     *maxTL,
+	})
+	hs := &http.Server{Addr: *listen, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("teccld: serving v1 API on %s (max %d sessions, %d concurrent solves, queue %d)",
+		*listen, *maxSessions, *maxConcurrent, *queueDepth)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "teccld:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	log.Printf("teccld: draining (timeout %v)", *drainTimeout)
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("teccld: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("teccld: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("teccld: stopped")
+}

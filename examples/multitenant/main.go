@@ -1,16 +1,22 @@
 // Command multitenant demonstrates §5's multi-tenant support: two
 // training jobs share one switched cluster, their demands are unioned,
 // and a single joint solve schedules both without violating capacity.
-// Compare against solving each tenant as if it owned the network. The
-// four MILP solves share one Planner session — exactly the serving shape
-// the session API exists for: one topology, a stream of demands, warm
-// bases carried between them.
+// Compare against solving each tenant as if it owned the network.
+//
+// The example runs the serving shape this scenario implies in
+// production: an embedded teccld daemon (the same Server cmd/teccld
+// boots) fronted by the wire client. All four MILP solves flow through
+// one daemon session — one topology, a stream of demands, warm bases
+// carried between them — and the planning code is written against
+// teccl.PlannerAPI, so swapping the remote session for an in-process
+// teccl.NewPlanner changes one line.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
 	"teccl"
 )
@@ -37,11 +43,32 @@ func main() {
 		tenantB.Set(int(s), 0, int(gpus[3]))
 	}
 
+	// An embedded planner daemon, exactly what `teccld -listen :7447`
+	// serves; the client dials it over loopback HTTP.
+	srv := teccl.NewServer(teccl.ServerOptions{})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c, err := teccl.Dial(hs.URL, teccl.ClientOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx := context.Background()
-	planner := teccl.NewPlanner(t, teccl.PlannerOptions{Policy: teccl.ForceMILP})
+	// The session: remote here, but everything below only needs the
+	// PlannerAPI surface, which teccl.NewPlanner satisfies too.
+	var planner teccl.PlannerAPI = c.Planner(t)
+	defer planner.Close()
+	// The daemon has no ForceMILP session policy; pin the formulation
+	// per request instead.
+	milp := func(d *teccl.Demand, opt *teccl.Options) (*teccl.Plan, error) {
+		return planner.Plan(ctx, teccl.Request{Demand: d, Options: opt, Solver: teccl.SolverMILP})
+	}
 
 	solo := func(name string, d *teccl.Demand) float64 {
-		plan, err := planner.Plan(ctx, teccl.Request{Demand: d})
+		plan, err := milp(d, nil)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
@@ -60,7 +87,7 @@ func main() {
 	// capacity-feasible plan (§5 "Use in multi-tenant clusters").
 	joint := tenantA.Clone()
 	joint.Or(tenantB)
-	res, err := planner.Plan(ctx, teccl.Request{Demand: joint})
+	res, err := milp(joint, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +102,9 @@ func main() {
 	fmt.Printf("finishing in %.2f us total.\n", sim.FinishTime*1e6)
 
 	// Tenant priority (§5): weight tenant B's deliveries 10x and watch its
-	// chunks ship first on contended links.
+	// chunks ship first on contended links. The priority function is
+	// sampled over the demanded triples client-side, so it crosses the
+	// wire intact.
 	prioOpt := teccl.Options{
 		Priority: func(src, chunk, dst int) float64 {
 			if tenantB.Wants(src, chunk, dst) {
@@ -84,12 +113,12 @@ func main() {
 			return 1
 		},
 	}
-	prio, err := planner.Plan(ctx, teccl.Request{Demand: joint, Options: &prioOpt})
+	prio, err := milp(joint, &prioOpt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := planner.Stats()
-	fmt.Printf("\nsession served %d solves: %d warm starts, %d epoch-estimate cache hits\n",
+	fmt.Printf("\ndaemon session served %d solves: %d warm starts, %d epoch-estimate cache hits\n",
 		st.Requests, st.WarmStartHits, st.EpochCacheHits)
 	bFinish := 0
 	for _, snd := range prio.Schedule.Sends {

@@ -9,6 +9,32 @@ package core
 // functions (SolveLP and friends) remain as stateless one-shot wrappers;
 // a service holding a Planner per topology gets the same answers with
 // the cold-start work amortized across its request stream.
+//
+// # Session lifecycle
+//
+// A session has three phases:
+//
+//  1. NewPlanner snapshots the topology (Clone) and allocates empty
+//     caches; nothing expensive happens until the first request.
+//  2. Plan and Replan calls, freely concurrent, populate the caches
+//     (schedule replay, warm bases, estimates) and maintain the replan
+//     incumbent. Replan swaps the entire cache bundle atomically onto
+//     the churned topology, so cached state can never outlive the
+//     topology it was derived from.
+//  3. Close marks the session closed and releases the retained state —
+//     the schedule-replay cache, the warm-basis store, the name-matched
+//     basis chains, and the replan incumbent, each of which pins whole
+//     LP models. Subsequent Plan/Replan calls fail with
+//     ErrPlannerClosed; calls already in flight finish normally (their
+//     results are simply not recorded back into the session). Close is
+//     idempotent, and Stats/Topology keep working on a closed session,
+//     so a serving tier can still report and log a session it has just
+//     evicted.
+//
+// Long-lived processes that open sessions dynamically (one per served
+// topology) must Close evicted sessions: the caches are bounded per
+// session, but a session's floor is the retained incumbent model, which
+// for large time-expanded LPs is tens of MB.
 
 import (
 	"context"
@@ -147,6 +173,7 @@ type Planner struct {
 	replanMu sync.Mutex
 
 	mu        sync.Mutex
+	closed    bool
 	state     *sessionState
 	lastLP    sessionBasis // name-matched warm-start chain, LP form
 	lastMILP  sessionBasis // name-matched warm-start chain, MILP form
@@ -244,6 +271,57 @@ func (pl *Planner) snapshot() *sessionState {
 	return pl.state
 }
 
+// snapshotOpen captures the session state for one solving request,
+// refusing closed sessions.
+func (pl *Planner) snapshotOpen() (*sessionState, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return nil, ErrPlannerClosed
+	}
+	return pl.state, nil
+}
+
+// ErrPlannerClosed is returned by Plan and Replan on a session that has
+// been Closed.
+var ErrPlannerClosed = errors.New("core: planner session is closed")
+
+// Close releases the session's retained state — the schedule-replay
+// cache, the warm-basis store, the name-matched basis chains, and the
+// replan incumbent (each pins whole LP models) — and marks the session
+// closed: subsequent Plan and Replan calls return ErrPlannerClosed.
+// Calls already in flight finish normally; their results are not
+// recorded back into the session. Close is idempotent and safe for
+// concurrent use. Stats and Topology keep working after Close (the
+// cumulative counters and the final topology snapshot survive), so a
+// serving tier can report a session it has just evicted.
+func (pl *Planner) Close() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return nil
+	}
+	pl.closed = true
+	pl.foldStateHitsLocked(pl.state)
+	// Swap in a fresh empty state (same topology) rather than nil it
+	// out: concurrent Plan/Topology calls hold or take state pointers,
+	// and the swap unpins every cached schedule and basis at once.
+	pl.state = newSessionState(pl.state.t)
+	pl.lastLP, pl.lastMILP = sessionBasis{}, sessionBasis{}
+	pl.incumbent = nil
+	return nil
+}
+
+// foldStateHitsLocked folds the cache-hit counters of a session state
+// being retired (by Close or a Replan state swap) into the cumulative
+// stats, so hit counts survive the swap. Callers hold pl.mu.
+func (pl *Planner) foldStateHitsLocked(st *sessionState) {
+	pl.stats.ExactBasisHits += st.warmBases.hitCount()
+	tauHits, epochHits := st.est.hitCounts()
+	pl.stats.TauCacheHits += tauHits
+	pl.stats.EpochCacheHits += epochHits
+}
+
 // Topology returns the session's current topology snapshot (the churned
 // one after Replan calls). Callers must not mutate it.
 func (pl *Planner) Topology() *topo.Topology { return pl.snapshot().t }
@@ -256,9 +334,13 @@ func (pl *Planner) Stats() PlannerStats {
 	st.ColdEstimatePivots = int(pl.coldPivotEWMA + 0.5)
 	state := pl.state
 	pl.mu.Unlock()
-	st.ExactBasisHits = state.warmBases.hitCount()
+	// Cumulative counters plus the live state's hits: Replan and Close
+	// fold a retiring state's hit counts into pl.stats, so the totals
+	// survive cache-bundle swaps.
+	st.ExactBasisHits += state.warmBases.hitCount()
 	tauHits, epochHits := state.est.hitCounts()
-	st.TauCacheHits, st.EpochCacheHits = tauHits, epochHits
+	st.TauCacheHits += tauHits
+	st.EpochCacheHits += epochHits
 	return st
 }
 
@@ -274,7 +356,10 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 	if req.Demand == nil {
 		return nil, errors.New("core: Plan requires a Demand")
 	}
-	st := pl.snapshot()
+	st, err := pl.snapshotOpen()
+	if err != nil {
+		return nil, err
+	}
 	opt := pl.opt.Defaults
 	if req.Options != nil {
 		opt = *req.Options

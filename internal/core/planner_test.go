@@ -224,3 +224,87 @@ func TestPlannerRequiresDemand(t *testing.T) {
 		t.Fatal("nil demand accepted")
 	}
 }
+
+func TestPlannerClose(t *testing.T) {
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+
+	plan, err := pl.Plan(context.Background(), Request{Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pl.Stats()
+	if err := pl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatalf("Close not idempotent: %v", err)
+	}
+	if _, err := pl.Plan(context.Background(), Request{Demand: d}); !errors.Is(err, ErrPlannerClosed) {
+		t.Fatalf("Plan after Close: err = %v, want ErrPlannerClosed", err)
+	}
+	if _, err := pl.Replan(context.Background(), Delta{}); !errors.Is(err, ErrPlannerClosed) {
+		t.Fatalf("Replan after Close: err = %v, want ErrPlannerClosed", err)
+	}
+	// Stats and Topology survive Close: the eviction path of a serving
+	// tier logs both after releasing the caches.
+	after := pl.Stats()
+	if after.Requests != before.Requests {
+		t.Fatalf("stats lost across Close: %+v vs %+v", after, before)
+	}
+	if pl.Topology() == nil {
+		t.Fatal("Topology nil after Close")
+	}
+	_ = plan
+}
+
+func TestPlannerCloseKeepsCacheHitCounters(t *testing.T) {
+	// Cache-hit counters live in the per-topology state bundle that
+	// Close (and Replan) swap out; folding must preserve them.
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+	for i := 0; i < 2; i++ {
+		if _, err := pl.Plan(context.Background(), Request{Demand: d.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pl.Stats()
+	if before.EpochCacheHits == 0 {
+		t.Fatalf("stats = %+v, want epoch-estimate cache hits before Close", before)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after := pl.Stats()
+	if after.EpochCacheHits != before.EpochCacheHits || after.TauCacheHits != before.TauCacheHits {
+		t.Fatalf("cache-hit counters dropped across Close: %+v vs %+v", after, before)
+	}
+}
+
+func TestPlannerCloseConcurrentWithPlan(t *testing.T) {
+	// Close racing in-flight Plans must neither panic nor corrupt the
+	// closed session; late Plans fail cleanly with ErrPlannerClosed.
+	tt := topo.DGX1()
+	d := collective.AllToAll(tt.NumNodes(), testGPUs(tt), 1, 25e3)
+	pl := NewPlanner(tt, PlannerOptions{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			_, err := pl.Plan(context.Background(), Request{Demand: d.Clone()})
+			if err != nil && !errors.Is(err, ErrPlannerClosed) {
+				t.Errorf("racing Plan: %v", err)
+				return
+			}
+		}
+	}()
+	if _, err := pl.Plan(context.Background(), Request{Demand: d}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

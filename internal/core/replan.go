@@ -362,9 +362,13 @@ func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	defer pl.replanMu.Unlock()
 
 	pl.mu.Lock()
+	closed := pl.closed
 	st := pl.state
 	inc := pl.incumbent
 	pl.mu.Unlock()
+	if closed {
+		return nil, ErrPlannerClosed
+	}
 	if inc == nil {
 		return nil, errors.New("core: Replan requires a prior successful Plan")
 	}
@@ -404,6 +408,13 @@ func (pl *Planner) Replan(ctx context.Context, d Delta) (*Plan, error) {
 	// below must be a genuinely cold (crash-started) solve.
 	newState := newSessionState(newTopo)
 	pl.mu.Lock()
+	if pl.closed {
+		// A concurrent Close raced past the entry check; leave the closed
+		// (empty) state in place rather than resurrecting the session.
+		pl.mu.Unlock()
+		return nil, ErrPlannerClosed
+	}
+	pl.foldStateHitsLocked(pl.state)
 	pl.state = newState
 	pl.lastLP = sessionBasis{}
 	pl.lastMILP = sessionBasis{}

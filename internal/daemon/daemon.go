@@ -1,0 +1,445 @@
+// Package daemon implements the teccld planning service: a long-lived
+// HTTP server owning a pool of Planner sessions keyed by topology
+// fingerprint, so repeated requests over the same fabric reuse one
+// session's replay cache, warm-basis store, and estimate caches across
+// clients and connections.
+//
+// The management plane is versioned JSON over HTTP (the v1 schema lives
+// in package wire):
+//
+//	POST   /v1/plan                solve one collective (topology or session_id)
+//	POST   /v1/replan              apply session-scoped churn and reoptimize
+//	GET    /v1/sessions            list live sessions
+//	GET    /v1/sessions/{id}/stats one session's cumulative counters
+//	DELETE /v1/sessions/{id}       close and drop a session
+//	GET    /healthz                liveness (503 while draining)
+//	GET    /metrics                Prometheus text exposition
+//
+// Solve endpoints are admission-controlled: at most MaxConcurrent solves
+// run at once, at most QueueDepth more wait; beyond that the daemon
+// answers 429 so callers shed load instead of stacking goroutines on a
+// saturated solver. BeginDrain flips the daemon into lame-duck mode (new
+// solves get 503, /healthz goes unhealthy for load balancers) and
+// Drain waits for the in-flight solves to finish — the SIGTERM path of
+// cmd/teccld.
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"teccl/internal/core"
+	"teccl/wire"
+)
+
+// maxBodyBytes bounds request bodies; topologies and demands for
+// fabric-scale instances are well under this.
+const maxBodyBytes = 16 << 20
+
+// Options configures a Server. Zero values mean the documented defaults.
+type Options struct {
+	// MaxSessions bounds the session pool; past it the least-recently
+	// used session is closed and evicted. Default 64.
+	MaxSessions int
+	// MaxConcurrent bounds simultaneously running solves. Default 4.
+	MaxConcurrent int
+	// QueueDepth bounds solves waiting for a slot beyond MaxConcurrent;
+	// past it new solves get 429. Default 16.
+	QueueDepth int
+	// Workers is the default branch-and-bound worker count per solve
+	// (core.Options.Workers) when the request does not set one.
+	Workers int
+	// DefaultTimeLimit applies when a request carries no time limit.
+	// Zero means unlimited.
+	DefaultTimeLimit time.Duration
+	// MaxTimeLimit caps every request's time limit (and replaces an
+	// unlimited one), so one client cannot hold a solver slot forever.
+	// Zero means no cap.
+	MaxTimeLimit time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	return o
+}
+
+// Server is the teccld planning service. Create with New, serve via
+// http.Server (it implements http.Handler), stop with BeginDrain +
+// Drain + Close.
+type Server struct {
+	opts Options
+	pool *pool
+	met  *metrics
+	mux  *http.ServeMux
+
+	sem      chan struct{} // MaxConcurrent slots
+	queued   atomic.Int64  // admitted solves: waiting + running
+	inflight atomic.Int64  // solves holding a slot
+	draining atomic.Bool
+	wg       sync.WaitGroup // solve requests between admission and response
+
+	// testHookSolve, when set, runs in place of nothing while a solve
+	// holds its concurrency slot — the seam the saturation and drain
+	// tests use to keep solves in flight deterministically.
+	testHookSolve func()
+}
+
+// New creates a Server. It is ready to serve immediately.
+func New(opts Options) *Server {
+	s := &Server{
+		opts: opts.withDefaults(),
+		met:  newMetrics(),
+		mux:  http.NewServeMux(),
+	}
+	s.pool = newPool(s.opts.MaxSessions, s.met.foldEvicted)
+	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+
+	s.mux.HandleFunc("POST /v1/plan", s.instrument("plan", true, s.handlePlan))
+	s.mux.HandleFunc("POST /v1/replan", s.instrument("replan", true, s.handleReplan))
+	s.mux.HandleFunc("GET /v1/sessions", s.instrument("sessions", false, s.handleSessions))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.instrument("stats", false, s.handleSessionStats))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", false, s.handleSessionDelete))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain puts the server into lame-duck mode: subsequent solve
+// requests are refused with 503 and /healthz reports draining, while
+// already-admitted solves run to completion.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight solve has finished or ctx expires.
+// Call BeginDrain first.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: drain interrupted with %d solve(s) in flight: %w",
+			s.queued.Load(), ctx.Err())
+	}
+}
+
+// Close releases every session in the pool. Call after Drain.
+func (s *Server) Close() { s.pool.closeAll() }
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request metrics; solve marks the
+// endpoints whose 200-latency feeds the solve histogram.
+func (s *Server) instrument(endpoint string, solve bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.met.observe(endpoint, rec.status, time.Since(start), solve)
+	}
+}
+
+// writeJSON writes a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a wire.Error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, wire.Error{Error: fmt.Sprintf(format, args...), Code: status})
+}
+
+// admit performs admission control for one solve request. On success it
+// returns a release function the caller must run when the solve
+// finishes; otherwise it returns the HTTP status to answer with.
+func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, errors.New("daemon is draining")
+	}
+	s.wg.Add(1)
+	if s.draining.Load() {
+		// BeginDrain raced in between the check and the Add; refuse so
+		// Drain's Wait cannot miss us.
+		s.wg.Done()
+		return nil, http.StatusServiceUnavailable, errors.New("daemon is draining")
+	}
+	if q := s.queued.Add(1); q > int64(s.opts.MaxConcurrent+s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		s.wg.Done()
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("solver saturated: %d solves admitted (cap %d running + %d queued)",
+				q-1, s.opts.MaxConcurrent, s.opts.QueueDepth)
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.wg.Done()
+		return nil, 499, fmt.Errorf("canceled while queued: %w", ctx.Err())
+	}
+	s.inflight.Add(1)
+	return func() {
+		<-s.sem
+		s.inflight.Add(-1)
+		s.queued.Add(-1)
+		s.wg.Done()
+	}, 0, nil
+}
+
+// resolveOptions converts wire options (possibly absent) to core
+// options, applying the daemon's worker and time-limit policy.
+func (s *Server) resolveOptions(wopts *wire.Options) (core.Options, error) {
+	var opt core.Options
+	if wopts != nil {
+		var err error
+		opt, err = wopts.ToOptions()
+		if err != nil {
+			return opt, err
+		}
+	}
+	if opt.Workers == 0 {
+		opt.Workers = s.opts.Workers
+	}
+	if opt.TimeLimit == 0 {
+		opt.TimeLimit = s.opts.DefaultTimeLimit
+	}
+	if s.opts.MaxTimeLimit > 0 && (opt.TimeLimit == 0 || opt.TimeLimit > s.opts.MaxTimeLimit) {
+		opt.TimeLimit = s.opts.MaxTimeLimit
+	}
+	return opt, nil
+}
+
+// solveStatus maps a Plan/Replan error to an HTTP status.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrPlannerClosed):
+		return http.StatusGone
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req wire.PlanRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding plan request: %v", err)
+		return
+	}
+
+	var sess *session
+	switch {
+	case req.SessionID != "":
+		if req.Topology != nil {
+			writeError(w, http.StatusBadRequest, "plan request sets both topology and session_id")
+			return
+		}
+		if sess = s.pool.byId(req.SessionID); sess == nil {
+			writeError(w, http.StatusNotFound, "no session %q", req.SessionID)
+			return
+		}
+	case req.Topology != nil:
+		if err := req.Topology.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid topology: %v", err)
+			return
+		}
+		var err error
+		if sess, err = s.pool.get(req.Topology); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "plan request needs a topology or a session_id")
+		return
+	}
+
+	demand, err := req.Demand.ToDemand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt, err := s.resolveOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	solver, err := wire.ParseSolver(req.Solver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	if s.testHookSolve != nil {
+		s.testHookSolve()
+	}
+
+	sess.requests.Add(1)
+	plan, err := sess.planner.Plan(r.Context(), core.Request{Demand: demand, Options: &opt, Solver: solver})
+	if err != nil {
+		writeError(w, solveStatus(err), "plan: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.PlanResponse{
+		API:       wire.Version,
+		SessionID: sess.id,
+		Plan:      wire.FromPlan(plan),
+	})
+}
+
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var req wire.ReplanRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding replan request: %v", err)
+		return
+	}
+	if req.SessionID == "" {
+		writeError(w, http.StatusBadRequest, "replan request needs a session_id")
+		return
+	}
+	sess := s.pool.byId(req.SessionID)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", req.SessionID)
+		return
+	}
+	delta, err := req.Delta.ToDelta()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	defer release()
+	if s.testHookSolve != nil {
+		s.testHookSolve()
+	}
+
+	sess.requests.Add(1)
+	plan, err := sess.planner.Replan(r.Context(), delta)
+	if err != nil {
+		writeError(w, solveStatus(err), "replan: %v", err)
+		return
+	}
+	// Churn rewrites the session topology, so re-key the pool entry and
+	// ship the post-churn snapshots for the client to rebind against.
+	newTopo := sess.planner.Topology()
+	s.pool.refingerprint(sess, newTopo)
+	resp := wire.ReplanResponse{
+		API:       wire.Version,
+		SessionID: sess.id,
+		Plan:      wire.FromPlan(plan),
+		Topology:  newTopo,
+	}
+	if plan.Result != nil && plan.Schedule != nil && plan.Schedule.Demand != nil {
+		d := wire.FromDemand(plan.Schedule.Demand)
+		resp.Demand = &d
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.pool.list()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].created.Before(sessions[j].created) })
+	resp := wire.SessionsResponse{API: wire.Version, Sessions: make([]wire.SessionInfo, 0, len(sessions))}
+	for _, sess := range sessions {
+		resp.Sessions = append(resp.Sessions, wire.SessionInfo{
+			ID:          sess.id,
+			Topology:    sess.topo.Name,
+			Fingerprint: sess.fp,
+			NumNodes:    sess.topo.NumNodes(),
+			NumLinks:    sess.topo.NumLinks(),
+			CreatedMs:   sess.created.UnixMilli(),
+			LastUsedMs:  sess.lastUsed.Load(),
+			Requests:    sess.requests.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.pool.byId(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		API:       wire.Version,
+		SessionID: sess.id,
+		Stats:     wire.FromStats(sess.planner.Stats()),
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.remove(id) {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"api":      wire.Version,
+		"sessions": s.pool.size(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var live core.PlannerStats
+	for _, sess := range s.pool.list() {
+		live = addStats(live, sess.planner.Stats())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, live, s.pool.size(), s.pool.evicted(), s.inflight.Load(), s.queued.Load()-s.inflight.Load())
+}

@@ -1,0 +1,217 @@
+package daemon
+
+// pool.go is the daemon's session tier: a bounded pool of live Planner
+// sessions keyed by topology fingerprint. Two requests that plan over
+// byte-identical topologies land on the same session and share its
+// schedule-replay cache, warm-basis store, and estimate caches — the
+// serving-side analogue of holding one Planner per topology in-process.
+// The pool is LRU-bounded; evicting a session Closes its Planner so the
+// retained LP models are released, and the session's final counters are
+// folded into the daemon aggregates (metrics.go) before the handle is
+// dropped.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"teccl/internal/core"
+	"teccl/internal/topo"
+)
+
+// session is one live Planner plus its pool bookkeeping.
+type session struct {
+	id      string
+	fp      string
+	planner *core.Planner
+	topo    *topo.Topology // the session's own snapshot (planner.Topology())
+	created time.Time
+
+	lastUsed atomic.Int64 // unix ms
+	requests atomic.Int64
+}
+
+func (s *session) touch() { s.lastUsed.Store(time.Now().UnixMilli()) }
+
+// fingerprint derives the pool key from a topology: the hash of its
+// canonical JSON form (Topology.MarshalJSON is deterministic — fixed
+// field order, ID-ordered nodes/links/down list).
+func fingerprint(t *topo.Topology) (string, error) {
+	js, err := json.Marshal(t)
+	if err != nil {
+		return "", fmt.Errorf("daemon: fingerprinting topology: %w", err)
+	}
+	sum := sha256.Sum256(js)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// pool owns the daemon's sessions.
+type pool struct {
+	limit int
+
+	mu        sync.Mutex
+	byFP      map[string]*session
+	byID      map[string]*session
+	seq       int64
+	evictions int64
+	// onEvict is called (outside mu is not guaranteed; it must be cheap)
+	// with the final stats of every session leaving the pool, so the
+	// daemon aggregates survive eviction.
+	onEvict func(core.PlannerStats)
+}
+
+func newPool(limit int, onEvict func(core.PlannerStats)) *pool {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &pool{
+		limit:   limit,
+		byFP:    make(map[string]*session),
+		byID:    make(map[string]*session),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the session serving the given topology, opening one (and
+// evicting the least-recently-used session past the limit) on a
+// fingerprint miss.
+func (p *pool) get(t *topo.Topology) (*session, error) {
+	fp, err := fingerprint(t)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.byFP[fp]; ok {
+		s.touch()
+		return s, nil
+	}
+	p.seq++
+	s := &session{
+		id:      fmt.Sprintf("s%d", p.seq),
+		fp:      fp,
+		planner: core.NewPlanner(t, core.PlannerOptions{}),
+		created: time.Now(),
+	}
+	s.topo = s.planner.Topology()
+	s.touch()
+	p.byFP[fp] = s
+	p.byID[s.id] = s
+	for len(p.byID) > p.limit {
+		p.evictLRULocked()
+	}
+	return s, nil
+}
+
+// byId returns the session with the given ID, or nil.
+func (p *pool) byId(id string) *session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.byID[id]; ok {
+		s.touch()
+		return s
+	}
+	return nil
+}
+
+// evictLRULocked closes and drops the least-recently-used session.
+func (p *pool) evictLRULocked() {
+	var victim *session
+	for _, s := range p.byID {
+		if victim == nil || s.lastUsed.Load() < victim.lastUsed.Load() {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return
+	}
+	p.removeLocked(victim)
+	p.evictions++
+}
+
+// removeLocked closes a session and folds its counters into the daemon
+// aggregates.
+func (p *pool) removeLocked(s *session) {
+	delete(p.byFP, s.fp)
+	delete(p.byID, s.id)
+	stats := s.planner.Stats()
+	s.planner.Close()
+	if p.onEvict != nil {
+		p.onEvict(stats)
+	}
+}
+
+// refingerprint re-keys a session after churn rewrote its topology:
+// plan-by-topology requests carrying the churned fabric keep landing on
+// this session, and ones carrying the original fabric open a fresh one.
+func (p *pool) refingerprint(s *session, t *topo.Topology) {
+	fp, err := fingerprint(t)
+	if err != nil {
+		return // unreachable for a topology the planner accepted
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.byID[s.id] != s {
+		return // evicted while the replan ran
+	}
+	if cur, ok := p.byFP[s.fp]; ok && cur == s {
+		delete(p.byFP, s.fp)
+	}
+	s.fp = fp
+	s.topo = t
+	// A session already serving the new fingerprint keeps it; this one
+	// stays reachable by ID only.
+	if _, taken := p.byFP[fp]; !taken {
+		p.byFP[fp] = s
+	}
+}
+
+// remove closes and drops the session with the given ID, reporting
+// whether it existed.
+func (p *pool) remove(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.byID[id]
+	if ok {
+		p.removeLocked(s)
+	}
+	return ok
+}
+
+// list snapshots the live sessions (unspecified order).
+func (p *pool) list() []*session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*session, 0, len(p.byID))
+	for _, s := range p.byID {
+		out = append(out, s)
+	}
+	return out
+}
+
+// size reports the live session count.
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.byID)
+}
+
+// evicted reports the cumulative eviction count.
+func (p *pool) evicted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// closeAll closes every session (daemon shutdown).
+func (p *pool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.byID {
+		p.removeLocked(s)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+// loadgen.go is the daemon saturation benchmark: an embedded teccld
+// server (in-process httptest listener, so no ports or processes) under
+// a concurrent client swarm, measuring served plans/sec and client-side
+// p50/p99 latency over the real wire path — JSON encode, HTTP, admission
+// control, session pool, solve or replay, JSON decode. The workload
+// cycles a small set of chunk sizes over one topology, so after the
+// first lap the daemon serves mostly schedule replays: the steady state
+// of a serving tier, where wire and dispatch overhead dominates.
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"teccl/client"
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/daemon"
+	"teccl/internal/topo"
+)
+
+// LoadGen drives the embedded daemon to saturation and reports
+// throughput and latency percentiles.
+func LoadGen(short bool) *Table {
+	const clients = 8
+	total := 240
+	if short {
+		total = 96
+	}
+
+	srv := daemon.New(daemon.Options{
+		MaxConcurrent: 4,
+		QueueDepth:    2 * clients,
+		Workers:       Workers(),
+	})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	tt := topo.DGX1()
+	// Chunk-size cycle: distinct sizes are distinct models (cold solves
+	// on the first lap), repeats replay from the session cache.
+	sizes := []float64{25e3, 50e3, 100e3, 200e3}
+	demands := make([]*collective.Demand, len(sizes))
+	for i, bytes := range sizes {
+		demands[i] = collective.AllToAll(tt.NumNodes(), gpuInts(tt), 1, bytes)
+	}
+
+	c, err := client.Dial(hs.URL, client.ClientOptions{})
+	if err != nil {
+		return &Table{ID: "loadgen", Title: "Daemon saturation", Notes: err.Error()}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		failed    int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker holds its own RemotePlanner; all of them map to
+			// one daemon session by topology fingerprint.
+			planner := c.Planner(tt)
+			for i := w; i < total; i += clients {
+				d := demands[i%len(demands)]
+				t0 := time.Now()
+				_, err := planner.Plan(Context(), core.Request{Demand: d.Clone()})
+				dt := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err == nil:
+					latencies = append(latencies, dt)
+				default:
+					// Admission rejections (429) surface as API errors; any
+					// other failure counts separately and fails the table.
+					if isRejection(err) {
+						rejected++
+					} else {
+						failed++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pctl := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return math.NaN()
+		}
+		idx := int(p*float64(len(latencies)-1) + 0.5)
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	served := len(latencies)
+	plansPerSec := float64(served) / wall.Seconds()
+	p50, p99 := pctl(0.50), pctl(0.99)
+
+	tab := &Table{
+		ID:     "loadgen",
+		Title:  "Daemon saturation: plans/sec through the wire API",
+		Header: []string{"clients", "requests", "served", "rejected", "plans/sec", "p50 ms", "p99 ms"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%d", total),
+			fmt.Sprintf("%d", served),
+			fmt.Sprintf("%d", rejected),
+			fmt.Sprintf("%.0f", plansPerSec),
+			fmt.Sprintf("%.2f", p50),
+			fmt.Sprintf("%.2f", p99),
+		}},
+		Notes: "embedded teccld, DGX1 all-to-all over a cycled chunk-size set; " +
+			"steady state is schedule replays, so latency is wire + dispatch cost",
+		Metrics: map[string]float64{
+			"plans_per_sec": plansPerSec,
+			"p50_ms":        p50,
+			"p99_ms":        p99,
+			"rejected":      float64(rejected),
+			"failed":        float64(failed),
+		},
+	}
+	if failed > 0 {
+		tab.Notes = fmt.Sprintf("%d requests FAILED; %s", failed, tab.Notes)
+	}
+	return tab
+}
+
+// isRejection reports whether a client error is daemon admission
+// control (HTTP 429/503) rather than a solve failure.
+func isRejection(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "http 429") || strings.Contains(s, "http 503")
+}

@@ -1,0 +1,27 @@
+package teccl
+
+// server.go re-exports the planner daemon, so embedding the planning
+// service into another process is one import:
+//
+//	srv := teccl.NewServer(teccl.ServerOptions{MaxConcurrent: 8})
+//	http.ListenAndServe(":7447", srv)
+//
+// The standalone daemon lives in cmd/teccld; the v1 wire schema it
+// speaks is package wire; teccl.Dial is the matching client.
+
+import "teccl/internal/daemon"
+
+// Server is the teccld planning service: an http.Handler owning a pool
+// of Planner sessions keyed by topology fingerprint and serving the v1
+// management plane (plan, replan, sessions, stats, healthz, metrics).
+// Solve endpoints are admission-controlled; see ServerOptions.
+type Server = daemon.Server
+
+// ServerOptions configures a Server: session-pool bound, solve
+// concurrency cap and queue depth, default worker count, and the
+// default/maximum per-request time limits.
+type ServerOptions = daemon.Options
+
+// NewServer creates a planning service ready to mount on an
+// http.Server. Stop it with BeginDrain + Drain + Close.
+func NewServer(opts ServerOptions) *Server { return daemon.New(opts) }

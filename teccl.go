@@ -34,6 +34,37 @@
 // few dual-simplex pivots, and by a cold re-solve otherwise — see
 // NewPlanner's documentation and examples/linkfailure.
 //
+// # Serving: the teccld daemon and the wire client
+//
+// The same session API is served over HTTP by cmd/teccld, a long-lived
+// daemon owning a pool of Planner sessions keyed by topology
+// fingerprint, with admission control (a concurrency cap plus a bounded
+// queue; saturation returns 429) and graceful SIGTERM draining. Dial
+// returns a Client whose Planner method yields a RemotePlanner backed
+// by a daemon session; local and remote sessions are interchangeable
+// behind the PlannerAPI interface:
+//
+//	var p teccl.PlannerAPI
+//	if addr != "" {
+//		c, err := teccl.Dial(addr, teccl.ClientOptions{})
+//		if err != nil { ... }
+//		p = c.Planner(t)
+//	} else {
+//		p = teccl.NewPlanner(t, teccl.PlannerOptions{})
+//	}
+//	plan, err := p.Plan(ctx, teccl.Request{Demand: d})
+//
+// Clients dialing one daemon share sessions: byte-identical topologies
+// map to one fingerprint and therefore one session's caches, so a fleet
+// of short-lived callers still gets schedule replays and warm bases.
+// NewServer embeds the same daemon in-process (examples/multitenant
+// does this); cmd/teccld/README.md documents the wire schema, flags,
+// and deployment. Two Options fields do not cross the wire: Progress is
+// dropped, and a func-valued LinkCapacity is rejected client-side
+// (Priority survives — it is sampled over the demanded triples into
+// explicit weights). Sessions end with Close, locally and remotely; a
+// closed session's Plan/Replan return ErrPlannerClosed.
+//
 // Three formulations are available, mirroring the paper:
 //
 //   - SolverMILP — the general mixed-integer form (§3.1): optimal,

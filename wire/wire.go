@@ -1,0 +1,634 @@
+// Package wire defines the versioned JSON wire schema (v1) of the
+// teccld planning service: the request, plan, delta, and stats types
+// that cross the HTTP boundary between a teccld daemon and its clients.
+//
+// The schema is a deliberate contract, shared by the daemon
+// (cmd/teccld), the Go client (teccl.Dial / teccl.Client), and the CLI
+// (cmd/teccl): every type carries explicit JSON tags, and the golden
+// round-trip tests in this package pin those tags against accidental
+// renames — a field rename here is an API break and must bump the
+// version, not slip through a refactor.
+//
+// Wire types mirror the in-process types of the teccl package but stay
+// independent of them: only serializable state crosses the wire
+// (function-valued options like Progress and LinkCapacity do not; the
+// multi-tenant Priority function is carried as explicitly sampled
+// per-triple weights, see Options.Priority). Conversion helpers
+// translate in both directions, validating ranges on the way in so a
+// malformed request fails at decode time rather than inside a solver.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// Version is the wire-schema version this package implements. Responses
+// echo it in their "api" field; clients reject a mismatch.
+const Version = "v1"
+
+// Want is one demanded triple: dst wants chunk of src.
+type Want struct {
+	Src   int `json:"src"`
+	Chunk int `json:"chunk"`
+	Dst   int `json:"dst"`
+}
+
+// Demand is the wire form of a collective demand matrix: dimensions,
+// chunk size, and the demanded (src, chunk, dst) triples.
+type Demand struct {
+	NumNodes   int     `json:"num_nodes"`
+	NumChunks  int     `json:"num_chunks"`
+	ChunkBytes float64 `json:"chunk_bytes"`
+	Wants      []Want  `json:"wants"`
+}
+
+// FromDemand converts an in-process demand to its wire form.
+func FromDemand(d *collective.Demand) Demand {
+	out := Demand{
+		NumNodes:   d.NumNodes(),
+		NumChunks:  d.NumChunks(),
+		ChunkBytes: d.ChunkBytes,
+	}
+	for src := 0; src < d.NumNodes(); src++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			for dst := 0; dst < d.NumNodes(); dst++ {
+				if d.Wants(src, c, dst) {
+					out.Wants = append(out.Wants, Want{Src: src, Chunk: c, Dst: dst})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToDemand converts a wire demand back to the in-process form,
+// validating dimensions and every triple.
+func (d Demand) ToDemand() (*collective.Demand, error) {
+	if d.NumNodes <= 0 || d.NumChunks <= 0 {
+		return nil, fmt.Errorf("wire: bad demand dimensions %d nodes, %d chunks", d.NumNodes, d.NumChunks)
+	}
+	if d.ChunkBytes <= 0 {
+		return nil, fmt.Errorf("wire: bad demand chunk size %g", d.ChunkBytes)
+	}
+	out := collective.New(d.NumNodes, d.NumChunks, d.ChunkBytes)
+	for _, w := range d.Wants {
+		if w.Src < 0 || w.Src >= d.NumNodes || w.Dst < 0 || w.Dst >= d.NumNodes ||
+			w.Chunk < 0 || w.Chunk >= d.NumChunks {
+			return nil, fmt.Errorf("wire: demand triple (%d,%d,%d) out of range (%d nodes, %d chunks)",
+				w.Src, w.Chunk, w.Dst, d.NumNodes, d.NumChunks)
+		}
+		if w.Src == w.Dst {
+			continue // a node always has its own chunks
+		}
+		out.Set(w.Src, w.Chunk, w.Dst)
+	}
+	return out, nil
+}
+
+// PriorityWeight is one sampled multi-tenant priority weight: the
+// delivery reward of the (src, chunk, dst) triple is scaled by Weight.
+// Unlisted triples keep weight 1. The in-process Priority function is
+// sampled over the request's demanded triples by the client, since a
+// function value cannot cross the wire.
+type PriorityWeight struct {
+	Src    int     `json:"src"`
+	Chunk  int     `json:"chunk"`
+	Dst    int     `json:"dst"`
+	Weight float64 `json:"weight"`
+}
+
+// Options is the serializable subset of the solve options. Zero values
+// mean the paper's defaults, exactly as in the in-process Options.
+// Function-valued options do not cross the wire: LinkCapacity is
+// rejected by the client, Progress is daemon-side only (see /metrics),
+// and Priority is carried as sampled per-triple weights.
+type Options struct {
+	Epochs            int              `json:"epochs,omitempty"`
+	EpochMode         string           `json:"epoch_mode,omitempty"` // "", "fastest", "slowest"
+	Tau               float64          `json:"tau,omitempty"`
+	EpochMultiplier   float64          `json:"epoch_multiplier,omitempty"`
+	SwitchMode        string           `json:"switch_mode,omitempty"` // "", "copy", "nocopy"
+	NoBuffers         bool             `json:"no_buffers,omitempty"`
+	BufferLimitChunks int              `json:"buffer_limit_chunks,omitempty"`
+	GapLimit          float64          `json:"gap_limit,omitempty"`
+	TimeLimitMs       int64            `json:"time_limit_ms,omitempty"`
+	MinimizeMakespan  bool             `json:"minimize_makespan,omitempty"`
+	Crash             string           `json:"crash,omitempty"` // "", "auto", "all", "off"
+	Workers           int              `json:"workers,omitempty"`
+	RoundEpochs       int              `json:"round_epochs,omitempty"`
+	MaxRounds         int              `json:"max_rounds,omitempty"`
+	Priority          []PriorityWeight `json:"priority,omitempty"`
+}
+
+// FromOptions converts the serializable fields of in-process options to
+// wire form. Priority/LinkCapacity/Progress functions are NOT carried
+// (see SamplePriority for the priority path); the caller decides
+// whether their presence is an error.
+func FromOptions(o core.Options) Options {
+	out := Options{
+		Epochs:            o.Epochs,
+		Tau:               o.Tau,
+		EpochMultiplier:   o.EpochMultiplier,
+		NoBuffers:         o.NoBuffers,
+		BufferLimitChunks: o.BufferLimitChunks,
+		GapLimit:          o.GapLimit,
+		TimeLimitMs:       o.TimeLimit.Milliseconds(),
+		MinimizeMakespan:  o.MinimizeMakespan,
+		Workers:           o.Workers,
+		RoundEpochs:       o.RoundEpochs,
+		MaxRounds:         o.MaxRounds,
+	}
+	if o.EpochMode == core.SlowestLink {
+		out.EpochMode = "slowest"
+	}
+	if o.SwitchMode == core.SwitchNoCopy {
+		out.SwitchMode = "nocopy"
+	}
+	switch o.Crash {
+	case core.CrashAll:
+		out.Crash = "all"
+	case core.CrashOff:
+		out.Crash = "off"
+	}
+	return out
+}
+
+// SamplePriority samples a priority function over the demanded triples,
+// returning the non-neutral weights in wire form. Only demanded triples
+// carry delivery rewards, so the sample is exact.
+func SamplePriority(pri func(src, chunk, dst int) float64, d *collective.Demand) []PriorityWeight {
+	if pri == nil || d == nil {
+		return nil
+	}
+	var out []PriorityWeight
+	for src := 0; src < d.NumNodes(); src++ {
+		for c := 0; c < d.NumChunks(); c++ {
+			for dst := 0; dst < d.NumNodes(); dst++ {
+				if !d.Wants(src, c, dst) {
+					continue
+				}
+				if w := pri(src, c, dst); w != 1 {
+					out = append(out, PriorityWeight{Src: src, Chunk: c, Dst: dst, Weight: w})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToOptions converts wire options to the in-process form, validating
+// the enumerations and rebuilding the Priority function from the
+// sampled weights.
+func (o Options) ToOptions() (core.Options, error) {
+	out := core.Options{
+		Epochs:            o.Epochs,
+		Tau:               o.Tau,
+		EpochMultiplier:   o.EpochMultiplier,
+		NoBuffers:         o.NoBuffers,
+		BufferLimitChunks: o.BufferLimitChunks,
+		GapLimit:          o.GapLimit,
+		TimeLimit:         time.Duration(o.TimeLimitMs) * time.Millisecond,
+		MinimizeMakespan:  o.MinimizeMakespan,
+		Workers:           o.Workers,
+		RoundEpochs:       o.RoundEpochs,
+		MaxRounds:         o.MaxRounds,
+	}
+	switch o.EpochMode {
+	case "", "fastest":
+	case "slowest":
+		out.EpochMode = core.SlowestLink
+	default:
+		return out, fmt.Errorf("wire: unknown epoch_mode %q", o.EpochMode)
+	}
+	switch o.SwitchMode {
+	case "", "copy":
+	case "nocopy":
+		out.SwitchMode = core.SwitchNoCopy
+	default:
+		return out, fmt.Errorf("wire: unknown switch_mode %q", o.SwitchMode)
+	}
+	switch o.Crash {
+	case "", "auto":
+	case "all":
+		out.Crash = core.CrashAll
+	case "off":
+		out.Crash = core.CrashOff
+	default:
+		return out, fmt.Errorf("wire: unknown crash mode %q", o.Crash)
+	}
+	if len(o.Priority) > 0 {
+		weights := make(map[[3]int]float64, len(o.Priority))
+		for _, p := range o.Priority {
+			if p.Weight <= 0 {
+				return out, fmt.Errorf("wire: non-positive priority weight %g for (%d,%d,%d)",
+					p.Weight, p.Src, p.Chunk, p.Dst)
+			}
+			weights[[3]int{p.Src, p.Chunk, p.Dst}] = p.Weight
+		}
+		out.Priority = func(src, chunk, dst int) float64 {
+			if w, ok := weights[[3]int{src, chunk, dst}]; ok {
+				return w
+			}
+			return 1
+		}
+	}
+	return out, nil
+}
+
+// ParseSolver maps a wire solver name to the in-process identifier.
+func ParseSolver(s string) (core.Solver, error) {
+	switch s {
+	case "", "auto":
+		return core.SolverAuto, nil
+	case "lp":
+		return core.SolverLP, nil
+	case "milp":
+		return core.SolverMILP, nil
+	case "astar":
+		return core.SolverAStar, nil
+	}
+	return core.SolverAuto, fmt.Errorf("wire: unknown solver %q", s)
+}
+
+// SolverName maps an in-process solver identifier to its wire name.
+func SolverName(s core.Solver) string { return s.String() }
+
+// LinkScale is one multiplicative link edit of a delta; zero-valued
+// multiplier fields mean "leave unchanged".
+type LinkScale struct {
+	Link     int     `json:"link"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Alpha    float64 `json:"alpha,omitempty"`
+}
+
+// Pair names one (source, destination) demand pair.
+type Pair struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// Delta is the wire form of one step of churn for /v1/replan.
+type Delta struct {
+	LinksDown []int       `json:"links_down,omitempty"`
+	NodesDown []int       `json:"nodes_down,omitempty"`
+	Scale     []LinkScale `json:"scale,omitempty"`
+	AddNodes  []topo.Node `json:"add_nodes,omitempty"`
+	AddLinks  []topo.Link `json:"add_links,omitempty"`
+	DropPairs []Pair      `json:"drop_pairs,omitempty"`
+	AddDemand *Demand     `json:"add_demand,omitempty"`
+}
+
+// FromDelta converts an in-process replan delta to wire form.
+func FromDelta(d core.Delta) Delta {
+	out := Delta{
+		AddNodes: d.AddNodes,
+		AddLinks: d.AddLinks,
+	}
+	for _, l := range d.LinksDown {
+		out.LinksDown = append(out.LinksDown, int(l))
+	}
+	for _, n := range d.NodesDown {
+		out.NodesDown = append(out.NodesDown, int(n))
+	}
+	for _, s := range d.Scale {
+		out.Scale = append(out.Scale, LinkScale{Link: int(s.Link), Capacity: s.Capacity, Alpha: s.Alpha})
+	}
+	for _, p := range d.DropPairs {
+		out.DropPairs = append(out.DropPairs, Pair{Src: p.Src, Dst: p.Dst})
+	}
+	if d.AddDemand != nil {
+		ad := FromDemand(d.AddDemand)
+		out.AddDemand = &ad
+	}
+	return out
+}
+
+// ToDelta converts a wire delta to the in-process form. ID range
+// checking is left to Planner.Replan, which validates against the live
+// session topology.
+func (d Delta) ToDelta() (core.Delta, error) {
+	out := core.Delta{
+		AddNodes: d.AddNodes,
+		AddLinks: d.AddLinks,
+	}
+	for _, l := range d.LinksDown {
+		out.LinksDown = append(out.LinksDown, topo.LinkID(l))
+	}
+	for _, n := range d.NodesDown {
+		out.NodesDown = append(out.NodesDown, topo.NodeID(n))
+	}
+	for _, s := range d.Scale {
+		out.Scale = append(out.Scale, topo.LinkScale{Link: topo.LinkID(s.Link), Capacity: s.Capacity, Alpha: s.Alpha})
+	}
+	for _, p := range d.DropPairs {
+		out.DropPairs = append(out.DropPairs, core.DemandPair{Src: p.Src, Dst: p.Dst})
+	}
+	if d.AddDemand != nil {
+		ad, err := d.AddDemand.ToDemand()
+		if err != nil {
+			return out, err
+		}
+		out.AddDemand = ad
+	}
+	return out, nil
+}
+
+// Send is one chunk transmission of a wire schedule.
+type Send struct {
+	Src      int     `json:"src"`
+	Chunk    int     `json:"chunk"`
+	Link     int     `json:"link"`
+	Epoch    int     `json:"epoch"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Schedule is the wire form of an executable schedule. The topology and
+// demand it binds to travel separately (the session's), so the schedule
+// itself stays compact.
+type Schedule struct {
+	Tau            float64 `json:"tau"`
+	NumEpochs      int     `json:"num_epochs"`
+	AllowCopy      bool    `json:"allow_copy,omitempty"`
+	EpochsPerChunk []int   `json:"epochs_per_chunk,omitempty"`
+	Sends          []Send  `json:"sends"`
+}
+
+// FromSchedule converts an in-process schedule to wire form.
+func FromSchedule(s *schedule.Schedule) *Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &Schedule{
+		Tau:            s.Tau,
+		NumEpochs:      s.NumEpochs,
+		AllowCopy:      s.AllowCopy,
+		EpochsPerChunk: s.EpochsPerChunk,
+		Sends:          make([]Send, len(s.Sends)),
+	}
+	for i, snd := range s.Sends {
+		out.Sends[i] = Send{
+			Src: snd.Src, Chunk: snd.Chunk, Link: int(snd.Link),
+			Epoch: snd.Epoch, Fraction: snd.Fraction,
+		}
+	}
+	return out
+}
+
+// ToSchedule rebinds a wire schedule to a topology and demand (the
+// session's current snapshots, client side).
+func (s *Schedule) ToSchedule(t *topo.Topology, d *collective.Demand) *schedule.Schedule {
+	if s == nil {
+		return nil
+	}
+	out := &schedule.Schedule{
+		Topo: t, Demand: d,
+		Tau:            s.Tau,
+		NumEpochs:      s.NumEpochs,
+		AllowCopy:      s.AllowCopy,
+		EpochsPerChunk: s.EpochsPerChunk,
+		Sends:          make([]schedule.Send, len(s.Sends)),
+	}
+	for i, snd := range s.Sends {
+		out.Sends[i] = schedule.Send{
+			Src: snd.Src, Chunk: snd.Chunk, Link: topo.LinkID(snd.Link),
+			Epoch: snd.Epoch, Fraction: snd.Fraction,
+		}
+	}
+	return out
+}
+
+// Plan is the wire form of a solved request: provenance, result
+// metrics, solver-effort counters, and the schedule.
+type Plan struct {
+	Solver         string  `json:"solver"`
+	Optimal        bool    `json:"optimal"`
+	Gap            float64 `json:"gap"`
+	Objective      float64 `json:"objective"`
+	Epochs         int     `json:"epochs"`
+	Tau            float64 `json:"tau"`
+	Rounds         int     `json:"rounds,omitempty"`
+	SolveTimeMs    float64 `json:"solve_time_ms"`
+	CacheHit       bool    `json:"cache_hit,omitempty"`
+	WarmStart      bool    `json:"warm_start,omitempty"`
+	CrashStart     bool    `json:"crash_start,omitempty"`
+	Replanned      bool    `json:"replanned,omitempty"`
+	ReplanFallback bool    `json:"replan_fallback,omitempty"`
+	ReBased        bool    `json:"rebased,omitempty"`
+
+	Nodes            int `json:"nodes,omitempty"`
+	RootIterations   int `json:"root_iterations,omitempty"`
+	NodeIterations   int `json:"node_iterations,omitempty"`
+	Refactorizations int `json:"refactorizations,omitempty"`
+	FTUpdates        int `json:"ft_updates,omitempty"`
+	UpdateNnz        int `json:"update_nnz,omitempty"`
+
+	Schedule *Schedule `json:"schedule,omitempty"`
+}
+
+// FromPlan converts an in-process plan to wire form.
+func FromPlan(p *core.Plan) Plan {
+	out := Plan{
+		Solver:         SolverName(p.Solver),
+		CacheHit:       p.CacheHit,
+		WarmStart:      p.WarmStart,
+		CrashStart:     p.CrashStart,
+		Replanned:      p.Replanned,
+		ReplanFallback: p.ReplanFallback,
+		ReBased:        p.ReBased,
+	}
+	if p.Result != nil {
+		out.Optimal = p.Optimal
+		out.Gap = p.Gap
+		out.Objective = p.Objective
+		out.Epochs = p.Epochs
+		out.Tau = p.Tau
+		out.Rounds = p.Rounds
+		out.SolveTimeMs = float64(p.SolveTime) / float64(time.Millisecond)
+		out.Nodes = p.Nodes
+		out.RootIterations = p.RootIterations
+		out.NodeIterations = p.NodeIterations
+		out.Refactorizations = p.Refactorizations
+		out.FTUpdates = p.FTUpdates
+		out.UpdateNnz = p.UpdateNnz
+		out.Schedule = FromSchedule(p.Schedule)
+	}
+	return out
+}
+
+// ToPlan converts a wire plan back to the in-process form, rebinding
+// the schedule to the given topology and demand.
+func (p Plan) ToPlan(t *topo.Topology, d *collective.Demand) (*core.Plan, error) {
+	solver, err := ParseSolver(p.Solver)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Plan{
+		Result: &core.Result{
+			Schedule:         p.Schedule.ToSchedule(t, d),
+			Objective:        p.Objective,
+			Gap:              p.Gap,
+			Optimal:          p.Optimal,
+			SolveTime:        time.Duration(p.SolveTimeMs * float64(time.Millisecond)),
+			Epochs:           p.Epochs,
+			Tau:              p.Tau,
+			Rounds:           p.Rounds,
+			Nodes:            p.Nodes,
+			RootIterations:   p.RootIterations,
+			NodeIterations:   p.NodeIterations,
+			Refactorizations: p.Refactorizations,
+			FTUpdates:        p.FTUpdates,
+			UpdateNnz:        p.UpdateNnz,
+			Reused:           p.CacheHit,
+			WarmStarted:      p.WarmStart,
+			CrashStarted:     p.CrashStart,
+		},
+		Solver:         solver,
+		CacheHit:       p.CacheHit,
+		WarmStart:      p.WarmStart,
+		CrashStart:     p.CrashStart,
+		Replanned:      p.Replanned,
+		ReplanFallback: p.ReplanFallback,
+		ReBased:        p.ReBased,
+	}, nil
+}
+
+// Stats is the wire form of a session's cumulative counters. The field
+// set mirrors PlannerStats one for one; the golden test pins the tags.
+type Stats struct {
+	Requests                 int `json:"requests"`
+	ScheduleReplays          int `json:"schedule_replays"`
+	WarmStartHits            int `json:"warm_start_hits"`
+	CrashStarts              int `json:"crash_starts"`
+	ExactBasisHits           int `json:"exact_basis_hits"`
+	TauCacheHits             int `json:"tau_cache_hits"`
+	EpochCacheHits           int `json:"epoch_cache_hits"`
+	Replans                  int `json:"replans"`
+	ReplanPivots             int `json:"replan_pivots"`
+	ReplanIncrementalPivots  int `json:"replan_incremental_pivots"`
+	ColdEstimatePivots       int `json:"cold_estimate_pivots"`
+	ReplanFallbacks          int `json:"replan_fallbacks"`
+	ReplanFallbackStructural int `json:"replan_fallback_structural"`
+	ReplanFallbackBudget     int `json:"replan_fallback_budget"`
+	ReplanFallbackSour       int `json:"replan_fallback_sour"`
+	ReplanFallbackNoModel    int `json:"replan_fallback_no_model"`
+	ReBases                  int `json:"rebases"`
+}
+
+// FromStats converts in-process session counters to wire form.
+func FromStats(s core.PlannerStats) Stats {
+	return Stats{
+		Requests:                 s.Requests,
+		ScheduleReplays:          s.ScheduleReplays,
+		WarmStartHits:            s.WarmStartHits,
+		CrashStarts:              s.CrashStarts,
+		ExactBasisHits:           s.ExactBasisHits,
+		TauCacheHits:             s.TauCacheHits,
+		EpochCacheHits:           s.EpochCacheHits,
+		Replans:                  s.Replans,
+		ReplanPivots:             s.ReplanPivots,
+		ReplanIncrementalPivots:  s.ReplanIncrementalPivots,
+		ColdEstimatePivots:       s.ColdEstimatePivots,
+		ReplanFallbacks:          s.ReplanFallbacks,
+		ReplanFallbackStructural: s.ReplanFallbackStructural,
+		ReplanFallbackBudget:     s.ReplanFallbackBudget,
+		ReplanFallbackSour:       s.ReplanFallbackSour,
+		ReplanFallbackNoModel:    s.ReplanFallbackNoModel,
+		ReBases:                  s.ReBases,
+	}
+}
+
+// ToStats converts wire counters back to the in-process form.
+func (s Stats) ToStats() core.PlannerStats {
+	return core.PlannerStats{
+		Requests:                 s.Requests,
+		ScheduleReplays:          s.ScheduleReplays,
+		WarmStartHits:            s.WarmStartHits,
+		CrashStarts:              s.CrashStarts,
+		ExactBasisHits:           s.ExactBasisHits,
+		TauCacheHits:             s.TauCacheHits,
+		EpochCacheHits:           s.EpochCacheHits,
+		Replans:                  s.Replans,
+		ReplanPivots:             s.ReplanPivots,
+		ReplanIncrementalPivots:  s.ReplanIncrementalPivots,
+		ColdEstimatePivots:       s.ColdEstimatePivots,
+		ReplanFallbacks:          s.ReplanFallbacks,
+		ReplanFallbackStructural: s.ReplanFallbackStructural,
+		ReplanFallbackBudget:     s.ReplanFallbackBudget,
+		ReplanFallbackSour:       s.ReplanFallbackSour,
+		ReplanFallbackNoModel:    s.ReplanFallbackNoModel,
+		ReBases:                  s.ReBases,
+	}
+}
+
+// PlanRequest is the body of POST /v1/plan. Exactly one of Topology and
+// SessionID identifies the session: a topology is fingerprinted and
+// mapped to a (possibly new) session; a session ID reuses one directly.
+type PlanRequest struct {
+	Topology  *topo.Topology `json:"topology,omitempty"`
+	SessionID string         `json:"session_id,omitempty"`
+	Demand    Demand         `json:"demand"`
+	Options   *Options       `json:"options,omitempty"`
+	Solver    string         `json:"solver,omitempty"`
+}
+
+// PlanResponse is the body of a successful POST /v1/plan.
+type PlanResponse struct {
+	API       string `json:"api"`
+	SessionID string `json:"session_id"`
+	Plan      Plan   `json:"plan"`
+}
+
+// ReplanRequest is the body of POST /v1/replan: session-scoped churn.
+type ReplanRequest struct {
+	SessionID string `json:"session_id"`
+	Delta     Delta  `json:"delta"`
+}
+
+// ReplanResponse is the body of a successful POST /v1/replan. It
+// carries the session's post-churn topology and demand snapshots, so
+// the client can rebind the returned schedule (and later ones) without
+// replaying the delta locally.
+type ReplanResponse struct {
+	API       string         `json:"api"`
+	SessionID string         `json:"session_id"`
+	Plan      Plan           `json:"plan"`
+	Topology  *topo.Topology `json:"topology,omitempty"`
+	Demand    *Demand        `json:"demand,omitempty"`
+}
+
+// SessionInfo is one session of GET /v1/sessions.
+type SessionInfo struct {
+	ID          string `json:"id"`
+	Topology    string `json:"topology"`
+	Fingerprint string `json:"fingerprint"`
+	NumNodes    int    `json:"num_nodes"`
+	NumLinks    int    `json:"num_links"`
+	CreatedMs   int64  `json:"created_unix_ms"`
+	LastUsedMs  int64  `json:"last_used_unix_ms"`
+	Requests    int64  `json:"requests"`
+}
+
+// SessionsResponse is the body of GET /v1/sessions.
+type SessionsResponse struct {
+	API      string        `json:"api"`
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// StatsResponse is the body of GET /v1/sessions/{id}/stats.
+type StatsResponse struct {
+	API       string `json:"api"`
+	SessionID string `json:"session_id"`
+	Stats     Stats  `json:"stats"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+	Code  int    `json:"code,omitempty"`
+}

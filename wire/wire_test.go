@@ -1,0 +1,294 @@
+package wire
+
+// Golden tests pin the v1 wire schema: the JSON below is the contract.
+// If a test here fails because a field was renamed or dropped, that is
+// an API break — revert the rename or bump the wire version, never
+// update the golden to match.
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/topo"
+)
+
+// mustJSON marshals compactly and fails the test on error.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestGoldenPlan(t *testing.T) {
+	p := Plan{
+		Solver: "milp", Optimal: true, Gap: 0.25, Objective: 12.5,
+		Epochs: 7, Tau: 1e-6, Rounds: 2, SolveTimeMs: 3.5,
+		CacheHit: true, WarmStart: true, CrashStart: true,
+		Replanned: true, ReplanFallback: true, ReBased: true,
+		Nodes: 9, RootIterations: 40, NodeIterations: 11,
+		Refactorizations: 3, FTUpdates: 17, UpdateNnz: 210,
+		Schedule: &Schedule{
+			Tau: 1e-6, NumEpochs: 8, AllowCopy: true, EpochsPerChunk: []int{1, 2},
+			Sends: []Send{{Src: 0, Chunk: 1, Link: 2, Epoch: 3, Fraction: 0.5}},
+		},
+	}
+	const golden = `{"solver":"milp","optimal":true,"gap":0.25,"objective":12.5,` +
+		`"epochs":7,"tau":0.000001,"rounds":2,"solve_time_ms":3.5,` +
+		`"cache_hit":true,"warm_start":true,"crash_start":true,` +
+		`"replanned":true,"replan_fallback":true,"rebased":true,` +
+		`"nodes":9,"root_iterations":40,"node_iterations":11,` +
+		`"refactorizations":3,"ft_updates":17,"update_nnz":210,` +
+		`"schedule":{"tau":0.000001,"num_epochs":8,"allow_copy":true,` +
+		`"epochs_per_chunk":[1,2],` +
+		`"sends":[{"src":0,"chunk":1,"link":2,"epoch":3,"fraction":0.5}]}}`
+	if got := mustJSON(t, p); got != golden {
+		t.Errorf("Plan JSON drifted from the v1 schema:\n got: %s\nwant: %s", got, golden)
+	}
+	var back Plan
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Errorf("Plan does not round-trip:\n got: %+v\nwant: %+v", back, p)
+	}
+}
+
+func TestGoldenStats(t *testing.T) {
+	s := Stats{
+		Requests: 1, ScheduleReplays: 2, WarmStartHits: 3, CrashStarts: 4,
+		ExactBasisHits: 5, TauCacheHits: 6, EpochCacheHits: 7, Replans: 8,
+		ReplanPivots: 9, ReplanIncrementalPivots: 10, ColdEstimatePivots: 11,
+		ReplanFallbacks: 12, ReplanFallbackStructural: 13,
+		ReplanFallbackBudget: 14, ReplanFallbackSour: 15,
+		ReplanFallbackNoModel: 16, ReBases: 17,
+	}
+	const golden = `{"requests":1,"schedule_replays":2,"warm_start_hits":3,` +
+		`"crash_starts":4,"exact_basis_hits":5,"tau_cache_hits":6,` +
+		`"epoch_cache_hits":7,"replans":8,"replan_pivots":9,` +
+		`"replan_incremental_pivots":10,"cold_estimate_pivots":11,` +
+		`"replan_fallbacks":12,"replan_fallback_structural":13,` +
+		`"replan_fallback_budget":14,"replan_fallback_sour":15,` +
+		`"replan_fallback_no_model":16,"rebases":17}`
+	if got := mustJSON(t, s); got != golden {
+		t.Errorf("Stats JSON drifted from the v1 schema:\n got: %s\nwant: %s", got, golden)
+	}
+	var back Stats
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("Stats does not round-trip: %+v vs %+v", back, s)
+	}
+}
+
+func TestStatsMirrorsPlannerStats(t *testing.T) {
+	// wire.Stats must track PlannerStats field for field: a counter
+	// added in core without a wire mapping would silently read zero at
+	// every client. Round-trip a struct filled with distinct values and
+	// require every field to survive.
+	var ps core.PlannerStats
+	v := reflect.ValueOf(&ps).Elem()
+	if v.NumField() != reflect.TypeOf(Stats{}).NumField() {
+		t.Fatalf("PlannerStats has %d fields, wire.Stats %d — extend the wire mapping (and the golden)",
+			v.NumField(), reflect.TypeOf(Stats{}).NumField())
+	}
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	if got := FromStats(ps).ToStats(); got != ps {
+		t.Errorf("PlannerStats round-trip lost counters:\n got: %+v\nwant: %+v", got, ps)
+	}
+}
+
+func TestGoldenPlanRequestAndDelta(t *testing.T) {
+	tt := topo.New("pair")
+	a := tt.AddNode("a", false)
+	b := tt.AddNode("b", false)
+	tt.AddLink(a, b, 1e9, 1e-6)
+
+	d := collective.New(2, 1, 1024)
+	d.Set(0, 0, 1)
+
+	req := PlanRequest{
+		Topology: tt,
+		Demand:   FromDemand(d),
+		Options:  &Options{Epochs: 4, EpochMode: "slowest", TimeLimitMs: 1500},
+		Solver:   "lp",
+	}
+	const goldenReq = `{"topology":{"name":"pair",` +
+		`"nodes":[{"name":"a"},{"name":"b"}],` +
+		`"links":[{"src":0,"dst":1,"capacity":1000000000,"alpha":0.000001}]},` +
+		`"demand":{"num_nodes":2,"num_chunks":1,"chunk_bytes":1024,` +
+		`"wants":[{"src":0,"chunk":0,"dst":1}]},` +
+		`"options":{"epochs":4,"epoch_mode":"slowest","time_limit_ms":1500},` +
+		`"solver":"lp"}`
+	if got := mustJSON(t, req); got != goldenReq {
+		t.Errorf("PlanRequest JSON drifted:\n got: %s\nwant: %s", got, goldenReq)
+	}
+
+	delta := Delta{
+		LinksDown: []int{0},
+		NodesDown: []int{1},
+		Scale:     []LinkScale{{Link: 2, Capacity: 0.5}},
+		DropPairs: []Pair{{Src: 0, Dst: 1}},
+	}
+	const goldenDelta = `{"links_down":[0],"nodes_down":[1],` +
+		`"scale":[{"link":2,"capacity":0.5}],"drop_pairs":[{"src":0,"dst":1}]}`
+	if got := mustJSON(t, ReplanRequest{SessionID: "s1", Delta: delta}); got !=
+		`{"session_id":"s1","delta":`+goldenDelta+`}` {
+		t.Errorf("ReplanRequest JSON drifted:\n got: %s", got)
+	}
+}
+
+func TestGoldenEnvelopes(t *testing.T) {
+	sessions := SessionsResponse{API: Version, Sessions: []SessionInfo{{
+		ID: "s1", Topology: "dgx1", Fingerprint: "deadbeefdeadbeef",
+		NumNodes: 8, NumLinks: 16, CreatedMs: 100, LastUsedMs: 200, Requests: 3,
+	}}}
+	const goldenSessions = `{"api":"v1","sessions":[{"id":"s1","topology":"dgx1",` +
+		`"fingerprint":"deadbeefdeadbeef","num_nodes":8,"num_links":16,` +
+		`"created_unix_ms":100,"last_used_unix_ms":200,"requests":3}]}`
+	if got := mustJSON(t, sessions); got != goldenSessions {
+		t.Errorf("SessionsResponse JSON drifted:\n got: %s\nwant: %s", got, goldenSessions)
+	}
+	if got := mustJSON(t, Error{Error: "queue full", Code: 429}); got != `{"error":"queue full","code":429}` {
+		t.Errorf("Error JSON drifted: %s", got)
+	}
+	if got := mustJSON(t, StatsResponse{API: Version, SessionID: "s1"}); !strings.HasPrefix(got, `{"api":"v1","session_id":"s1","stats":{`) {
+		t.Errorf("StatsResponse envelope drifted: %s", got)
+	}
+}
+
+func TestDemandRoundTrip(t *testing.T) {
+	tt := topo.DGX1()
+	var gpus []int
+	for _, g := range tt.GPUs() {
+		gpus = append(gpus, int(g))
+	}
+	d := collective.AllToAll(tt.NumNodes(), gpus, 2, 25e3)
+	js := mustJSON(t, FromDemand(d))
+	var w Demand
+	if err := json.Unmarshal([]byte(js), &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := w.ToDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != d.Fingerprint() {
+		t.Fatal("demand fingerprint changed across the wire")
+	}
+}
+
+func TestDemandValidation(t *testing.T) {
+	cases := []Demand{
+		{NumNodes: 0, NumChunks: 1, ChunkBytes: 1},
+		{NumNodes: 2, NumChunks: 1, ChunkBytes: 0},
+		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 2, Chunk: 0, Dst: 0}}},
+		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 0, Chunk: 1, Dst: 1}}},
+		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 0, Chunk: 0, Dst: -1}}},
+	}
+	for i, c := range cases {
+		if _, err := c.ToDemand(); err == nil {
+			t.Errorf("case %d: invalid demand accepted", i)
+		}
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	in := core.Options{
+		Epochs: 5, EpochMode: core.SlowestLink, Tau: 2e-6, EpochMultiplier: 2,
+		SwitchMode: core.SwitchNoCopy, NoBuffers: true, BufferLimitChunks: 3,
+		GapLimit: 0.3, TimeLimit: 90 * time.Second, MinimizeMakespan: true,
+		Crash: core.CrashAll, Workers: 4, RoundEpochs: 6, MaxRounds: 12,
+	}
+	w := FromOptions(in)
+	js := mustJSON(t, w)
+	var back Options
+	if err := json.Unmarshal([]byte(js), &back); err != nil {
+		t.Fatal(err)
+	}
+	out, err := back.ToOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Function fields do not travel; compare the serializable rest.
+	in.Priority, out.Priority = nil, nil
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("options round-trip:\n got: %+v\nwant: %+v", out, in)
+	}
+
+	for _, bad := range []Options{
+		{EpochMode: "medium"}, {SwitchMode: "maybe"}, {Crash: "sometimes"},
+		{Priority: []PriorityWeight{{Weight: 0}}},
+	} {
+		if _, err := bad.ToOptions(); err == nil {
+			t.Errorf("invalid options %+v accepted", bad)
+		}
+	}
+}
+
+func TestPrioritySampling(t *testing.T) {
+	d := collective.New(3, 1, 1024)
+	d.Set(0, 0, 1)
+	d.Set(0, 0, 2)
+	pri := func(src, chunk, dst int) float64 {
+		if dst == 2 {
+			return 10
+		}
+		return 1
+	}
+	sampled := SamplePriority(pri, d)
+	if len(sampled) != 1 || sampled[0] != (PriorityWeight{Src: 0, Chunk: 0, Dst: 2, Weight: 10}) {
+		t.Fatalf("sampled = %+v, want the single non-neutral triple", sampled)
+	}
+	opt, err := Options{Priority: sampled}.ToOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Priority(0, 0, 2) != 10 || opt.Priority(0, 0, 1) != 1 {
+		t.Fatal("rebuilt priority function does not match the sample")
+	}
+}
+
+func TestPlanRoundTripThroughCore(t *testing.T) {
+	tt := topo.DGX1()
+	var gpus []int
+	for _, g := range tt.GPUs() {
+		gpus = append(gpus, int(g))
+	}
+	d := collective.AllToAll(tt.NumNodes(), gpus, 1, 25e3)
+	pl := core.NewPlanner(tt, core.PlannerOptions{})
+	defer pl.Close()
+	plan, err := pl.Plan(t.Context(), core.Request{Demand: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := mustJSON(t, FromPlan(plan))
+	var w Plan
+	if err := json.Unmarshal([]byte(js), &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := w.ToPlan(tt, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Objective != plan.Objective || back.Solver != plan.Solver ||
+		back.Optimal != plan.Optimal || back.Epochs != plan.Epochs {
+		t.Fatalf("plan round-trip drifted: %+v vs %+v", back.Result, plan.Result)
+	}
+	if err := back.Schedule.Validate(); err != nil {
+		t.Fatalf("rebound schedule invalid: %v", err)
+	}
+	if back.Schedule.FinishEpoch() != plan.Schedule.FinishEpoch() {
+		t.Fatalf("finish epoch %d != %d", back.Schedule.FinishEpoch(), plan.Schedule.FinishEpoch())
+	}
+}
