@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,9 +29,12 @@ import (
 // benchRecord is one experiment in -json mode: the benchmark identity,
 // its wall clock, the solver-effort counters, and the regenerated rows.
 type benchRecord struct {
-	Name             string  `json:"name"`
-	Title            string  `json:"title"`
-	NsPerOp          int64   `json:"ns_per_op"`
+	Name    string `json:"name"`
+	Title   string `json:"title"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of the regeneration (one
+	// experiment = one op), measured as the runtime's Mallocs delta.
+	AllocsPerOp      uint64  `json:"allocs_per_op"`
 	Iterations       float64 `json:"iterations"`
 	Refactorizations float64 `json:"refactorizations"`
 	FTUpdates        float64 `json:"ft_updates"`
@@ -47,6 +51,7 @@ type benchRecord struct {
 	PlansPerSec float64    `json:"plans_per_sec,omitempty"`
 	P50Ms       float64    `json:"p50_ms,omitempty"`
 	P99Ms       float64    `json:"p99_ms,omitempty"`
+	P99BudgetMs float64    `json:"p99_budget_ms,omitempty"`
 	Header      []string   `json:"header,omitempty"`
 	Rows        [][]string `json:"rows,omitempty"`
 	Notes       string     `json:"notes,omitempty"`
@@ -62,7 +67,7 @@ var hoisted = map[string]bool{
 	"iterations": true, "refactorizations": true, "ft_updates": true,
 	"update_nnz": true, "replan_pivots": true, "replan_wall_ms": true,
 	"replan_fallbacks": true, "plans_per_sec": true, "p50_ms": true,
-	"p99_ms": true,
+	"p99_ms": true, "p99_budget_ms": true,
 }
 
 func extraMetrics(m map[string]float64) map[string]float64 {
@@ -105,7 +110,11 @@ func main() {
 		ids = experiments.IDs()
 	}
 	var records []benchRecord
+	overBudget := false
+	var ms runtime.MemStats
 	for _, id := range ids {
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
 		start := time.Now()
 		tab := experiments.ByID(id, *short)
 		if tab == nil {
@@ -113,11 +122,23 @@ func main() {
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		allocs := ms.Mallocs - mallocs0
+
+		// The serving-latency budget is a CI gate: a p99 regression in the
+		// wire path fails the whole regeneration, not just a row.
+		if budget := tab.Metrics["p99_budget_ms"]; budget > 0 && tab.Metrics["p99_ms"] > budget {
+			fmt.Fprintf(os.Stderr, "benchtables: %s p99 %.2fms exceeds the %.0fms budget\n",
+				tab.ID, tab.Metrics["p99_ms"], budget)
+			overBudget = true
+		}
+
 		if *jsonOut {
 			records = append(records, benchRecord{
 				Name:             tab.ID,
 				Title:            tab.Title,
 				NsPerOp:          elapsed.Nanoseconds(),
+				AllocsPerOp:      allocs,
 				Iterations:       tab.Metrics["iterations"],
 				Refactorizations: tab.Metrics["refactorizations"],
 				FTUpdates:        tab.Metrics["ft_updates"],
@@ -128,6 +149,7 @@ func main() {
 				PlansPerSec:      tab.Metrics["plans_per_sec"],
 				P50Ms:            tab.Metrics["p50_ms"],
 				P99Ms:            tab.Metrics["p99_ms"],
+				P99BudgetMs:      tab.Metrics["p99_budget_ms"],
 				Metrics:          extraMetrics(tab.Metrics),
 				Header:           tab.Header,
 				Rows:             tab.Rows,
@@ -136,7 +158,7 @@ func main() {
 			continue
 		}
 		fmt.Println(tab.String())
-		fmt.Printf("(%s regenerated in %v)\n\n", tab.ID, elapsed.Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v, %d allocs)\n\n", tab.ID, elapsed.Round(time.Millisecond), allocs)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -145,5 +167,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if overBudget {
+		os.Exit(1)
 	}
 }

@@ -44,7 +44,7 @@ func main() {
 		coll       = flag.String("coll", "allgather", "collective: allgather, alltoall, broadcast, scatter, gather, reducescatter")
 		chunks     = flag.Int("chunks", 1, "chunks per GPU (allgather) or per destination (alltoall)")
 		chunkBytes = flag.Float64("chunk-bytes", 25e3, "chunk size in bytes")
-		solver     = flag.String("solver", "auto", "solver: auto, milp, lp, astar, taccl, sccl, spf")
+		solver     = flag.String("solver", "auto", "solver: auto, milp, lp, astar, horizon, taccl, sccl, spf")
 		epochs     = flag.Int("epochs", 0, "epoch horizon K (0 = estimate)")
 		epochMode  = flag.String("epoch-mode", "fastest", "epoch duration from the fastest or slowest link")
 		gap        = flag.Float64("gap", 0, "MILP early-stop optimality gap (e.g. 0.3)")
@@ -78,14 +78,15 @@ func main() {
 	var sched *teccl.Schedule
 	var solveTime time.Duration
 	switch *solver {
-	case "auto", "milp", "lp", "astar":
+	case "auto", "milp", "lp", "astar", "horizon":
 		// The optimizer runs as a Planner session under a signal-aware
 		// context: Ctrl-C cancels the solve mid-iteration instead of
 		// killing the process, and -timeout is the TimeLimit budget
-		// enforced uniformly across all three solvers.
+		// enforced uniformly across all the solvers.
 		force := map[string]teccl.Solver{
 			"auto": teccl.SolverAuto, "milp": teccl.SolverMILP,
 			"lp": teccl.SolverLP, "astar": teccl.SolverAStar,
+			"horizon": teccl.SolverHorizon,
 		}[*solver]
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()

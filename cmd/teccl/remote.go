@@ -62,7 +62,7 @@ func cmdPlan(args []string) {
 		coll       = fs.String("coll", "allgather", "collective: allgather, alltoall, broadcast, scatter, gather, reducescatter")
 		chunks     = fs.Int("chunks", 1, "chunks per GPU (allgather) or per destination (alltoall)")
 		chunkBytes = fs.Float64("chunk-bytes", 25e3, "chunk size in bytes")
-		solver     = fs.String("solver", "auto", "solver: auto, milp, lp, astar")
+		solver     = fs.String("solver", "auto", "solver: auto, milp, lp, astar, horizon")
 		epochs     = fs.Int("epochs", 0, "epoch horizon K (0 = estimate)")
 		gap        = fs.Float64("gap", 0, "MILP early-stop optimality gap (e.g. 0.3)")
 		timeout    = fs.Duration("timeout", 2*time.Minute, "solver time limit")
@@ -84,9 +84,10 @@ func cmdPlan(args []string) {
 	force := map[string]teccl.Solver{
 		"auto": teccl.SolverAuto, "milp": teccl.SolverMILP,
 		"lp": teccl.SolverLP, "astar": teccl.SolverAStar,
+		"horizon": teccl.SolverHorizon,
 	}[*solver]
 	if force == teccl.SolverAuto && *solver != "auto" {
-		fatal(fmt.Errorf("unknown solver %q (the daemon serves auto, milp, lp, astar)", *solver))
+		fatal(fmt.Errorf("unknown solver %q (the daemon serves auto, milp, lp, astar, horizon)", *solver))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

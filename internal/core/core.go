@@ -144,9 +144,35 @@ type Options struct {
 
 	// Progress, when non-nil, receives observability samples while the
 	// solve runs: model build, simplex completion, every branch-and-bound
-	// node, each A* round, and makespan re-solves. See ProgressFunc for
-	// the calling discipline.
+	// node, each A* round, rolling-horizon windows, and makespan
+	// re-solves. See ProgressFunc for the calling discipline.
 	Progress ProgressFunc
+
+	// HorizonWindow is the rolling-horizon window length in epochs
+	// (SolverHorizon only); 0 derives one from the horizon and the
+	// longest link span. See internal/horizon.
+	HorizonWindow int
+	// HorizonOverlap is the number of trailing window epochs re-solved by
+	// the next window; the committed stride is HorizonWindow −
+	// HorizonOverlap. 0 derives the minimum overlap that keeps every
+	// committed send's landing (including switch forwards) inside one
+	// window.
+	HorizonOverlap int
+	// HorizonCertify, when positive, budgets a monolithic re-solve after
+	// the stitched schedule is assembled to measure the windowed-vs-
+	// monolithic objective gap; the result's Gap is then that measured
+	// gap instead of 0. Certification time is excluded from SolveTime.
+	HorizonCertify time.Duration
+	// AutoEpochMultiplier lets the horizon solver probe epoch-multiplier
+	// grids (Table 4's EM column) before any model is built, picking the
+	// smallest multiplier whose estimated cell count fits
+	// HorizonCellBudget. Ignored when EpochMultiplier > 1 or Tau is set
+	// explicitly.
+	AutoEpochMultiplier bool
+	// HorizonCellBudget is the demands×links×epochs budget the
+	// auto-selected epoch multiplier must fit; 0 means the built-in
+	// default, calibrated so the prober reproduces Table 4's EM column.
+	HorizonCellBudget int
 
 	// estimates, when non-nil, memoizes DeriveTau and EstimateEpochs
 	// results across solves. Set by a Planner session; never by callers
@@ -181,6 +207,7 @@ type Result struct {
 	Epochs    int     // horizon used
 	Tau       float64 // epoch duration used
 	Rounds    int     // A* rounds used (0 for single-shot solvers)
+	Windows   int     // rolling-horizon windows stitched (0 for monolithic solves)
 
 	// Solver-effort counters. RootIterations is the simplex iteration
 	// count of the main solve: the root relaxation on the MILP path, the

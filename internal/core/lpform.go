@@ -43,23 +43,26 @@ type lpModel struct {
 // resident at the destination.
 func (in *instance) landEpoch(l, e int) int { return e + in.delta[l] + in.kappa[l] - 1 }
 
-// buildLP constructs the linear program of §4.1 with the Appendix A
-// initialization and termination handling.
-func buildLP(in *instance) *lpModel {
+// lpIndex is the commodity indexing the LP form (§4.1) is stated over:
+// the demanded sources, their per-destination chunk counts, and each
+// source's reachability windows. It is shared between the monolithic
+// model (buildLP) and the rolling-horizon window builder (window.go) so
+// both slice the exact same commodity space.
+type lpIndex struct {
+	sources []int
+	// dem[si][d]: chunks destination d wants from source si.
+	dem [][]float64
+	// earliest[si][n]: epoch windows per source.
+	earliest [][]int
+}
+
+func newLPIndex(in *instance) *lpIndex {
 	t := in.topo
 	d := in.demand
-	K := in.K
-	nL := t.NumLinks()
 	nN := t.NumNodes()
-
-	m := &lpModel{in: in, p: lp.NewProblem(lp.Maximize)}
-	p := m.p
+	ix := &lpIndex{}
 
 	// Sources and per-destination demand counts.
-	srcIdx := make([]int, nN)
-	for n := range srcIdx {
-		srcIdx[n] = -1
-	}
 	for s := 0; s < nN; s++ {
 		var row []float64
 		total := 0.0
@@ -74,39 +77,70 @@ func buildLP(in *instance) *lpModel {
 			}
 		}
 		if total > 0 {
-			srcIdx[s] = len(m.sources)
-			m.sources = append(m.sources, s)
-			m.dem = append(m.dem, row)
+			ix.sources = append(ix.sources, s)
+			ix.dem = append(ix.dem, row)
 		}
 	}
 
 	// Reachability windows per source.
 	hop := in.hopDistances()
-	m.earliest = make([][]int, len(m.sources))
-	for si, s := range m.sources {
+	ix.earliest = make([][]int, len(ix.sources))
+	for si, s := range ix.sources {
 		e := make([]int, nN)
 		for n := range e {
 			if math.IsInf(hop[s][n], 1) {
-				e[n] = K + 1
+				e[n] = in.K + 1
 			} else {
 				e[n] = int(hop[s][n])
 			}
 		}
-		m.earliest[si] = e
+		ix.earliest[si] = e
 	}
+	return ix
+}
 
-	isBuffered := func(si, n int) bool {
-		if t.IsSwitch(topo.NodeID(n)) {
-			return false
-		}
-		if n == m.sources[si] {
-			return true
-		}
-		if in.opt.NoBuffers && m.dem[si][n] == 0 {
-			return false
-		}
+// buffered reports whether node n holds inventory for source si's
+// commodity: switches never do, the source always does, and under
+// NoBuffers only demanders do.
+func (ix *lpIndex) buffered(in *instance, si, n int) bool {
+	if in.topo.IsSwitch(topo.NodeID(n)) {
+		return false
+	}
+	if n == ix.sources[si] {
 		return true
 	}
+	if in.opt.NoBuffers && ix.dem[si][n] == 0 {
+		return false
+	}
+	return true
+}
+
+// lpTailWeights returns the objective's time-discounted tail weights for
+// horizon K: the paper's objective sums cumulative reads weighted
+// 1/(k+1), so consuming at epoch k earns tail[k] = sum_{j>=k} 1/(j+1).
+func lpTailWeights(K int) []float64 {
+	tail := make([]float64, K+1)
+	for k := K - 1; k >= 0; k-- {
+		tail[k] = tail[k+1] + 1/float64(k+1)
+	}
+	return tail
+}
+
+// buildLP constructs the linear program of §4.1 with the Appendix A
+// initialization and termination handling.
+func buildLP(in *instance) *lpModel {
+	t := in.topo
+	K := in.K
+	nL := t.NumLinks()
+	nN := t.NumNodes()
+
+	m := &lpModel{in: in, p: lp.NewProblem(lp.Maximize)}
+	p := m.p
+
+	ix := newLPIndex(in)
+	m.sources, m.dem, m.earliest = ix.sources, ix.dem, ix.earliest
+
+	isBuffered := func(si, n int) bool { return ix.buffered(in, si, n) }
 
 	// Flow variables.
 	m.fvar = make([][][]int32, len(m.sources))
@@ -160,13 +194,8 @@ func buildLP(in *instance) *lpModel {
 		}
 	}
 
-	// Read variables with time-discounted rewards. The paper's objective
-	// sums cumulative reads weighted 1/(k+1); consuming at epoch k earns
-	// the tail weight sum_{j>=k} 1/(j+1).
-	tail := make([]float64, K+1)
-	for k := K - 1; k >= 0; k-- {
-		tail[k] = tail[k+1] + 1/float64(k+1)
-	}
+	// Read variables with time-discounted rewards (see lpTailWeights).
+	tail := lpTailWeights(K)
 	m.rvar = make([][][]int32, len(m.sources))
 	for si, s := range m.sources {
 		m.rvar[si] = make([][]int32, nN)
@@ -595,19 +624,42 @@ func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
 	t := in.topo
 	K := in.K
 
-	// Residual flows.
-	res := make([][][]float64, len(m.sources))
+	// Residual flows and per-pair read rates, densified from the solution
+	// vector; the stitched rolling-horizon path hands peelSchedule the
+	// same arrays accumulated across windows.
+	flows := make([][][]float64, len(m.sources))
+	reads := make([][][]float64, len(m.sources))
 	for si := range m.sources {
-		res[si] = make([][]float64, t.NumLinks())
+		flows[si] = make([][]float64, t.NumLinks())
 		for l := 0; l < t.NumLinks(); l++ {
-			res[si][l] = make([]float64, K)
+			flows[si][l] = make([]float64, K)
 			for k := 0; k < K; k++ {
 				if f := m.fvar[si][l][k]; f != noVar {
-					res[si][l][k] = x[f]
+					flows[si][l][k] = x[f]
+				}
+			}
+		}
+		reads[si] = make([][]float64, t.NumNodes())
+		for dst := 0; dst < t.NumNodes(); dst++ {
+			reads[si][dst] = make([]float64, K)
+			for k := 0; k < K; k++ {
+				if r := m.rvar[si][dst][k]; r != noVar {
+					reads[si][dst][k] = x[r]
 				}
 			}
 		}
 	}
+	return peelSchedule(in, m.sources, m.dem, flows, reads)
+}
+
+// peelSchedule translates a rate allocation — per-source link flows and
+// destination read rates over absolute epochs — into per-chunk
+// fractional paths and a validated schedule. flows is consumed (peeled
+// to residuals) in place; reads is left untouched.
+func peelSchedule(in *instance, sources []int, dem [][]float64, flows, reads [][][]float64) (*schedule.Schedule, error) {
+	t := in.topo
+	K := in.K
+	res := flows
 
 	type hop struct {
 		link  int
@@ -619,7 +671,7 @@ func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
 	// order) and its bottleneck fraction.
 	var peel func(si, node, landBy int, exact bool, want float64) ([]hop, float64)
 	peel = func(si, node, landBy int, exact bool, want float64) ([]hop, float64) {
-		s := m.sources[si]
+		s := sources[si]
 		if node == s {
 			return []hop{}, want
 		}
@@ -654,7 +706,7 @@ func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
 		frac := math.Min(want, res[si][best.l][best.e])
 		up := int(t.Link(topo.LinkID(best.l)).Src)
 		upExact := t.IsSwitch(topo.NodeID(up)) ||
-			(in.opt.NoBuffers && up != s && m.dem[si][up] == 0)
+			(in.opt.NoBuffers && up != s && dem[si][up] == 0)
 		// The upstream node must hold the fraction when the send departs:
 		// forwardable at best.e means landed by best.e-1.
 		path, got := peel(si, up, best.e-1, upExact, frac)
@@ -671,9 +723,9 @@ func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
 
 	var sends []schedule.Send
 	d := in.demand
-	for si, s := range m.sources {
+	for si, s := range sources {
 		for dst := 0; dst < d.NumNodes(); dst++ {
-			if m.dem[si][dst] == 0 {
+			if dem[si][dst] == 0 {
 				continue
 			}
 			chunks := d.DestWantsFromSource(s, dst)
@@ -683,11 +735,7 @@ func (m *lpModel) decompose(x []float64) (*schedule.Schedule, error) {
 			}
 			cursor := 0
 			for k := 0; k < K; k++ {
-				r := m.rvar[si][dst][k]
-				if r == noVar {
-					continue
-				}
-				need := x[r]
+				need := reads[si][dst][k]
 				for need > flowTol {
 					path, got := peel(si, dst, k, false, need)
 					if path == nil || got <= flowTol {

@@ -423,6 +423,31 @@ func (pl *Planner) Plan(ctx context.Context, req Request) (*Plan, error) {
 			pl.recordIncumbent(st, req, incOpt, inc)
 		}
 		return &Plan{Result: res, Solver: SolverAStar}, err
+	case SolverHorizon:
+		fn := registeredSolver(SolverHorizon)
+		if fn == nil {
+			return nil, errors.New("core: no rolling-horizon solver registered (import teccl/internal/horizon)")
+		}
+		// The hooks hand the driver the session's fingerprint-keyed basis
+		// store: each window's basis recorded by one request warm-starts
+		// the identical window of the next.
+		hooks := &SessionHooks{LookupBasis: st.warmBases.lookup, RecordBasis: st.warmBases.record}
+		res, err := fn(ctx, st.t, req.Demand, opt, hooks)
+		if res == nil {
+			return nil, err
+		}
+		pl.mu.Lock()
+		if res.WarmStarted {
+			pl.stats.WarmStartHits++
+		}
+		pl.mu.Unlock()
+		if err == nil {
+			pl.observeCold(res)
+			// No incremental payload: Replan degrades to a cold horizon
+			// re-solve of the recorded request.
+			pl.recordIncumbent(st, req, incOpt, incumbentState{})
+		}
+		return &Plan{Result: res, Solver: SolverHorizon, WarmStart: res.WarmStarted}, err
 	default:
 		return nil, fmt.Errorf("core: policy chose unknown solver %v", solver)
 	}
@@ -472,6 +497,13 @@ func (pl *Planner) choose(st *sessionState, d *collective.Demand, opt Options) S
 	s := p.Choose(in)
 	if s == SolverAuto {
 		s = DefaultPolicy{}.Choose(in)
+	}
+	// A policy may route to the rolling-horizon solver without the
+	// implementation linked in; degrade to the monolithic LP rather than
+	// failing the request. Explicitly forced SolverHorizon requests skip
+	// choose() and do fail, so tests see the missing registration.
+	if s == SolverHorizon && registeredSolver(SolverHorizon) == nil {
+		s = SolverLP
 	}
 	return s
 }

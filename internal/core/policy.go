@@ -24,6 +24,11 @@ const (
 	SolverMILP
 	// SolverAStar is the round-partitioned approximation (§4.2).
 	SolverAStar
+	// SolverHorizon is the rolling-horizon LP decomposition: the §4.1
+	// formulation sliced into overlapping epoch windows solved in
+	// sequence with warm-chained bases (internal/horizon). Registered
+	// dynamically; see RegisterSolver.
+	SolverHorizon
 )
 
 func (s Solver) String() string {
@@ -36,6 +41,8 @@ func (s Solver) String() string {
 		return "milp"
 	case SolverAStar:
 		return "astar"
+	case SolverHorizon:
+		return "horizon"
 	}
 	return "unknown"
 }
@@ -111,9 +118,10 @@ func (f forcePolicy) Choose(PolicyInput) Solver { return Solver(f) }
 // Force policies pin a formulation for every request of a session — the
 // Planner equivalent of calling SolveLP/SolveMILP/SolveAStar directly.
 var (
-	ForceLP    Policy = forcePolicy(SolverLP)
-	ForceMILP  Policy = forcePolicy(SolverMILP)
-	ForceAStar Policy = forcePolicy(SolverAStar)
+	ForceLP      Policy = forcePolicy(SolverLP)
+	ForceMILP    Policy = forcePolicy(SolverMILP)
+	ForceAStar   Policy = forcePolicy(SolverAStar)
+	ForceHorizon Policy = forcePolicy(SolverHorizon)
 )
 
 // CostModelPolicy sizes the time-expanded MILP before committing to it:
@@ -125,19 +133,35 @@ type CostModelPolicy struct {
 	// MaxMILPCells is the largest demands×links×epochs product routed
 	// to the MILP; 0 means 1<<17 (a laptop-scale exact-solve budget).
 	MaxMILPCells int
+	// HorizonCells is the demands×links×epochs product above which
+	// LP-eligible requests are routed to the rolling-horizon
+	// decomposition instead of one monolithic simplex; 0 means 1<<17
+	// (roughly where the monolithic LP's solve time leaves interactive
+	// range). Negative disables horizon routing. The Planner falls back
+	// to SolverLP when no horizon implementation is linked in.
+	HorizonCells int
 }
 
 // Choose implements Policy.
 func (p CostModelPolicy) Choose(in PolicyInput) Solver {
+	cells := func() int {
+		return in.Demand.Count() * in.Topology.NumLinks() * in.EstimateEpochs()
+	}
 	if !in.Multicast {
+		hlimit := p.HorizonCells
+		if hlimit == 0 {
+			hlimit = 1 << 17
+		}
+		if hlimit > 0 && cells() > hlimit {
+			return SolverHorizon
+		}
 		return SolverLP
 	}
 	limit := p.MaxMILPCells
 	if limit == 0 {
 		limit = 1 << 17
 	}
-	cells := in.Demand.Count() * in.Topology.NumLinks() * in.EstimateEpochs()
-	if cells <= limit {
+	if cells() <= limit {
 		return SolverMILP
 	}
 	return SolverAStar

@@ -14,14 +14,21 @@ import (
 
 // Progress is one observability sample from a running solve.
 type Progress struct {
-	// Solver identifies the formulation: "lp", "milp", or "astar".
+	// Solver identifies the formulation: "lp", "milp", "astar", or
+	// "horizon".
 	Solver string
 	// Phase is where the solve currently is: "model" (instance built,
 	// simplex not yet started), "simplex" (LP solved), "branch"
 	// (branch-and-bound node evaluated), "round" (an A* round is about
 	// to solve), or "makespan" (a MinimizeMakespan re-solve finished).
+	// The rolling-horizon solver adds "em" (epoch multiplier chosen),
+	// "window" (one window solved), "stitch" (stitched schedule
+	// validated), "certify" (monolithic certification re-solve
+	// finished), and "fallback" (decomposition abandoned for one
+	// monolithic solve).
 	Phase string
-	// Round is the 1-based A* round, 0 outside the A* solver.
+	// Round is the 1-based A* round or rolling-horizon window index, 0
+	// elsewhere.
 	Round int
 	// Nodes is the number of branch-and-bound nodes evaluated so far.
 	Nodes int

@@ -1,0 +1,595 @@
+package core
+
+// window.go is the rolling-horizon half of the formulation split: the
+// same §4.1 time-expanded LP, built over an epoch window [lo, hi)
+// instead of the full horizon, with the committed prefix folded into
+// boundary conditions. internal/horizon drives it; core owns it so the
+// window model shares the exact variable naming, row ordering, and
+// commodity indexing of buildLP — a single window spanning the full
+// horizon produces a bit-identical problem (same fingerprint), which is
+// what lets the session basis store and the name-transfer warm path
+// treat window models like any other.
+
+import (
+	"fmt"
+	"time"
+
+	"teccl/internal/collective"
+	"teccl/internal/lp"
+	"teccl/internal/schedule"
+	"teccl/internal/topo"
+)
+
+// WindowInstance is a preprocessed LP-form instance exposed to the
+// rolling-horizon driver: the per-destination expanded demand, the
+// derived epoch grid, and the shared commodity index. Construction
+// mirrors prepLP (multicast expansion, auto-horizon estimate, greedy
+// tightening) so the windowed and monolithic paths agree on K.
+type WindowInstance struct {
+	t    *topo.Topology
+	d    *collective.Demand
+	opt  Options
+	in   *instance
+	ix   *lpIndex
+	tail []float64
+}
+
+// NewWindowInstance preprocesses (t, d, opt) exactly like the monolithic
+// LP path: multicast demands are expanded per destination, an auto
+// horizon is estimated and tightened by the greedy bound.
+func NewWindowInstance(t *topo.Topology, d *collective.Demand, opt Options) *WindowInstance {
+	if d.HasMulticast() {
+		d = d.ExpandPerDestination()
+	}
+	in := newInstance(t, d, opt)
+	wi := &WindowInstance{t: t, d: d, opt: opt, in: in}
+	if len(in.comms) == 0 {
+		return wi
+	}
+	if opt.Epochs == 0 {
+		if bound, _ := lpGreedyBound(in); bound >= 0 && bound+1 < in.K {
+			opt2 := opt
+			opt2.Epochs = bound + 1
+			in = newInstance(t, d, opt2)
+			wi.in = in
+		}
+	}
+	wi.ix = newLPIndex(in)
+	wi.tail = lpTailWeights(in.K)
+	return wi
+}
+
+// Empty reports whether the demand has no commodities (nothing to plan).
+func (wi *WindowInstance) Empty() bool { return wi.ix == nil }
+
+// EmptyResult is the trivial result for an empty instance.
+func (wi *WindowInstance) EmptyResult(start time.Time) *Result {
+	r := emptyResult(wi.in, start)
+	r.Schedule.AllowCopy = false
+	return r
+}
+
+// Epochs is the current horizon K in epochs.
+func (wi *WindowInstance) Epochs() int { return wi.in.K }
+
+// Tau is the derived epoch duration in seconds.
+func (wi *WindowInstance) Tau() float64 { return wi.in.tau }
+
+// SetEpochs rebuilds the instance over a longer horizon (same tau), used
+// when the final window proves infeasible and the driver extends K.
+func (wi *WindowInstance) SetEpochs(K int) {
+	opt2 := wi.opt
+	opt2.Epochs = K
+	opt2.Tau = wi.in.tau
+	wi.in = newInstance(wi.t, wi.d, opt2)
+	wi.ix = newLPIndex(wi.in)
+	wi.tail = lpTailWeights(wi.in.K)
+}
+
+// Topo is the instance's topology.
+func (wi *WindowInstance) Topo() *topo.Topology { return wi.t }
+
+// NumSources is the number of demanded-source commodities.
+func (wi *WindowInstance) NumSources() int { return len(wi.ix.sources) }
+
+// Source is the node ID of commodity si.
+func (wi *WindowInstance) Source(si int) int { return wi.ix.sources[si] }
+
+// Dem is the chunk count destination dst wants from commodity si.
+func (wi *WindowInstance) Dem(si, dst int) float64 {
+	if wi.ix.dem[si] == nil {
+		return 0
+	}
+	return wi.ix.dem[si][dst]
+}
+
+// Buffered reports whether node n holds inventory for commodity si.
+func (wi *WindowInstance) Buffered(si, n int) bool { return wi.ix.buffered(wi.in, si, n) }
+
+// LandEpoch is the epoch by whose end a send at epoch e on link l is
+// resident at the destination.
+func (wi *WindowInstance) LandEpoch(l, e int) int { return wi.in.landEpoch(l, e) }
+
+// MaxLinkSpan is the largest per-link delta+kappa: the number of epochs
+// a single send can stay in flight. The driver sizes window overlaps
+// from it so no committed send's landing falls outside its window.
+func (wi *WindowInstance) MaxLinkSpan() int {
+	m := 1
+	for l := range wi.in.delta {
+		if s := wi.in.delta[l] + wi.in.kappa[l]; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Objective evaluates the LP objective (priority-weighted discounted
+// reads) of a stitched read allocation at this instance's horizon.
+func (wi *WindowInstance) Objective(reads [][][]float64) float64 {
+	return wi.ObjectiveAt(reads, wi.tail)
+}
+
+// ObjectiveAt evaluates the objective under a caller-supplied tail-weight
+// vector (see LPTailWeights); reads at epochs past the vector's horizon
+// contribute nothing. The certify pass uses it to score the stitched
+// schedule at the monolithic solve's horizon for a like-for-like gap.
+func (wi *WindowInstance) ObjectiveAt(reads [][][]float64, tail []float64) float64 {
+	obj := 0.0
+	for si, s := range wi.ix.sources {
+		for dst := range reads[si] {
+			if wi.Dem(si, dst) == 0 {
+				continue
+			}
+			prio := 1.0
+			if wi.opt.Priority != nil {
+				if cs := wi.in.demand.DestWantsFromSource(s, dst); len(cs) > 0 {
+					prio = wi.opt.priorityOf(s, cs[0], dst)
+				}
+			}
+			for k, r := range reads[si][dst] {
+				if r <= 0 || k >= len(tail)-1 {
+					continue
+				}
+				obj += prio * tail[k] * r
+			}
+		}
+	}
+	return obj
+}
+
+// LPTailWeights exposes the LP objective's discounted tail weights for an
+// arbitrary horizon K: consuming at epoch k earns sum_{j>=k} 1/(j+1).
+func LPTailWeights(K int) []float64 { return lpTailWeights(K) }
+
+// Decompose translates stitched full-horizon flow and read rates into a
+// validated per-chunk schedule, via the same peeling pass the monolithic
+// decompose uses. flows is consumed in place.
+func (wi *WindowInstance) Decompose(flows, reads [][][]float64) (*schedule.Schedule, error) {
+	return peelSchedule(wi.in, wi.ix.sources, wi.ix.dem, flows, reads)
+}
+
+// Boundary carries the committed prefix's state into a window solve.
+// All quantities are in chunks, indexed over absolute epochs.
+type Boundary struct {
+	// Inv[si][n]: inventory of commodity si resident (and not yet
+	// consumed or departed) at buffered node n when the window opens —
+	// the pre-departure convention of the Appendix A init row, so the
+	// boundary row "b[lo] + out(lo) = Inv" degenerates to exactly that
+	// row at lo = 0.
+	Inv [][]float64
+	// Arr[si][n][k]: committed sends still in flight at the window
+	// boundary, landing at buffered node n during epoch k >= lo. May be
+	// nil (no in-flight state).
+	Arr [][][]float64
+	// CapUsed[l][k]: committed flow already occupying link l at epoch k;
+	// subtracted from the window's sliding capacity budgets. May be nil.
+	CapUsed [][]float64
+	// Rem[si][dst]: demand not yet consumed by committed reads.
+	Rem [][]float64
+}
+
+func (bd *Boundary) arrAt(si, n, k int) float64 {
+	if bd.Arr == nil {
+		return 0
+	}
+	return bd.Arr[si][n][k]
+}
+
+func (bd *Boundary) capUsedAt(l, k int) float64 {
+	if bd.CapUsed == nil {
+		return 0
+	}
+	return bd.CapUsed[l][k]
+}
+
+// InitialBoundary is the epoch-0 boundary: full supply at each source,
+// nothing in flight, full demand remaining.
+func (wi *WindowInstance) InitialBoundary() *Boundary {
+	nN := wi.t.NumNodes()
+	bd := &Boundary{
+		Inv: make([][]float64, wi.NumSources()),
+		Rem: make([][]float64, wi.NumSources()),
+	}
+	for si, s := range wi.ix.sources {
+		bd.Inv[si] = make([]float64, nN)
+		bd.Rem[si] = append([]float64(nil), wi.ix.dem[si]...)
+		supply := 0.0
+		for dst := 0; dst < nN; dst++ {
+			supply += wi.ix.dem[si][dst]
+		}
+		bd.Inv[si][s] = supply
+	}
+	return bd
+}
+
+// WindowLP is one window's built problem plus the variable indexes
+// needed to extract its solution.
+type WindowLP struct {
+	P     *lp.Problem
+	Lo    int // first epoch in the window
+	Hi    int // one past the last epoch in the window
+	Final bool
+
+	wi   *WindowInstance
+	fvar [][][]int32
+	bvar [][][]int32
+	rvar [][][]int32
+}
+
+const remTol = 1e-9
+
+// BuildWindow constructs the window LP over epochs [lo, hi): the same
+// variables and rows as buildLP restricted to the window, with three
+// boundary adaptations — inventory rows pin b[lo]+out(lo) to the carried
+// inventory, conservation rows absorb committed in-flight arrivals on
+// their right-hand side, and capacity budgets shrink by committed usage.
+// Window flows are self-contained (they land by hi-1). Destination
+// totals are <= remaining demand mid-stream and == remaining demand in
+// the final window. With lo=0, hi=K, final=true and the initial
+// boundary, the construction reduces term for term to buildLP.
+func (wi *WindowInstance) BuildWindow(lo, hi int, final bool, bd *Boundary) (*WindowLP, error) {
+	in, ix := wi.in, wi.ix
+	t := in.topo
+	K := in.K
+	if hi > K {
+		hi = K
+	}
+	if lo < 0 || lo >= hi {
+		return nil, fmt.Errorf("core: window [%d,%d) out of range (K=%d)", lo, hi, K)
+	}
+	nL := t.NumLinks()
+	nN := t.NumNodes()
+
+	w := &WindowLP{P: lp.NewProblem(lp.Maximize), Lo: lo, Hi: hi, Final: final, wi: wi}
+	p := w.P
+
+	isBuffered := func(si, n int) bool { return ix.buffered(in, si, n) }
+
+	// Flow variables: buildLP's construction restricted to departures in
+	// [lo, hi) that also land inside the window.
+	w.fvar = make([][][]int32, len(ix.sources))
+	for si, s := range ix.sources {
+		w.fvar[si] = make([][]int32, nL)
+		for l := 0; l < nL; l++ {
+			col := make([]int32, K)
+			for k := range col {
+				col[k] = noVar
+			}
+			w.fvar[si][l] = col
+			if t.LinkDown(topo.LinkID(l)) {
+				continue
+			}
+			lk := t.Link(topo.LinkID(l))
+			for k := lo; k < hi; k++ {
+				if ix.earliest[si][lk.Src] > k {
+					continue
+				}
+				if in.landEpoch(l, k) > hi-1 {
+					continue
+				}
+				if int(lk.Dst) == s {
+					continue
+				}
+				col[k] = int32(p.AddVar(fmt.Sprintf("f[s%d,l%d,k%d]", s, l, k), 0, lp.Inf, 0))
+			}
+		}
+	}
+
+	// Buffer variables over the window's epoch boundaries [lo..hi].
+	w.bvar = make([][][]int32, len(ix.sources))
+	for si, s := range ix.sources {
+		w.bvar[si] = make([][]int32, nN)
+		for n := 0; n < nN; n++ {
+			col := make([]int32, K+1)
+			for k := range col {
+				col[k] = noVar
+			}
+			w.bvar[si][n] = col
+			if !isBuffered(si, n) {
+				continue
+			}
+			blo := ix.earliest[si][n]
+			if n == s {
+				blo = 0
+			}
+			if blo < lo {
+				blo = lo
+			}
+			for k := blo; k <= hi; k++ {
+				col[k] = int32(p.AddVar(fmt.Sprintf("b[s%d,n%d,k%d]", s, n, k), 0, lp.Inf, 0))
+			}
+		}
+	}
+
+	// Read variables, bounded by the remaining (uncommitted) demand and
+	// weighted by the full-horizon tails so window objectives are
+	// comparable slices of the monolithic objective.
+	tail := wi.tail
+	w.rvar = make([][][]int32, len(ix.sources))
+	for si, s := range ix.sources {
+		w.rvar[si] = make([][]int32, nN)
+		for dst := 0; dst < nN; dst++ {
+			col := make([]int32, K)
+			for k := range col {
+				col[k] = noVar
+			}
+			w.rvar[si][dst] = col
+			if ix.dem[si][dst] == 0 || bd.Rem[si][dst] <= remTol {
+				continue
+			}
+			rlo := ix.earliest[si][dst] - 1
+			if rlo < 0 {
+				rlo = 0
+			}
+			if rlo < lo {
+				rlo = lo
+			}
+			prio := 1.0
+			if in.opt.Priority != nil {
+				if cs := in.demand.DestWantsFromSource(s, dst); len(cs) > 0 {
+					prio = in.opt.priorityOf(s, cs[0], dst)
+				}
+			}
+			for k := rlo; k < hi; k++ {
+				col[k] = int32(p.AddVar(fmt.Sprintf("r[s%d,d%d,k%d]", s, dst, k), 0, bd.Rem[si][dst], prio*tail[k]))
+			}
+		}
+	}
+
+	wfAt := func(si, l, k int) int32 {
+		if k < lo || k >= hi {
+			return noVar
+		}
+		return w.fvar[si][l][k]
+	}
+
+	// Boundary inventory rows: b[lo] plus epoch-lo departures equal the
+	// carried-in inventory (the windowed init row; at lo=0 only sources
+	// have a b[0] variable and Inv equals supply, reproducing Appendix A
+	// exactly).
+	for si := range ix.sources {
+		for n := 0; n < nN; n++ {
+			b := w.bvar[si][n][lo]
+			inv := bd.Inv[si][n]
+			if b == noVar {
+				if inv > 1e-6 {
+					return nil, fmt.Errorf("core: window [%d,%d): %.6g chunks of source %d stranded at bufferless node %d",
+						lo, hi, inv, ix.sources[si], n)
+				}
+				continue
+			}
+			terms := []lp.Term{{Var: lp.VarID(b), Coeff: 1}}
+			for _, lid := range t.Out(topo.NodeID(n)) {
+				if f := w.fvar[si][int(lid)][lo]; f != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: 1})
+				}
+			}
+			p.AddRow(terms, lp.EQ, inv)
+		}
+	}
+
+	// Conservation for buffered nodes, with committed in-flight arrivals
+	// landing during epoch k credited on the right-hand side:
+	//   B_k + in(k) + Arr(k) = B_{k+1} + R_k + out(k+1)
+	for si := range ix.sources {
+		for n := 0; n < nN; n++ {
+			if !isBuffered(si, n) {
+				continue
+			}
+			for k := lo; k < hi; k++ {
+				var terms []lp.Term
+				if b := w.bvar[si][n][k]; b != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(b), Coeff: 1})
+				}
+				for _, lid := range t.In(topo.NodeID(n)) {
+					l := int(lid)
+					if f := wfAt(si, l, k-in.delta[l]-in.kappa[l]+1); f != noVar {
+						terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+				if b := w.bvar[si][n][k+1]; b != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(b), Coeff: -1})
+				}
+				if r := w.rvar[si][n][k]; r != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(r), Coeff: -1})
+				}
+				if k+1 < hi {
+					for _, lid := range t.Out(topo.NodeID(n)) {
+						if f := w.fvar[si][int(lid)][k+1]; f != noVar {
+							terms = append(terms, lp.Term{Var: lp.VarID(f), Coeff: -1})
+						}
+					}
+				}
+				rhs := 0.0
+				if arr := bd.arrAt(si, n, k); arr != 0 {
+					rhs = -arr // avoid -0.0: fingerprints hash bit patterns
+				}
+				if len(terms) == 0 {
+					if rhs != 0 {
+						return nil, fmt.Errorf("core: window [%d,%d): committed arrival at (source %d, node %d, epoch %d) has no receiving variables",
+							lo, hi, ix.sources[si], n, k)
+					}
+					continue
+				}
+				p.AddRow(terms, lp.EQ, rhs)
+			}
+		}
+	}
+
+	// Bufferless nodes: outgoing flow at k limited by window arrivals
+	// forwardable exactly at k. Committed flows through a bufferless node
+	// are closed under forwarding before they are committed (see
+	// internal/horizon), so they never appear on either side here.
+	for si := range ix.sources {
+		for n := 0; n < nN; n++ {
+			if isBuffered(si, n) {
+				continue
+			}
+			for k := lo; k < hi; k++ {
+				var out []lp.Term
+				for _, lid := range t.Out(topo.NodeID(n)) {
+					if f := w.fvar[si][int(lid)][k]; f != noVar {
+						out = append(out, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+				var inb []lp.Term
+				for _, lid := range t.In(topo.NodeID(n)) {
+					l := int(lid)
+					if f := wfAt(si, l, k-in.delta[l]-in.kappa[l]); f != noVar {
+						inb = append(inb, lp.Term{Var: lp.VarID(f), Coeff: -1})
+					}
+				}
+				if len(out) == 0 {
+					continue
+				}
+				if len(inb) == 0 {
+					for _, tm := range out {
+						p.SetBounds(tm.Var, 0, 0)
+					}
+					continue
+				}
+				p.AddRow(append(out, inb...), lp.LE, 0)
+			}
+		}
+	}
+
+	// Destination totals: the final window must consume exactly the
+	// remaining demand; earlier windows may consume at most that much
+	// (the rest arrives in later windows).
+	for si := range ix.sources {
+		for dst := 0; dst < nN; dst++ {
+			if ix.dem[si][dst] == 0 || bd.Rem[si][dst] <= remTol {
+				continue
+			}
+			var terms []lp.Term
+			for k := lo; k < hi; k++ {
+				if r := w.rvar[si][dst][k]; r != noVar {
+					terms = append(terms, lp.Term{Var: lp.VarID(r), Coeff: 1})
+				}
+			}
+			if final {
+				// Like buildLP, an empty row (unreachable pair) yields an
+				// infeasible problem for the solver to report.
+				p.AddRow(terms, lp.EQ, bd.Rem[si][dst])
+			} else if len(terms) > 0 {
+				p.AddRow(terms, lp.LE, bd.Rem[si][dst])
+			}
+		}
+	}
+
+	// Capacity, windowed per Appendix F, with committed usage inside each
+	// sliding span pre-charged against the budget.
+	for l := 0; l < nL; l++ {
+		kap := in.kappa[l]
+		for k := lo; k < hi; k++ {
+			var row []lp.Term
+			budget := 0.0
+			for kk := k - kap + 1; kk <= k; kk++ {
+				se := kk
+				if se < 0 {
+					se = 0
+				}
+				budget += in.capChunks[l] * in.opt.capScale(topo.LinkID(l), se)
+				if kk < 0 {
+					continue
+				}
+				budget -= bd.capUsedAt(l, kk)
+				for si := range ix.sources {
+					if f := wfAt(si, l, kk); f != noVar {
+						row = append(row, lp.Term{Var: lp.VarID(f), Coeff: 1})
+					}
+				}
+			}
+			if len(row) == 0 {
+				continue
+			}
+			if budget < 0 {
+				budget = 0
+			}
+			p.AddRow(row, lp.LE, budget)
+		}
+	}
+
+	// Buffer limits (Appendix B) over the window's epoch boundaries.
+	if in.opt.BufferLimitChunks > 0 {
+		blo := lo
+		if blo < 1 {
+			blo = 1
+		}
+		for n := 0; n < nN; n++ {
+			if t.IsSwitch(topo.NodeID(n)) {
+				continue
+			}
+			for k := blo; k <= hi; k++ {
+				var row []lp.Term
+				for si, s := range ix.sources {
+					if s == n {
+						continue
+					}
+					if b := w.bvar[si][n][k]; b != noVar {
+						row = append(row, lp.Term{Var: lp.VarID(b), Coeff: 1})
+					}
+				}
+				if len(row) == 0 {
+					continue
+				}
+				p.AddRow(row, lp.LE, float64(in.opt.BufferLimitChunks))
+			}
+		}
+	}
+
+	return w, nil
+}
+
+// Flows densifies a window solution into full-horizon flow and read
+// arrays ([si][link][epoch] and [si][dst][epoch]); entries outside
+// [Lo, Hi) are zero.
+func (w *WindowLP) Flows(x []float64) (flows, reads [][][]float64) {
+	wi := w.wi
+	K := wi.in.K
+	nL := wi.t.NumLinks()
+	nN := wi.t.NumNodes()
+	flows = make([][][]float64, len(wi.ix.sources))
+	reads = make([][][]float64, len(wi.ix.sources))
+	for si := range wi.ix.sources {
+		flows[si] = make([][]float64, nL)
+		for l := 0; l < nL; l++ {
+			flows[si][l] = make([]float64, K)
+			for k := w.Lo; k < w.Hi; k++ {
+				if f := w.fvar[si][l][k]; f != noVar {
+					flows[si][l][k] = x[f]
+				}
+			}
+		}
+		reads[si] = make([][]float64, nN)
+		for dst := 0; dst < nN; dst++ {
+			reads[si][dst] = make([]float64, K)
+			for k := w.Lo; k < w.Hi; k++ {
+				if r := w.rvar[si][dst][k]; r != noVar {
+					reads[si][dst][k] = x[r]
+				}
+			}
+		}
+	}
+	return flows, reads
+}

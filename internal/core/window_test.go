@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/topo"
+)
+
+// gpuIDs lists a topology's GPUs as ints for the collective builders.
+func gpuIDs(t *topo.Topology) []int {
+	var out []int
+	for _, g := range t.GPUs() {
+		out = append(out, int(g))
+	}
+	return out
+}
+
+// TestFullWindowMatchesMonolithic pins the formulation-split invariant
+// the rolling-horizon warm path depends on: a single window spanning the
+// whole horizon builds the exact problem buildLP builds — same
+// variables, names, bounds, rows, and objective, hence the same
+// fingerprint — so window bases and monolithic bases live in one
+// namespace.
+func TestFullWindowMatchesMonolithic(t *testing.T) {
+	cases := []struct {
+		name string
+		topo *topo.Topology
+		dem  func(*topo.Topology) *collective.Demand
+		opt  Options
+	}{
+		{
+			name: "dgx1-alltoall-fastest",
+			topo: topo.DGX1(),
+			dem: func(tp *topo.Topology) *collective.Demand {
+				return collective.AllToAll(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+			},
+		},
+		{
+			name: "ndv2mini-alltoall-slowest",
+			topo: topo.NDv2Mini(2),
+			dem: func(tp *topo.Topology) *collective.Demand {
+				return collective.AllToAll(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+			},
+			opt: Options{EpochMode: SlowestLink},
+		},
+		{
+			name: "dgx1-allgather-bufferlimit",
+			topo: topo.DGX1(),
+			dem: func(tp *topo.Topology) *collective.Demand {
+				return collective.AllGather(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+			},
+			opt: Options{BufferLimitChunks: 4},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := tc.dem(tc.topo)
+			wi := NewWindowInstance(tc.topo, d, tc.opt)
+			if wi.Empty() {
+				t.Fatal("unexpected empty instance")
+			}
+			w, err := wi.BuildWindow(0, wi.Epochs(), true, wi.InitialBoundary())
+			if err != nil {
+				t.Fatalf("BuildWindow: %v", err)
+			}
+
+			// The monolithic model over the same preprocessed instance.
+			pr := prepLP(tc.topo, d, tc.opt)
+			if pr.m == nil {
+				t.Fatal("prepLP returned no model")
+			}
+			if got, want := wi.Epochs(), pr.in.K; got != want {
+				t.Fatalf("window instance K=%d, monolithic K=%d", got, want)
+			}
+			if !w.P.EqualTo(pr.m.p) {
+				t.Errorf("full-window problem differs from monolithic buildLP")
+			}
+			if got, want := w.P.Fingerprint(), pr.m.p.Fingerprint(); got != want {
+				t.Errorf("fingerprint mismatch: window %x, monolithic %x", got, want)
+			}
+		})
+	}
+}

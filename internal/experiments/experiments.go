@@ -252,6 +252,7 @@ func All(short bool) []*Table {
 		WorkersSweep(short),
 		Churn(short),
 		ChurnStream(short),
+		Horizon(short),
 		LoadGen(short),
 	}
 }
@@ -308,6 +309,8 @@ func byID(id string, short bool) *Table {
 		return Churn(short)
 	case "churnstream":
 		return ChurnStream(short)
+	case "horizon":
+		return Horizon(short)
 	case "loadgen":
 		return LoadGen(short)
 	}
@@ -318,5 +321,5 @@ func byID(id string, short bool) *Table {
 func IDs() []string {
 	return []string{"fig2", "table3", "fig4and5", "fig6", "table4",
 		"fig7", "fig8", "fig9", "astar", "table7", "table8", "workers", "churn",
-		"churnstream", "loadgen"}
+		"churnstream", "horizon", "loadgen"}
 }

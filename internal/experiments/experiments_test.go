@@ -132,3 +132,53 @@ func TestChurnHeadlineRatio(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadGenP99Budget(t *testing.T) {
+	tab := ByID("loadgen", true)
+	if tab == nil {
+		t.Fatal("loadgen experiment missing")
+	}
+	if tab.Metrics["failed"] > 0 {
+		t.Fatalf("%v requests failed: %s", tab.Metrics["failed"], tab.Notes)
+	}
+	if got := tab.Metrics["p99_budget_ms"]; got != P99BudgetMs {
+		t.Fatalf("budget metric %v, want %v (benchtables gates CI on this key)", got, P99BudgetMs)
+	}
+	p99 := tab.Metrics["p99_ms"]
+	if !(p99 > 0) {
+		t.Fatalf("p99 not measured: %v", p99)
+	}
+	if raceEnabled {
+		t.Logf("race detector on; skipping the %dms budget check (p99 %.2fms)", P99BudgetMs, p99)
+		return
+	}
+	// The CI regression gate, asserted here too so a serving-path
+	// regression fails `go test` as well as the bench-smoke job.
+	if p99 > P99BudgetMs {
+		t.Fatalf("p99 %.2fms over the %dms budget", p99, P99BudgetMs)
+	}
+}
+
+func TestHorizonExperimentShort(t *testing.T) {
+	tab := ByID("horizon", true)
+	if tab == nil {
+		t.Fatal("horizon experiment missing")
+	}
+	// Two instances in short mode, a horizon row and a monolithic row each.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		for i, cell := range row {
+			if cell == "?" || cell == "X" {
+				t.Fatalf("row %v: column %d unsolved", row, i)
+			}
+		}
+	}
+	if w := tab.Metrics["horizon_windows"]; w < 2 {
+		t.Fatalf("last instance used %v windows, want >= 2 (decomposition not exercised)", w)
+	}
+	if gap := tab.Metrics["gap_pct"]; gap > 5 {
+		t.Fatalf("objective gap %.2f%% over the 5%% acceptance bound", gap)
+	}
+}

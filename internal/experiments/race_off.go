@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; latency
+// assertions are skipped under -race, where instrumentation overhead
+// makes wall-clock budgets meaningless.
+const raceEnabled = false

@@ -1,0 +1,165 @@
+package horizon
+
+// Planner-path tests: the rolling-horizon solver reached through a
+// session (core.Planner) rather than the one-shot Solve wrapper. The
+// session's fingerprint-keyed basis store is what turns a repeated
+// request into a chain of exact warm starts, and the policy routing is
+// what sends large LP-eligible requests here without the caller asking.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"teccl/internal/collective"
+	"teccl/internal/core"
+	"teccl/internal/topo"
+)
+
+// TestPlannerHorizonWarmStarts pins the session warm-basis contract: a
+// second identical ForceHorizon request must warm-start its first
+// window from the basis the first request recorded (exact fingerprint
+// hits, not name-matched projections).
+func TestPlannerHorizonWarmStarts(t *testing.T) {
+	tp := topo.DGX1()
+	pl := core.NewPlanner(tp, core.PlannerOptions{Policy: core.ForceHorizon})
+	defer pl.Close()
+	d := collective.AllToAll(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+	opt := core.Options{HorizonWindow: 8, HorizonOverlap: 7}
+
+	first, err := pl.Plan(context.Background(), core.Request{Demand: d.Clone(), Options: &opt})
+	if err != nil {
+		t.Fatalf("first plan: %v", err)
+	}
+	if first.Solver != core.SolverHorizon {
+		t.Fatalf("first plan solved by %v, want horizon", first.Solver)
+	}
+	if first.WarmStart {
+		t.Error("first plan claims a warm start on an empty session")
+	}
+	if first.Windows < 2 {
+		t.Fatalf("expected a multi-window solve, got %d windows", first.Windows)
+	}
+
+	second, err := pl.Plan(context.Background(), core.Request{Demand: d.Clone(), Options: &opt})
+	if err != nil {
+		t.Fatalf("second plan: %v", err)
+	}
+	if !second.WarmStart {
+		t.Error("second identical plan did not warm-start")
+	}
+	if second.Schedule.FinishEpoch() != first.Schedule.FinishEpoch() {
+		t.Errorf("finish epoch changed across identical requests: %d then %d",
+			first.Schedule.FinishEpoch(), second.Schedule.FinishEpoch())
+	}
+
+	st := pl.Stats()
+	if st.WarmStartHits == 0 {
+		t.Error("session counted no warm-start hits")
+	}
+	// Every window of the second solve should have hit the fingerprint
+	// store exactly (same demand, same windows, same committed state).
+	if st.ExactBasisHits < first.Windows {
+		t.Errorf("exact basis hits %d < %d windows of the repeat solve",
+			st.ExactBasisHits, first.Windows)
+	}
+}
+
+// TestPlannerHorizonConcurrent hammers one session with concurrent
+// identical horizon requests; under -race this pins the driver's use of
+// the shared SessionHooks basis store as data-race-free, and every
+// result must still validate and agree on the finish epoch.
+func TestPlannerHorizonConcurrent(t *testing.T) {
+	tp := topo.DGX1()
+	pl := core.NewPlanner(tp, core.PlannerOptions{Policy: core.ForceHorizon})
+	defer pl.Close()
+	d := collective.AllToAll(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+	opt := core.Options{HorizonWindow: 8, HorizonOverlap: 7}
+
+	const workers = 4
+	finish := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := pl.Plan(context.Background(), core.Request{Demand: d.Clone(), Options: &opt})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			if err := p.Schedule.Validate(); err != nil {
+				errs[w] = err
+				return
+			}
+			finish[w] = p.Schedule.FinishEpoch()
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if finish[w] != finish[0] {
+			t.Errorf("worker %d finished at epoch %d, worker 0 at %d", w, finish[w], finish[0])
+		}
+	}
+}
+
+// TestCostModelPolicyHorizonRouting exercises the HorizonCells knob with
+// the solver actually registered (this package's init): above the cell
+// threshold an LP-eligible request routes to the horizon decomposition,
+// a negative threshold disables the routing, and multicast requests are
+// never routed here.
+func TestCostModelPolicyHorizonRouting(t *testing.T) {
+	tp := topo.DGX1()
+	atoa := collective.AllToAll(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+	ag := collective.AllGather(tp.NumNodes(), gpuIDs(tp), 1, 25e3)
+	in := policyInput(tp, atoa)
+
+	if got := (core.CostModelPolicy{HorizonCells: 1}).Choose(in); got != core.SolverHorizon {
+		t.Errorf("one-cell threshold: got %v, want horizon", got)
+	}
+	if got := (core.CostModelPolicy{HorizonCells: 1 << 30}).Choose(in); got != core.SolverLP {
+		t.Errorf("huge threshold: got %v, want lp", got)
+	}
+	if got := (core.CostModelPolicy{HorizonCells: -1}).Choose(in); got != core.SolverLP {
+		t.Errorf("negative threshold must disable horizon routing: got %v, want lp", got)
+	}
+	if got := (core.CostModelPolicy{HorizonCells: 1}).Choose(policyInput(tp, ag)); got == core.SolverHorizon {
+		t.Error("multicast request routed to the horizon LP decomposition")
+	}
+
+	// End to end: a session whose policy prices this request over the
+	// threshold must answer it with the horizon solver.
+	pl := core.NewPlanner(tp, core.PlannerOptions{Policy: core.CostModelPolicy{HorizonCells: 1}})
+	defer pl.Close()
+	p, err := pl.Plan(context.Background(), core.Request{Demand: atoa.Clone()})
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if p.Solver != core.SolverHorizon {
+		t.Errorf("session solved with %v, want horizon", p.Solver)
+	}
+	if err := p.Schedule.Validate(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+}
+
+// policyInput builds a PolicyInput the way a Planner session does.
+func policyInput(tp *topo.Topology, d *collective.Demand) core.PolicyInput {
+	tau := core.DeriveTau(tp, d.ChunkBytes, core.FastestLink, 0)
+	return core.PolicyInput{
+		Topology:  tp,
+		Demand:    d,
+		NumGPUs:   len(tp.GPUs()),
+		Multicast: d.HasMulticast(),
+		Tau:       tau,
+		EstimateEpochs: func() int {
+			return core.EstimateEpochs(tp, d, tau)
+		},
+	}
+}

@@ -1,0 +1,10 @@
+package horizon
+
+import "teccl/internal/core"
+
+// Importing this package makes SolverHorizon available to the Planner
+// dispatch and to policies that route large LP-eligible instances to
+// the rolling-horizon decomposition.
+func init() {
+	core.RegisterSolver(core.SolverHorizon, solve)
+}

@@ -67,17 +67,19 @@ type Solver = core.Solver
 
 // Solver identifiers.
 const (
-	SolverAuto  = core.SolverAuto
-	SolverLP    = core.SolverLP
-	SolverMILP  = core.SolverMILP
-	SolverAStar = core.SolverAStar
+	SolverAuto    = core.SolverAuto
+	SolverLP      = core.SolverLP
+	SolverMILP    = core.SolverMILP
+	SolverAStar   = core.SolverAStar
+	SolverHorizon = core.SolverHorizon
 )
 
 // Force policies pin one formulation for every request of a session.
 var (
-	ForceLP    = core.ForceLP
-	ForceMILP  = core.ForceMILP
-	ForceAStar = core.ForceAStar
+	ForceLP      = core.ForceLP
+	ForceMILP    = core.ForceMILP
+	ForceAStar   = core.ForceAStar
+	ForceHorizon = core.ForceHorizon
 )
 
 // Delta describes one step of churn for Planner.Replan: links or nodes

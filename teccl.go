@@ -65,7 +65,7 @@
 // explicit weights). Sessions end with Close, locally and remotely; a
 // closed session's Plan/Replan return ErrPlannerClosed.
 //
-// Three formulations are available, mirroring the paper:
+// Four formulations are available, mirroring the paper:
 //
 //   - SolverMILP — the general mixed-integer form (§3.1): optimal,
 //     supports copy, slowest.
@@ -73,13 +73,18 @@
 //     that do not benefit from copy (ALLTOALL-like), most scalable.
 //   - SolverAStar — the round-partitioned approximation (§4.2):
 //     supports copy, scales past the MILP, trades optimality for speed.
+//   - SolverHorizon — the LP form solved by rolling-horizon
+//     decomposition: overlapping epoch windows with warm-base chaining
+//     and a committed prefix carried forward, for instances whose
+//     monolithic time-expanded model is the scaling wall.
 //
 // Selection is a pluggable PlannerOptions.Policy: DefaultPolicy keeps
 // the historical auto-pick (LP when no chunk has more than one
 // destination, the MILP for small copy-friendly instances, A*
-// otherwise), CostModelPolicy routes by estimated model size, and
-// ForceLP/ForceMILP/ForceAStar pin one formulation; Request.Solver
-// overrides the policy per request.
+// otherwise), CostModelPolicy routes by estimated model size (huge
+// LP-eligible instances above its HorizonCells threshold go to
+// SolverHorizon), and ForceLP/ForceMILP/ForceAStar/ForceHorizon pin one
+// formulation; Request.Solver overrides the policy per request.
 //
 // # Migrating from the free functions
 //
@@ -100,6 +105,10 @@ import (
 	"teccl/internal/schedule"
 	"teccl/internal/sim"
 	"teccl/internal/topo"
+
+	// Register the rolling-horizon solver (SolverHorizon) with the
+	// Planner dispatch; policies may then route large instances to it.
+	_ "teccl/internal/horizon"
 )
 
 // Topology is a directed graph of GPU and switch nodes; links carry a
@@ -271,6 +280,18 @@ func BatchSolveLP(t *Topology, demands []*Demand, opt Options, bo BatchOptions) 
 // SolveAStar solves with the A* round partitioning (§4.2).
 func SolveAStar(t *Topology, d *Demand, opt Options) (*Result, error) {
 	return solveVia(t, d, opt, SolverAStar)
+}
+
+// SolveHorizon solves the LP form by rolling-horizon decomposition:
+// overlapping epoch windows solved in sequence with warm-base chaining,
+// a committed prefix carried forward between windows, and the stitched
+// schedule validated like any monolithic solve. Options.HorizonWindow,
+// HorizonOverlap, HorizonCertify, AutoEpochMultiplier, and
+// HorizonCellBudget tune it; zero values auto-size from the topology.
+// Result.Windows reports how many windows were stitched (0 means the
+// solver fell back to one monolithic solve).
+func SolveHorizon(t *Topology, d *Demand, opt Options) (*Result, error) {
+	return solveVia(t, d, opt, SolverHorizon)
 }
 
 // Simulate executes a schedule in continuous time under the α-β cost

@@ -124,6 +124,14 @@ type Options struct {
 	RoundEpochs       int              `json:"round_epochs,omitempty"`
 	MaxRounds         int              `json:"max_rounds,omitempty"`
 	Priority          []PriorityWeight `json:"priority,omitempty"`
+
+	// Rolling-horizon fields (additive in v1; zero values defer to the
+	// solver's auto-sizing, exactly as in the in-process Options).
+	HorizonWindow       int   `json:"horizon_window,omitempty"`
+	HorizonOverlap      int   `json:"horizon_overlap,omitempty"`
+	HorizonCertifyMs    int64 `json:"horizon_certify_ms,omitempty"`
+	AutoEpochMultiplier bool  `json:"auto_epoch_multiplier,omitempty"`
+	HorizonCellBudget   int   `json:"horizon_cell_budget,omitempty"`
 }
 
 // FromOptions converts the serializable fields of in-process options to
@@ -143,6 +151,12 @@ func FromOptions(o core.Options) Options {
 		Workers:           o.Workers,
 		RoundEpochs:       o.RoundEpochs,
 		MaxRounds:         o.MaxRounds,
+
+		HorizonWindow:       o.HorizonWindow,
+		HorizonOverlap:      o.HorizonOverlap,
+		HorizonCertifyMs:    o.HorizonCertify.Milliseconds(),
+		AutoEpochMultiplier: o.AutoEpochMultiplier,
+		HorizonCellBudget:   o.HorizonCellBudget,
 	}
 	if o.EpochMode == core.SlowestLink {
 		out.EpochMode = "slowest"
@@ -198,6 +212,12 @@ func (o Options) ToOptions() (core.Options, error) {
 		Workers:           o.Workers,
 		RoundEpochs:       o.RoundEpochs,
 		MaxRounds:         o.MaxRounds,
+
+		HorizonWindow:       o.HorizonWindow,
+		HorizonOverlap:      o.HorizonOverlap,
+		HorizonCertify:      time.Duration(o.HorizonCertifyMs) * time.Millisecond,
+		AutoEpochMultiplier: o.AutoEpochMultiplier,
+		HorizonCellBudget:   o.HorizonCellBudget,
 	}
 	switch o.EpochMode {
 	case "", "fastest":
@@ -252,6 +272,8 @@ func ParseSolver(s string) (core.Solver, error) {
 		return core.SolverMILP, nil
 	case "astar":
 		return core.SolverAStar, nil
+	case "horizon":
+		return core.SolverHorizon, nil
 	}
 	return core.SolverAuto, fmt.Errorf("wire: unknown solver %q", s)
 }
@@ -413,6 +435,7 @@ type Plan struct {
 	Epochs         int     `json:"epochs"`
 	Tau            float64 `json:"tau"`
 	Rounds         int     `json:"rounds,omitempty"`
+	Windows        int     `json:"windows,omitempty"`
 	SolveTimeMs    float64 `json:"solve_time_ms"`
 	CacheHit       bool    `json:"cache_hit,omitempty"`
 	WarmStart      bool    `json:"warm_start,omitempty"`
@@ -449,6 +472,7 @@ func FromPlan(p *core.Plan) Plan {
 		out.Epochs = p.Epochs
 		out.Tau = p.Tau
 		out.Rounds = p.Rounds
+		out.Windows = p.Windows
 		out.SolveTimeMs = float64(p.SolveTime) / float64(time.Millisecond)
 		out.Nodes = p.Nodes
 		out.RootIterations = p.RootIterations
@@ -478,6 +502,7 @@ func (p Plan) ToPlan(t *topo.Topology, d *collective.Demand) (*core.Plan, error)
 			Epochs:           p.Epochs,
 			Tau:              p.Tau,
 			Rounds:           p.Rounds,
+			Windows:          p.Windows,
 			Nodes:            p.Nodes,
 			RootIterations:   p.RootIterations,
 			NodeIterations:   p.NodeIterations,

@@ -30,7 +30,7 @@ func mustJSON(t *testing.T, v any) string {
 func TestGoldenPlan(t *testing.T) {
 	p := Plan{
 		Solver: "milp", Optimal: true, Gap: 0.25, Objective: 12.5,
-		Epochs: 7, Tau: 1e-6, Rounds: 2, SolveTimeMs: 3.5,
+		Epochs: 7, Tau: 1e-6, Rounds: 2, Windows: 5, SolveTimeMs: 3.5,
 		CacheHit: true, WarmStart: true, CrashStart: true,
 		Replanned: true, ReplanFallback: true, ReBased: true,
 		Nodes: 9, RootIterations: 40, NodeIterations: 11,
@@ -41,7 +41,7 @@ func TestGoldenPlan(t *testing.T) {
 		},
 	}
 	const golden = `{"solver":"milp","optimal":true,"gap":0.25,"objective":12.5,` +
-		`"epochs":7,"tau":0.000001,"rounds":2,"solve_time_ms":3.5,` +
+		`"epochs":7,"tau":0.000001,"rounds":2,"windows":5,"solve_time_ms":3.5,` +
 		`"cache_hit":true,"warm_start":true,"crash_start":true,` +
 		`"replanned":true,"replan_fallback":true,"rebased":true,` +
 		`"nodes":9,"root_iterations":40,"node_iterations":11,` +
@@ -209,6 +209,8 @@ func TestOptionsRoundTrip(t *testing.T) {
 		SwitchMode: core.SwitchNoCopy, NoBuffers: true, BufferLimitChunks: 3,
 		GapLimit: 0.3, TimeLimit: 90 * time.Second, MinimizeMakespan: true,
 		Crash: core.CrashAll, Workers: 4, RoundEpochs: 6, MaxRounds: 12,
+		HorizonWindow: 16, HorizonOverlap: 12, HorizonCertify: 30 * time.Second,
+		AutoEpochMultiplier: true, HorizonCellBudget: 50_000,
 	}
 	w := FromOptions(in)
 	js := mustJSON(t, w)
@@ -233,6 +235,24 @@ func TestOptionsRoundTrip(t *testing.T) {
 		if _, err := bad.ToOptions(); err == nil {
 			t.Errorf("invalid options %+v accepted", bad)
 		}
+	}
+}
+
+func TestParseSolverNames(t *testing.T) {
+	for name, want := range map[string]core.Solver{
+		"": core.SolverAuto, "auto": core.SolverAuto, "lp": core.SolverLP,
+		"milp": core.SolverMILP, "astar": core.SolverAStar, "horizon": core.SolverHorizon,
+	} {
+		got, err := ParseSolver(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSolver(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if rt, err := ParseSolver(SolverName(want)); err != nil || rt != want {
+			t.Errorf("solver %v does not round-trip through its wire name %q", want, SolverName(want))
+		}
+	}
+	if _, err := ParseSolver("simplex"); err == nil {
+		t.Error("unknown solver name accepted")
 	}
 }
 
