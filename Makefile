@@ -6,17 +6,36 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench-smoke-short bench tables api-compat daemon-smoke
+.PHONY: ci vet lint build test race bench-smoke bench-smoke-short bench tables api-compat daemon-smoke
 
-ci: vet build test race api-compat daemon-smoke bench-smoke
+ci: vet lint build test race api-compat daemon-smoke bench-smoke
 
-# vet gates on both the analyzer and formatting: a gofmt diff anywhere
-# fails the target (and with it the CI vet+build job).
+# vet gates on the stock analyzer, formatting, and the repo's own
+# invariant suite: a gofmt diff anywhere or a tecclvet diagnostic
+# (layering, wire schema lock, solver cancellation polling, float
+# comparisons, init-time registration) fails the target.
 vet:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) run teccl/cmd/tecclvet ./...
+
+# lint is the deep static pass: tecclvet plus staticcheck and
+# govulncheck when they are installed (the CI lint job installs both;
+# locally they are optional so a bare toolchain can still run make ci).
+lint:
+	$(GO) run teccl/cmd/tecclvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
 	fi
 
 build:

@@ -38,6 +38,7 @@ import (
 	"teccl/internal/collective"
 	"teccl/internal/core"
 	"teccl/internal/topo"
+	"teccl/internal/wireconv"
 	"teccl/wire"
 )
 
@@ -145,7 +146,7 @@ func (c *Client) SessionStats(ctx context.Context, id string) (core.PlannerStats
 	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &resp); err != nil {
 		return core.PlannerStats{}, err
 	}
-	return resp.Stats.ToStats(), nil
+	return wireconv.ToStats(resp.Stats), nil
 }
 
 // CloseSession closes and drops a daemon session by ID.
@@ -184,15 +185,15 @@ type RemotePlanner struct {
 // back the session routing (filled per attempt).
 func buildRequest(req core.Request) (wire.PlanRequest, error) {
 	out := wire.PlanRequest{
-		Demand: wire.FromDemand(req.Demand),
-		Solver: wire.SolverName(req.Solver),
+		Demand: wireconv.FromDemand(req.Demand),
+		Solver: wireconv.SolverName(req.Solver),
 	}
 	if req.Options != nil {
 		if req.Options.LinkCapacity != nil {
 			return out, errors.New("teccl: Options.LinkCapacity cannot cross the wire; model per-epoch capacity on the daemon side or use a local Planner")
 		}
-		wopts := wire.FromOptions(*req.Options)
-		wopts.Priority = wire.SamplePriority(req.Options.Priority, req.Demand)
+		wopts := wireconv.FromOptions(*req.Options)
+		wopts.Priority = wireconv.SamplePriority(req.Options.Priority, req.Demand)
 		out.Options = &wopts
 	}
 	return out, nil
@@ -232,7 +233,10 @@ func (r *RemotePlanner) Plan(ctx context.Context, req core.Request) (*core.Plan,
 	}
 	if sessionID == "" {
 		wreq.SessionID = ""
-		wreq.Topology = topoSnap
+		wreq.Topology, err = wireconv.FromTopology(topoSnap)
+		if err != nil {
+			return nil, err
+		}
 		if err := r.client.do(ctx, http.MethodPost, "/v1/plan", wreq, &resp); err != nil {
 			return nil, err
 		}
@@ -240,7 +244,7 @@ func (r *RemotePlanner) Plan(ctx context.Context, req core.Request) (*core.Plan,
 	if resp.API != wire.Version {
 		return nil, fmt.Errorf("teccl: daemon speaks api %q, client %q", resp.API, wire.Version)
 	}
-	plan, err := resp.Plan.ToPlan(topoSnap, req.Demand)
+	plan, err := wireconv.ToPlan(resp.Plan, topoSnap, req.Demand)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +274,7 @@ func (r *RemotePlanner) Replan(ctx context.Context, d core.Delta) (*core.Plan, e
 	}
 
 	var resp wire.ReplanResponse
-	wreq := wire.ReplanRequest{SessionID: sessionID, Delta: wire.FromDelta(d)}
+	wreq := wire.ReplanRequest{SessionID: sessionID, Delta: wireconv.FromDelta(d)}
 	if err := r.client.do(ctx, http.MethodPost, "/v1/replan", wreq, &resp); err != nil {
 		var ae *apiError
 		if errors.As(err, &ae) && ae.status == http.StatusGone {
@@ -282,16 +286,20 @@ func (r *RemotePlanner) Replan(ctx context.Context, d core.Delta) (*core.Plan, e
 		return nil, fmt.Errorf("teccl: daemon speaks api %q, client %q", resp.API, wire.Version)
 	}
 	if resp.Topology != nil {
-		topoSnap = resp.Topology
+		nt, err := wireconv.ToTopology(resp.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("teccl: bad replan topology snapshot: %w", err)
+		}
+		topoSnap = nt
 	}
 	if resp.Demand != nil {
-		nd, err := resp.Demand.ToDemand()
+		nd, err := wireconv.ToDemand(*resp.Demand)
 		if err != nil {
 			return nil, fmt.Errorf("teccl: bad replan demand snapshot: %w", err)
 		}
 		demandSnap = nd
 	}
-	plan, err := resp.Plan.ToPlan(topoSnap, demandSnap)
+	plan, err := wireconv.ToPlan(resp.Plan, topoSnap, demandSnap)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+// Command tecclvet is the repo's custom multichecker: it runs the
+// internal/analysis suite — the load-bearing invariants of this
+// codebase, machine-checked — over Go package patterns.
+//
+// Usage:
+//
+//	tecclvet [packages]            # analyze (default ./...)
+//	tecclvet -list                 # describe the analyzers
+//	tecclvet -write-wire-lock      # regenerate wire/schema.lock.json
+//
+// Diagnostics print as file:line:col: message (analyzer), one per line;
+// the exit status is 1 when any diagnostic fires, 2 on operational
+// failure. `make vet` runs it over ./..., and `go generate ./wire`
+// invokes -write-wire-lock after an intentional additive schema change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"teccl/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	writeLock := flag.Bool("write-wire-lock", false,
+		"regenerate the wire schema lock ("+analysis.WireLockFile+") from the teccl/wire sources and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tecclvet [-list] [-write-wire-lock] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *writeLock {
+		if err := writeWireLock(); err != nil {
+			fmt.Fprintln(os.Stderr, "tecclvet:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(".", patterns, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tecclvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeWireLock extracts the wire schema from the teccl/wire sources
+// and rewrites the lock file next to them. Run via `go generate ./wire`
+// after an intentional additive schema change.
+func writeWireLock() error {
+	loaded, err := analysis.Load(".", []string{"teccl/wire"})
+	if err != nil {
+		return err
+	}
+	if len(loaded) != 1 {
+		return fmt.Errorf("expected one package for teccl/wire, got %d", len(loaded))
+	}
+	lp := loaded[0]
+	lock := analysis.BuildLock(&analysis.Pass{
+		Fset:    lp.Fset,
+		Files:   lp.Files,
+		PkgPath: lp.Path,
+		Dir:     lp.Dir,
+	})
+	raw, err := json.MarshalIndent(lock, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(lp.Dir, analysis.WireLockFile)
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("tecclvet: wrote %s (%d structs)\n", path, len(lock.Structs))
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package analysistest runs tecclvet analyzers over annotated testdata
+// packages, in the style of golang.org/x/tools/go/analysis/analysistest
+// but on the standard library alone.
+//
+// A testdata package is one directory of .go files. Lines that should
+// trigger a diagnostic carry a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (multiple quoted regexps allowed). The harness fails the test when a
+// diagnostic appears on a line with no matching want, and when a want
+// matches no diagnostic — so each case proves both that the analyzer
+// fires and that it stays quiet elsewhere.
+//
+// Because the real analyzers key off import paths in the teccl module,
+// Run takes the package path to impersonate: the testdata directory
+// stands in for that package.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"teccl/internal/analysis"
+)
+
+// wantRE extracts the quoted expectations from a `// want` comment;
+// both "double-quoted" (with \" escapes) and backquoted regexps work.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Load parses the testdata package in dir into an untyped Pass that
+// impersonates pkgPath. Tests that need to drive RunAnalyzer directly
+// (scope checks with no want annotations in play) use it; Run wraps it.
+func Load(t *testing.T, dir, pkgPath string) *analysis.Pass {
+	t.Helper()
+	pass, _ := load(t, dir, pkgPath)
+	return pass
+}
+
+// load parses the package and collects its want annotations.
+func load(t *testing.T, dir, pkgPath string) (*analysis.Pass, []*expectation) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, path, src)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	return &analysis.Pass{
+		Fset:    fset,
+		Files:   files,
+		PkgPath: pkgPath,
+		Dir:     dir,
+	}, wants
+}
+
+// Run applies one analyzer to the testdata package in dir, pretending
+// it is package pkgPath, and checks its diagnostics against the
+// `// want` annotations.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pass, wants := load(t, dir, pkgPath)
+	if a.NeedTypes {
+		pkg, info, err := typecheck(pass.Fset, pass.PkgPath, pass.Files)
+		if err != nil {
+			t.Fatalf("type-checking testdata: %v", err)
+		}
+		pass.Pkg, pass.TypesInfo = pkg, info
+	}
+
+	diags, err := analysis.RunAnalyzer(a, pass)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		if !consume(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants scans src for `// want "re" ...` comments.
+func parseWants(t *testing.T, path string, src []byte) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		_, spec, ok := strings.Cut(line, "// want ")
+		if !ok {
+			continue
+		}
+		ms := wantRE.FindAllStringSubmatch(spec, -1)
+		if len(ms) == 0 {
+			t.Fatalf("%s:%d: malformed want comment (no quoted regexp)", path, i+1)
+		}
+		for _, m := range ms {
+			expr := m[1]
+			if m[2] != "" {
+				expr = m[2]
+			}
+			re, err := regexp.Compile(expr)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, expr, err)
+			}
+			out = append(out, &expectation{file: path, line: i + 1, re: re})
+		}
+	}
+	return out
+}
+
+// consume marks the first unmatched want on the diagnostic's line whose
+// regexp matches its message.
+func consume(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// typecheck type-checks a testdata package leniently: standard-library
+// imports resolve from source; anything else resolves to an empty
+// placeholder package, and residual type errors (references into a
+// placeholder) are tolerated. Analyzers that set NeedTypes must confine
+// their type queries to expressions testdata can type on its own.
+func typecheck(fset *token.FileSet, pkgPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &lenientImporter{std: importer.ForCompiler(fset, "source", nil)},
+		Error:    func(error) {}, // collect best-effort info despite placeholder imports
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// lenientImporter resolves stdlib paths for real and fakes the rest.
+type lenientImporter struct {
+	std   types.Importer
+	fakes map[string]*types.Package
+}
+
+func (li *lenientImporter) Import(path string) (*types.Package, error) {
+	if isStdlib(path) {
+		return li.std.Import(path)
+	}
+	if li.fakes == nil {
+		li.fakes = make(map[string]*types.Package)
+	}
+	if p, ok := li.fakes[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	li.fakes[path] = p
+	return p, nil
+}
+
+// isStdlib mirrors the analysis package's notion: no dot in the first
+// segment and not in the teccl module.
+func isStdlib(path string) bool {
+	if path == "teccl" || strings.HasPrefix(path, "teccl/") {
+		return false
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FloatCmp bans == and != on floating-point operands in internal/lp.
+// The sparse simplex lives and dies by tolerances (feasTol, optTol, the
+// FT drift oracle); an exact float comparison in that code is almost
+// always a latent bug that surfaces as a chaotic pivot path or a false
+// "optimal". Three escapes exist, in order of preference:
+//
+//   - compare against the constant zero: sparse data is exactly zero or
+//     exactly not, so sparsity checks (v == 0) are legitimate;
+//   - a tolerance/identity helper (feq/approxEq-prefixed functions, or
+//     math.Float64bits for assigned-value identity — the uint64 compare
+//     never trips this analyzer);
+//   - //teccl:allow-floatcmp <why> on the offending line.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "no ==/!= on floating-point operands in internal/lp outside tolerance helpers " +
+		"and exact-zero sparsity checks",
+	NeedTypes: true,
+	Run:       runFloatCmp,
+}
+
+// floatCmpPkg is the package subtree the rule governs.
+const floatCmpPkg = "teccl/internal/lp"
+
+// toleranceHelperRE names the functions allowed to compare floats
+// exactly: the designated tolerance/equality helpers themselves.
+var toleranceHelperRE = regexp.MustCompile(`(?i)^(feq|fne|approxeq|toleq|almosteq)`)
+
+func runFloatCmp(pass *Pass) error {
+	if pass.PkgPath != floatCmpPkg && !strings.HasPrefix(pass.PkgPath, floatCmpPkg+"/") {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		var fnStack []*ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				fnStack = append(fnStack, n)
+				return true
+			case nil:
+				return true
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatOperand(info, n.X) && !isFloatOperand(info, n.Y) {
+					return true
+				}
+				if isConstZero(info, n.X) || isConstZero(info, n.Y) {
+					return true
+				}
+				if bothConst(info, n) {
+					return true
+				}
+				if fn := enclosing(fnStack, n.Pos()); fn != nil && toleranceHelperRE.MatchString(fn.Name.Name) {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"floating-point %s comparison: use a tolerance helper, compare math.Float64bits for assigned-value identity, "+
+						"or annotate //teccl:allow-floatcmp <why>", n.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosing returns the function declaration whose span covers pos, if
+// any. FuncDecls never nest, so scanning the visited list suffices.
+func enclosing(fns []*ast.FuncDecl, pos token.Pos) *ast.FuncDecl {
+	for i := len(fns) - 1; i >= 0; i-- {
+		if fns[i].Pos() <= pos && pos <= fns[i].End() {
+			return fns[i]
+		}
+	}
+	return nil
+}
+
+// isFloatOperand reports whether e has floating-point type (directly or
+// through a defined type).
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to
+// zero — the exact-zero sparsity escape.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// bothConst reports whether both operands fold at compile time; such a
+// comparison is evaluated by the compiler, not at run time.
+func bothConst(info *types.Info, n *ast.BinaryExpr) bool {
+	x, okx := info.Types[n.X]
+	y, oky := info.Types[n.Y]
+	return okx && oky && x.Value != nil && y.Value != nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teccl/internal/analysis"
+	"teccl/internal/analysis/analysistest"
+)
+
+func TestFloatCmp(t *testing.T) {
+	analysistest.Run(t, analysis.FloatCmp, "testdata/src/floatcmp", "teccl/internal/lp")
+}
+
+func TestFloatCmpGovernsSubtree(t *testing.T) {
+	analysistest.Run(t, analysis.FloatCmp, "testdata/src/floatcmp", "teccl/internal/lp/sparse")
+}

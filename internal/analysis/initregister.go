@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// InitRegister enforces the blank-import registration contract:
+// core.RegisterSolver may only be called from a package init function.
+// The Planner resolves solvers through core's registry at dispatch
+// time; a registration that happens lazily (from an exported setup
+// function, a sync.Once, a test helper...) can race a concurrent Plan
+// call or simply never run when the caller forgets, and the policy
+// layer silently degrades to SolverLP. Registering from init — driven
+// by a blank import in the root facade — makes installation a
+// link-time fact.
+var InitRegister = &Analyzer{
+	Name: "initregister",
+	Doc:  "core.RegisterSolver may only be called from a package init func (blank-import registration contract)",
+	Run:  runInitRegister,
+}
+
+// corePkgPath is the registry's home.
+const corePkgPath = "teccl/internal/core"
+
+func runInitRegister(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Local names under which this file can reach the core package.
+		aliases := make(map[string]bool)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != corePkgPath {
+				continue
+			}
+			switch {
+			case imp.Name == nil:
+				aliases["core"] = true
+			case imp.Name.Name == "_" || imp.Name.Name == ".":
+				// Blank imports call nothing; dot imports are handled by
+				// the bare-call case below.
+				aliases[""] = aliases[""] || imp.Name.Name == "."
+			default:
+				aliases[imp.Name.Name] = true
+			}
+		}
+		inCore := pass.PkgPath == corePkgPath
+		dotImported := aliases[""]
+		if len(aliases) == 0 && !inCore {
+			continue
+		}
+
+		var fnStack []*ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				fnStack = append(fnStack, fd)
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			isRegister := false
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && aliases[id.Name] && fun.Sel.Name == "RegisterSolver" {
+					isRegister = true
+				}
+			case *ast.Ident:
+				if (inCore || dotImported) && fun.Name == "RegisterSolver" {
+					isRegister = true
+				}
+			}
+			if !isRegister {
+				return true
+			}
+			fn := enclosing(fnStack, call.Pos())
+			if fn == nil {
+				pass.Reportf(call.Pos(),
+					"core.RegisterSolver called from a package-level initializer: move it into func init() so registration is a link-time fact")
+				return true
+			}
+			if fn.Recv != nil || fn.Name.Name != "init" {
+				pass.Reportf(call.Pos(),
+					"core.RegisterSolver called from %s: solvers may only register from a package init func (blank-import registration contract)",
+					fn.Name.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teccl/internal/analysis"
+	"teccl/internal/analysis/analysistest"
+)
+
+func TestInitRegister(t *testing.T) {
+	// initregister keys off the import of teccl/internal/core, not the
+	// package under analysis, so any impersonated path works.
+	analysistest.Run(t, analysis.InitRegister, "testdata/src/initregister", "teccl/internal/horizon")
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -export -json -deps patterns...` in dir and
+// decodes the package stream. -export compiles through the build cache
+// and records each package's export-data file, which is what lets the
+// type checker import dependencies without re-typechecking them.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// LoadedPackage is one analysis target: parsed sources plus full type
+// information.
+type LoadedPackage struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load resolves patterns (relative to dir) to the matched packages,
+// parses and type-checks them. Dependencies are imported from export
+// data, so only the targets themselves are parsed.
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPackage, len(pkgs))
+	importMap := make(map[string]string)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := importMap[path]; ok {
+			path = to
+		}
+		dep := byPath[path]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var targets []*listPackage
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var out []*LoadedPackage
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &LoadedPackage{
+			Path: p.ImportPath, Dir: p.Dir, Fset: fset, Files: files, Pkg: tpkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// Run loads the packages matched by patterns and applies every analyzer
+// to each, returning all diagnostics sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loaded, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, lp := range loaded {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:    lp.Fset,
+				Files:   lp.Files,
+				PkgPath: lp.Path,
+				Dir:     lp.Dir,
+			}
+			if a.NeedTypes {
+				pass.Pkg = lp.Pkg
+				pass.TypesInfo = lp.Info
+			}
+			diags, err := RunAnalyzer(a, pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", lp.Path, err)
+			}
+			all = append(all, diags...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,99 @@
+// Testdata: stands in for teccl/internal/lp. Unbounded-form loops must
+// poll cancellation; counted and range loops are exempt; provably
+// bounded loops carry the allow directive.
+package lp
+
+import "context"
+
+func step() bool { return false }
+
+type solver struct{ iter int }
+
+func (s *solver) interrupted() bool { return false }
+func (s *solver) limitsHit() bool   { return false }
+
+// hotUnpolled is the PR 4 bug class: an iteration loop that never looks
+// at its budget.
+func hotUnpolled(ctx context.Context) {
+	for { // want `never polls cancellation`
+		if step() {
+			return
+		}
+	}
+}
+
+// condUnpolled iterates on solver progress with no poll.
+func condUnpolled(s *solver) {
+	for s.iter < 1<<30 { // want `never polls cancellation`
+		s.iter++
+	}
+}
+
+// polledDirect checks the context itself.
+func polledDirect(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+// polledSelect waits on Done.
+func polledSelect(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+// polledHelper goes through a budget helper, the simplex idiom
+// (s.interrupted(), s.limitsHit()).
+func polledHelper(s *solver) {
+	for {
+		if s.iter%64 == 0 && s.interrupted() {
+			return
+		}
+		s.iter++
+	}
+}
+
+// polledDelegate hands the ctx to the callee, which owns the poll.
+func polledDelegate(ctx context.Context, f func(context.Context) bool) {
+	for {
+		if f(ctx) {
+			return
+		}
+	}
+}
+
+// counted loops are bounded by construction.
+func countedLoops(n int, xs []int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// annotated is bounded for a reason the syntax cannot show.
+func annotated(q []int) int {
+	n := 0
+	//teccl:allow-ctxcheck bounded: every pop shrinks the queue for good
+	for len(q) > 0 {
+		q = q[:len(q)-1]
+		n++
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+// Testdata: stands in for teccl/internal/lp. Exact float equality is
+// banned outside exact-zero checks, tolerance helpers, Float64bits
+// identity, and the allow directive. This package must type-check on
+// its own (the analyzer needs operand types).
+package lp
+
+import "math"
+
+const tol = 1e-9
+
+type entry struct {
+	Var   int
+	Coeff float64
+}
+
+// badEqual is the bug class: two computed floats compared exactly.
+func badEqual(lo, hi float64) bool {
+	return lo == hi // want `floating-point == comparison`
+}
+
+// badNotEqual on a struct field.
+func badNotEqual(e entry, x float64) bool {
+	return e.Coeff != x // want `floating-point != comparison`
+}
+
+// badConstCompare against a non-zero constant is still exact equality.
+func badConstCompare(w float64) bool {
+	return w != 1 // want `floating-point != comparison`
+}
+
+// zeroChecks are the sparsity escape: sparse data is exactly zero or
+// exactly not.
+func zeroChecks(v float64, e entry) bool {
+	return v == 0 || e.Coeff != 0 || 0 == v
+}
+
+// feq is a designated tolerance helper: the one place exact comparison
+// logic may live.
+func feq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// bitsIdentity compares assigned values bitwise; uint64s never trip the
+// analyzer.
+func bitsIdentity(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// intCompares are not floats.
+func intCompares(i, j int, e entry) bool {
+	return i == j || e.Var != i
+}
+
+// annotated documents a deliberate exact comparison.
+func annotated(replayed, recorded float64) bool {
+	return replayed == recorded //teccl:allow-floatcmp replay must be bit-identical, not close
+}

@@ -1,0 +1,10 @@
+// Testdata: stands in for teccl/client, which must stay deployable
+// without the serving tier.
+package client
+
+import (
+	_ "teccl/internal/core"     // legal
+	_ "teccl/internal/daemon"   // want `must not import "teccl/internal/daemon"`
+	_ "teccl/internal/wireconv" // legal
+	_ "teccl/wire"              // legal
+)

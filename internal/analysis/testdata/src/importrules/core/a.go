@@ -1,0 +1,9 @@
+// Testdata: stands in for teccl/internal/core. Importing horizon (or
+// any subpackage of it) closes the registration cycle.
+package core
+
+import (
+	_ "teccl/internal/horizon"         // want `must not import "teccl/internal/horizon"`
+	_ "teccl/internal/horizon/windows" // want `must not import "teccl/internal/horizon/windows"`
+	_ "teccl/internal/lp"              // legal
+)

@@ -1,0 +1,14 @@
+// Testdata: stands in for teccl/internal/experiments. Importing the
+// root facade is the banned edge (the root bench test imports
+// experiments); the internal packages stay legal.
+package experiments
+
+import (
+	"fmt"
+
+	_ "teccl"               // want `must not import "teccl"`
+	_ "teccl/client"        // a subpath of the root is not the root: legal
+	_ "teccl/internal/topo" // legal
+)
+
+var _ = fmt.Sprint

@@ -1,0 +1,9 @@
+// Testdata: a package no layering rule governs; nothing may fire even
+// on edges banned elsewhere.
+package ok
+
+import (
+	_ "teccl"
+	_ "teccl/internal/daemon"
+	_ "teccl/internal/horizon"
+)

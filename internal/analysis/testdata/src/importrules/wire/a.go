@@ -1,0 +1,17 @@
+// Testdata: stands in for teccl/wire, which must stay stdlib-only.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	_ "example.com/x/mod"   // want `must import only the standard library`
+	_ "teccl/internal/core" // want `must import only the standard library`
+)
+
+var (
+	_ = json.Marshal
+	_ = fmt.Sprint
+	_ = time.Now
+)

@@ -1,0 +1,39 @@
+// Testdata: stands in for a solver package registering into core's
+// dispatch. Registration may only happen from init.
+package horizon
+
+import (
+	core "teccl/internal/core"
+)
+
+func solve() {}
+
+func init() {
+	core.RegisterSolver(7, solve) // registration from init: the contract
+}
+
+// Enable is the anti-pattern: lazy registration that can race a
+// concurrent Plan or never run at all.
+func Enable() {
+	core.RegisterSolver(8, solve) // want `solvers may only register from a package init func`
+}
+
+// A package-level initializer runs, but at an order the facade's blank
+// import cannot pin down.
+var _ = core.RegisterSolver(11, solve) // want `package-level initializer`
+
+var registered = register()
+
+func register() bool {
+	core.RegisterSolver(9, solve) // want `solvers may only register from a package init func`
+	return true
+}
+
+func initButMethod() {}
+
+type t struct{}
+
+// init as a method name is not the package init.
+func (t) init() {
+	core.RegisterSolver(10, solve) // want `solvers may only register from a package init func`
+}

@@ -1,0 +1,26 @@
+// Testdata: every non-additive schema change wirelock detects, one per
+// struct, each diagnostic naming the exact field. The lock also pins a
+// struct Gone that this source deleted outright.
+package wire // want `locked struct Gone no longer exists`
+
+// Plan dropped its locked Cost field and grew an unlocked Note field.
+type Plan struct { // want `v1 field Plan.Cost .* was removed`
+	Steps int    `json:"steps"`
+	Note  string `json:"note"` // want `new field Plan.Note .* regenerate the lock`
+}
+
+// Stats renamed its Runs field but kept the json tag.
+type Stats struct {
+	RunsTotal int `json:"runs"` // want `v1 field Stats.Runs was renamed to RunsTotal`
+}
+
+// Error changed one field's type and another's json tag.
+type Error struct {
+	Code    int    `json:"code"` // want `changed type string -> int`
+	Message string `json:"msg"`  // want `changed json tag "message" -> "msg"`
+}
+
+// Extra is a new struct the lock has never seen.
+type Extra struct { // want `new struct Extra is not in schema.lock.json`
+	X int `json:"x"`
+}

@@ -1,0 +1,23 @@
+// Testdata: a wire-like schema package whose committed lock matches the
+// source exactly; wirelock must stay silent.
+package wire
+
+// Version pins the schema generation.
+const Version = "v1"
+
+// Plan is a locked struct.
+type Plan struct {
+	Steps int     `json:"steps"`
+	Cost  float64 `json:"cost"`
+	Debug string  `json:"-"` // json:"-" is invisible on the wire
+	note  string  // unexported: invisible on the wire
+}
+
+// Error is a locked struct with an omitempty tag option (the lock keeps
+// only the name part).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+func (p Plan) use() string { return p.note }

@@ -1,0 +1,29 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"teccl/internal/analysis"
+	"teccl/internal/analysis/analysistest"
+)
+
+func TestWireLockClean(t *testing.T) {
+	analysistest.Run(t, analysis.WireLock, "testdata/src/wirelock/good", "teccl/wire")
+}
+
+func TestWireLockViolations(t *testing.T) {
+	analysistest.Run(t, analysis.WireLock, "testdata/src/wirelock/broken", "teccl/wire")
+}
+
+func TestWireLockIgnoresOtherPackages(t *testing.T) {
+	// The broken testdata fires only when the pass claims to be
+	// teccl/wire; any other package path is out of scope.
+	pass := analysistest.Load(t, "testdata/src/wirelock/broken", "teccl/other")
+	diags, err := analysis.RunAnalyzer(analysis.WireLock, pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("wirelock fired outside teccl/wire: %v", diags)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"teccl/internal/core"
+	"teccl/internal/wireconv"
 	"teccl/wire"
 )
 
@@ -224,7 +225,7 @@ func (s *Server) resolveOptions(wopts *wire.Options) (core.Options, error) {
 	var opt core.Options
 	if wopts != nil {
 		var err error
-		opt, err = wopts.ToOptions()
+		opt, err = wireconv.ToOptions(*wopts)
 		if err != nil {
 			return opt, err
 		}
@@ -273,12 +274,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case req.Topology != nil:
-		if err := req.Topology.Validate(); err != nil {
+		t, err := wireconv.ToTopology(req.Topology)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "invalid topology: %v", err)
 			return
 		}
-		var err error
-		if sess, err = s.pool.get(req.Topology); err != nil {
+		if err := t.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid topology: %v", err)
+			return
+		}
+		if sess, err = s.pool.get(t); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -287,7 +292,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	demand, err := req.Demand.ToDemand()
+	demand, err := wireconv.ToDemand(req.Demand)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -297,7 +302,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	solver, err := wire.ParseSolver(req.Solver)
+	solver, err := wireconv.ParseSolver(req.Solver)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -322,7 +327,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.PlanResponse{
 		API:       wire.Version,
 		SessionID: sess.id,
-		Plan:      wire.FromPlan(plan),
+		Plan:      wireconv.FromPlan(plan),
 	})
 }
 
@@ -342,7 +347,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", req.SessionID)
 		return
 	}
-	delta, err := req.Delta.ToDelta()
+	delta, err := wireconv.ToDelta(req.Delta)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -368,14 +373,19 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	// ship the post-churn snapshots for the client to rebind against.
 	newTopo := sess.planner.Topology()
 	s.pool.refingerprint(sess, newTopo)
+	wtopo, err := wireconv.FromTopology(newTopo)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "replan: snapshotting topology: %v", err)
+		return
+	}
 	resp := wire.ReplanResponse{
 		API:       wire.Version,
 		SessionID: sess.id,
-		Plan:      wire.FromPlan(plan),
-		Topology:  newTopo,
+		Plan:      wireconv.FromPlan(plan),
+		Topology:  wtopo,
 	}
 	if plan.Result != nil && plan.Schedule != nil && plan.Schedule.Demand != nil {
-		d := wire.FromDemand(plan.Schedule.Demand)
+		d := wireconv.FromDemand(plan.Schedule.Demand)
 		resp.Demand = &d
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -410,7 +420,7 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		API:       wire.Version,
 		SessionID: sess.id,
-		Stats:     wire.FromStats(sess.planner.Stats()),
+		Stats:     wireconv.FromStats(sess.planner.Stats()),
 	})
 }
 

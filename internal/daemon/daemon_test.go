@@ -19,6 +19,7 @@ import (
 
 	"teccl/internal/collective"
 	"teccl/internal/topo"
+	"teccl/internal/wireconv"
 	"teccl/wire"
 )
 
@@ -29,7 +30,17 @@ func testDemand(t *topo.Topology, chunks int) wire.Demand {
 	}
 	// All-to-all routes to the LP via the default policy, whose replay
 	// cache makes identical repeats deterministic cache hits.
-	return wire.FromDemand(collective.AllToAll(t.NumNodes(), gpus, chunks, 25e3))
+	return wireconv.FromDemand(collective.AllToAll(t.NumNodes(), gpus, chunks, 25e3))
+}
+
+// wireTopo snapshots a topology into its wire form for request bodies.
+func wireTopo(t *testing.T, tt *topo.Topology) *wire.Topology {
+	t.Helper()
+	w, err := wireconv.FromTopology(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
 }
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
@@ -82,7 +93,7 @@ func TestDaemonPlanReplanStats(t *testing.T) {
 
 	// First plan opens a session and solves.
 	var plan wire.PlanResponse
-	req := wire.PlanRequest{Topology: tt, Demand: testDemand(tt, 1)}
+	req := wire.PlanRequest{Topology: wireTopo(t, tt), Demand: testDemand(tt, 1)}
 	if st := call(t, "POST", hs.URL+"/v1/plan", req, &plan); st != 200 {
 		t.Fatalf("plan status %d", st)
 	}
@@ -124,11 +135,15 @@ func TestDaemonPlanReplanStats(t *testing.T) {
 		t.Fatal("replan response carries no post-churn topology")
 	}
 	if rp.Plan.Schedule != nil && rp.Demand != nil {
-		d, err := rp.Demand.ToDemand()
+		d, err := wireconv.ToDemand(*rp.Demand)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := rp.Plan.Schedule.ToSchedule(rp.Topology, d)
+		nt, err := wireconv.ToTopology(rp.Topology)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := wireconv.ToSchedule(rp.Plan.Schedule, nt, d)
 		if err := sched.Validate(); err != nil {
 			t.Fatalf("rebound replan schedule invalid: %v", err)
 		}
@@ -186,10 +201,10 @@ func TestDaemonSessionRouting(t *testing.T) {
 	b := topo.Ring(4, 25e9, 0.6e-6) // different fabric → different fingerprint
 
 	var pa, pb, pa2 wire.PlanResponse
-	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: a, Demand: testDemand(a, 1)}, &pa); st != 200 {
+	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: wireTopo(t, a), Demand: testDemand(a, 1)}, &pa); st != 200 {
 		t.Fatalf("plan A status %d", st)
 	}
-	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: b, Demand: testDemand(b, 1)}, &pb); st != 200 {
+	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: wireTopo(t, b), Demand: testDemand(b, 1)}, &pb); st != 200 {
 		t.Fatalf("plan B status %d", st)
 	}
 	if pa.SessionID == pb.SessionID {
@@ -228,10 +243,10 @@ func TestDaemonLRUEviction(t *testing.T) {
 	a, b := topo.DGX1(), topo.Ring(4, 25e9, 0.6e-6)
 
 	var pa, pb wire.PlanResponse
-	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: a, Demand: testDemand(a, 1)}, &pa); st != 200 {
+	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: wireTopo(t, a), Demand: testDemand(a, 1)}, &pa); st != 200 {
 		t.Fatalf("plan A status %d", st)
 	}
-	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: b, Demand: testDemand(b, 1)}, &pb); st != 200 {
+	if st := call(t, "POST", hs.URL+"/v1/plan", wire.PlanRequest{Topology: wireTopo(t, b), Demand: testDemand(b, 1)}, &pb); st != 200 {
 		t.Fatalf("plan B status %d", st)
 	}
 	var sessions wire.SessionsResponse
@@ -265,7 +280,7 @@ func TestDaemonSaturationReturns429(t *testing.T) {
 		<-gate
 	}
 	tt := topo.DGX1()
-	req := wire.PlanRequest{Topology: tt, Demand: testDemand(tt, 1)}
+	req := wire.PlanRequest{Topology: wireTopo(t, tt), Demand: testDemand(tt, 1)}
 
 	var wg sync.WaitGroup
 	codes := make([]int, 2)
@@ -305,7 +320,7 @@ func TestDaemonDrain(t *testing.T) {
 		<-gate
 	}
 	tt := topo.DGX1()
-	req := wire.PlanRequest{Topology: tt, Demand: testDemand(tt, 1)}
+	req := wire.PlanRequest{Topology: wireTopo(t, tt), Demand: testDemand(tt, 1)}
 
 	inflightCode := make(chan int, 1)
 	go func() { inflightCode <- call(t, "POST", hs.URL+"/v1/plan", req, nil) }()

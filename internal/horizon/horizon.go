@@ -379,6 +379,7 @@ func routeSpan(wi *core.WindowInstance) int {
 			dist[i], done[i] = inf, false
 		}
 		dist[wi.Source(si)] = 0
+		//teccl:allow-ctxcheck bounded: Dijkstra over nN nodes; every iteration marks one node done or exits
 		for {
 			u, best := -1, inf
 			for i, v := range dist {

@@ -131,7 +131,7 @@ func (s *simplex) prepareDual(allowFlips bool) bool {
 			continue
 		}
 		lo, hi := s.lo[j], s.hi[j]
-		if lo == hi && !math.IsInf(lo, 0) {
+		if boundsFixed(lo, hi) && !math.IsInf(lo, 0) {
 			continue // fixed: reduced-cost sign is unconstrained
 		}
 		d := s.d[j]
@@ -277,7 +277,7 @@ func (s *simplex) dualIterate(maxIter int) Status {
 				continue
 			}
 			lo, hi := s.lo[j], s.hi[j]
-			if lo == hi && !math.IsInf(lo, 0) {
+			if boundsFixed(lo, hi) && !math.IsInf(lo, 0) {
 				continue // fixed: can never enter
 			}
 			abar := sigma * s.alpha[j]

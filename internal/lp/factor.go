@@ -384,6 +384,7 @@ func (f *luFactor) factorize(colIdx [][]int32, colVal [][]float64) (failRows, fa
 		activeRows[i] = int32(i)
 	}
 
+	//teccl:allow-ctxcheck bounded: every pass pops a finite singleton queue or pivots a row (step++); at most m pivots
 	for step < m {
 		// 1. Column singletons: pivot with no elimination in the column.
 		if len(colQ) > 0 {

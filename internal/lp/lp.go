@@ -218,6 +218,7 @@ func (p *Problem) combineTerms(terms []Term) []Term {
 			for i := 1; i < len(sc); i++ {
 				t := sc[i]
 				j := i - 1
+				//teccl:allow-ctxcheck bounded: insertion-sort inner shift, j strictly decreases to 0
 				for j >= 0 && sc[j].Var > t.Var {
 					sc[j+1] = sc[j]
 					j--

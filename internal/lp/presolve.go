@@ -361,6 +361,7 @@ func (ps *presolver) removeTerm(i, v int) (coeff float64, found bool) {
 // fixPass substitutes every queued fixed variable out of its rows.
 func (ps *presolver) fixPass() bool {
 	changed := false
+	//teccl:allow-ctxcheck bounded: every iteration pops fixQ, and a variable is queued at most once (queued[v] gate)
 	for len(ps.fixQ) > 0 && !ps.infeasible {
 		v := ps.fixQ[len(ps.fixQ)-1]
 		ps.fixQ = ps.fixQ[:len(ps.fixQ)-1]

@@ -66,6 +66,7 @@ func (s *simplex) price(cost []float64, y []float64, useBland bool) (int, float6
 	if j >= n {
 		j = 0
 	}
+	//teccl:allow-ctxcheck bounded: one wrap of the pricing window, scanned++ every iteration up to n
 	for scanned < n {
 		d, dir := s.priceOne(j, cost, y)
 		scanned++
@@ -97,7 +98,7 @@ func (s *simplex) priceOne(j int, cost []float64, y []float64) (float64, float64
 	if st == basic {
 		return 0, 0
 	}
-	if s.lo[j] == s.hi[j] && !math.IsInf(s.lo[j], 0) {
+	if boundsFixed(s.lo[j], s.hi[j]) && !math.IsInf(s.lo[j], 0) {
 		return 0, 0 // fixed variable can never improve
 	}
 	d := -s.colDot(j, y)

@@ -28,6 +28,16 @@ const (
 	zeroTol  = 1e-11 // values below this are treated as exact zero
 )
 
+// boundsFixed reports whether a variable's bounds pin it to a single
+// value (EQ slacks and presolve-fixed columns). Bounds are assigned,
+// never computed, so identity — not tolerance — is the correct test:
+// comparing the bit patterns says exactly that, and keeps a pair of
+// bounds within feasTol of each other (a genuinely thin range) from
+// being misread as fixed.
+func boundsFixed(lo, hi float64) bool {
+	return math.Float64bits(lo) == math.Float64bits(hi)
+}
+
 // varStatus describes where a variable currently sits.
 type varStatus int8
 
@@ -510,7 +520,7 @@ func (s *simplex) perturbBounds() {
 	}
 	for j := 0; j < s.nTotal; j++ {
 		lo, hi := s.trueLo[j], s.trueHi[j]
-		if lo == hi {
+		if boundsFixed(lo, hi) {
 			continue // fixed (EQ slacks included): semantics must not move
 		}
 		if !math.IsInf(lo, -1) {

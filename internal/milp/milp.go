@@ -685,6 +685,7 @@ func (s *search) runDeterministic(workers int) {
 			return
 		}
 		batch = batch[:0]
+		//teccl:allow-ctxcheck bounded: every iteration pops the heap or fills the batch; the round loop above polls limitsHit
 		for len(batch) < workers && s.h.Len() > 0 {
 			nd := heap.Pop(s.h).(*node)
 			if len(batch) == 0 {

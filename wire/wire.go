@@ -4,29 +4,27 @@
 //
 // The schema is a deliberate contract, shared by the daemon
 // (cmd/teccld), the Go client (teccl.Dial / teccl.Client), and the CLI
-// (cmd/teccl): every type carries explicit JSON tags, and the golden
-// round-trip tests in this package pin those tags against accidental
-// renames — a field rename here is an API break and must bump the
-// version, not slip through a refactor.
+// (cmd/teccl): every type carries explicit JSON tags, and two
+// independent guards pin those tags against accidental renames — the
+// golden round-trip tests in this package, and the tecclvet wirelock
+// analyzer, which diffs every exported struct here against the
+// committed schema.lock.json. A field rename or removal is an API break
+// and must bump the version, not slip through a refactor; additive
+// changes regenerate the lock (see the go:generate directive below).
 //
-// Wire types mirror the in-process types of the teccl package but stay
-// independent of them: only serializable state crosses the wire
-// (function-valued options like Progress and LinkCapacity do not; the
-// multi-tenant Priority function is carried as explicitly sampled
-// per-triple weights, see Options.Priority). Conversion helpers
-// translate in both directions, validating ranges on the way in so a
-// malformed request fails at decode time rather than inside a solver.
+// The package imports only the standard library (machine-enforced by
+// the tecclvet importrules analyzer): wire types mirror the in-process
+// types but stay independent of them, so the schema cannot drift when
+// an internal type changes shape. Only serializable state crosses the
+// wire (function-valued options like Progress and LinkCapacity do not;
+// the multi-tenant Priority function is carried as explicitly sampled
+// per-triple weights, see Options.Priority). The conversion helpers —
+// which validate ranges on the way in so a malformed request fails at
+// decode time rather than inside a solver — live in
+// teccl/internal/wireconv.
 package wire
 
-import (
-	"fmt"
-	"time"
-
-	"teccl/internal/collective"
-	"teccl/internal/core"
-	"teccl/internal/schedule"
-	"teccl/internal/topo"
-)
+//go:generate go run teccl/cmd/tecclvet -write-wire-lock
 
 // Version is the wire-schema version this package implements. Responses
 // echo it in their "api" field; clients reject a mismatch.
@@ -46,49 +44,6 @@ type Demand struct {
 	NumChunks  int     `json:"num_chunks"`
 	ChunkBytes float64 `json:"chunk_bytes"`
 	Wants      []Want  `json:"wants"`
-}
-
-// FromDemand converts an in-process demand to its wire form.
-func FromDemand(d *collective.Demand) Demand {
-	out := Demand{
-		NumNodes:   d.NumNodes(),
-		NumChunks:  d.NumChunks(),
-		ChunkBytes: d.ChunkBytes,
-	}
-	for src := 0; src < d.NumNodes(); src++ {
-		for c := 0; c < d.NumChunks(); c++ {
-			for dst := 0; dst < d.NumNodes(); dst++ {
-				if d.Wants(src, c, dst) {
-					out.Wants = append(out.Wants, Want{Src: src, Chunk: c, Dst: dst})
-				}
-			}
-		}
-	}
-	return out
-}
-
-// ToDemand converts a wire demand back to the in-process form,
-// validating dimensions and every triple.
-func (d Demand) ToDemand() (*collective.Demand, error) {
-	if d.NumNodes <= 0 || d.NumChunks <= 0 {
-		return nil, fmt.Errorf("wire: bad demand dimensions %d nodes, %d chunks", d.NumNodes, d.NumChunks)
-	}
-	if d.ChunkBytes <= 0 {
-		return nil, fmt.Errorf("wire: bad demand chunk size %g", d.ChunkBytes)
-	}
-	out := collective.New(d.NumNodes, d.NumChunks, d.ChunkBytes)
-	for _, w := range d.Wants {
-		if w.Src < 0 || w.Src >= d.NumNodes || w.Dst < 0 || w.Dst >= d.NumNodes ||
-			w.Chunk < 0 || w.Chunk >= d.NumChunks {
-			return nil, fmt.Errorf("wire: demand triple (%d,%d,%d) out of range (%d nodes, %d chunks)",
-				w.Src, w.Chunk, w.Dst, d.NumNodes, d.NumChunks)
-		}
-		if w.Src == w.Dst {
-			continue // a node always has its own chunks
-		}
-		out.Set(w.Src, w.Chunk, w.Dst)
-	}
-	return out, nil
 }
 
 // PriorityWeight is one sampled multi-tenant priority weight: the
@@ -134,152 +89,34 @@ type Options struct {
 	HorizonCellBudget   int   `json:"horizon_cell_budget,omitempty"`
 }
 
-// FromOptions converts the serializable fields of in-process options to
-// wire form. Priority/LinkCapacity/Progress functions are NOT carried
-// (see SamplePriority for the priority path); the caller decides
-// whether their presence is an error.
-func FromOptions(o core.Options) Options {
-	out := Options{
-		Epochs:            o.Epochs,
-		Tau:               o.Tau,
-		EpochMultiplier:   o.EpochMultiplier,
-		NoBuffers:         o.NoBuffers,
-		BufferLimitChunks: o.BufferLimitChunks,
-		GapLimit:          o.GapLimit,
-		TimeLimitMs:       o.TimeLimit.Milliseconds(),
-		MinimizeMakespan:  o.MinimizeMakespan,
-		Workers:           o.Workers,
-		RoundEpochs:       o.RoundEpochs,
-		MaxRounds:         o.MaxRounds,
-
-		HorizonWindow:       o.HorizonWindow,
-		HorizonOverlap:      o.HorizonOverlap,
-		HorizonCertifyMs:    o.HorizonCertify.Milliseconds(),
-		AutoEpochMultiplier: o.AutoEpochMultiplier,
-		HorizonCellBudget:   o.HorizonCellBudget,
-	}
-	if o.EpochMode == core.SlowestLink {
-		out.EpochMode = "slowest"
-	}
-	if o.SwitchMode == core.SwitchNoCopy {
-		out.SwitchMode = "nocopy"
-	}
-	switch o.Crash {
-	case core.CrashAll:
-		out.Crash = "all"
-	case core.CrashOff:
-		out.Crash = "off"
-	}
-	return out
+// Node is the wire form of one topology node. It mirrors the JSON shape
+// of the in-process topo.Node byte for byte; the wirelock lock and the
+// golden tests pin both against drift.
+type Node struct {
+	Name   string `json:"name"`
+	Switch bool   `json:"switch,omitempty"`
 }
 
-// SamplePriority samples a priority function over the demanded triples,
-// returning the non-neutral weights in wire form. Only demanded triples
-// carry delivery rewards, so the sample is exact.
-func SamplePriority(pri func(src, chunk, dst int) float64, d *collective.Demand) []PriorityWeight {
-	if pri == nil || d == nil {
-		return nil
-	}
-	var out []PriorityWeight
-	for src := 0; src < d.NumNodes(); src++ {
-		for c := 0; c < d.NumChunks(); c++ {
-			for dst := 0; dst < d.NumNodes(); dst++ {
-				if !d.Wants(src, c, dst) {
-					continue
-				}
-				if w := pri(src, c, dst); w != 1 {
-					out = append(out, PriorityWeight{Src: src, Chunk: c, Dst: dst, Weight: w})
-				}
-			}
-		}
-	}
-	return out
+// Link is the wire form of one unidirectional link. Capacity is in
+// bytes per second; Alpha is the fixed per-transfer latency in seconds.
+// Src and Dst are node IDs: indices into the topology's node list.
+type Link struct {
+	Src      int     `json:"src"`
+	Dst      int     `json:"dst"`
+	Capacity float64 `json:"capacity"`
+	Alpha    float64 `json:"alpha"`
 }
 
-// ToOptions converts wire options to the in-process form, validating
-// the enumerations and rebuilding the Priority function from the
-// sampled weights.
-func (o Options) ToOptions() (core.Options, error) {
-	out := core.Options{
-		Epochs:            o.Epochs,
-		Tau:               o.Tau,
-		EpochMultiplier:   o.EpochMultiplier,
-		NoBuffers:         o.NoBuffers,
-		BufferLimitChunks: o.BufferLimitChunks,
-		GapLimit:          o.GapLimit,
-		TimeLimit:         time.Duration(o.TimeLimitMs) * time.Millisecond,
-		MinimizeMakespan:  o.MinimizeMakespan,
-		Workers:           o.Workers,
-		RoundEpochs:       o.RoundEpochs,
-		MaxRounds:         o.MaxRounds,
-
-		HorizonWindow:       o.HorizonWindow,
-		HorizonOverlap:      o.HorizonOverlap,
-		HorizonCertify:      time.Duration(o.HorizonCertifyMs) * time.Millisecond,
-		AutoEpochMultiplier: o.AutoEpochMultiplier,
-		HorizonCellBudget:   o.HorizonCellBudget,
-	}
-	switch o.EpochMode {
-	case "", "fastest":
-	case "slowest":
-		out.EpochMode = core.SlowestLink
-	default:
-		return out, fmt.Errorf("wire: unknown epoch_mode %q", o.EpochMode)
-	}
-	switch o.SwitchMode {
-	case "", "copy":
-	case "nocopy":
-		out.SwitchMode = core.SwitchNoCopy
-	default:
-		return out, fmt.Errorf("wire: unknown switch_mode %q", o.SwitchMode)
-	}
-	switch o.Crash {
-	case "", "auto":
-	case "all":
-		out.Crash = core.CrashAll
-	case "off":
-		out.Crash = core.CrashOff
-	default:
-		return out, fmt.Errorf("wire: unknown crash mode %q", o.Crash)
-	}
-	if len(o.Priority) > 0 {
-		weights := make(map[[3]int]float64, len(o.Priority))
-		for _, p := range o.Priority {
-			if p.Weight <= 0 {
-				return out, fmt.Errorf("wire: non-positive priority weight %g for (%d,%d,%d)",
-					p.Weight, p.Src, p.Chunk, p.Dst)
-			}
-			weights[[3]int{p.Src, p.Chunk, p.Dst}] = p.Weight
-		}
-		out.Priority = func(src, chunk, dst int) float64 {
-			if w, ok := weights[[3]int{src, chunk, dst}]; ok {
-				return w
-			}
-			return 1
-		}
-	}
-	return out, nil
+// Topology is the wire form of a full topology snapshot. Down lists the
+// IDs of links taken down by churn; a down link keeps its ID and
+// metadata so deltas and schedules stated against the original IDs stay
+// meaningful.
+type Topology struct {
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+	Links []Link `json:"links"`
+	Down  []int  `json:"down,omitempty"`
 }
-
-// ParseSolver maps a wire solver name to the in-process identifier.
-func ParseSolver(s string) (core.Solver, error) {
-	switch s {
-	case "", "auto":
-		return core.SolverAuto, nil
-	case "lp":
-		return core.SolverLP, nil
-	case "milp":
-		return core.SolverMILP, nil
-	case "astar":
-		return core.SolverAStar, nil
-	case "horizon":
-		return core.SolverHorizon, nil
-	}
-	return core.SolverAuto, fmt.Errorf("wire: unknown solver %q", s)
-}
-
-// SolverName maps an in-process solver identifier to its wire name.
-func SolverName(s core.Solver) string { return s.String() }
 
 // LinkScale is one multiplicative link edit of a delta; zero-valued
 // multiplier fields mean "leave unchanged".
@@ -300,65 +137,10 @@ type Delta struct {
 	LinksDown []int       `json:"links_down,omitempty"`
 	NodesDown []int       `json:"nodes_down,omitempty"`
 	Scale     []LinkScale `json:"scale,omitempty"`
-	AddNodes  []topo.Node `json:"add_nodes,omitempty"`
-	AddLinks  []topo.Link `json:"add_links,omitempty"`
+	AddNodes  []Node      `json:"add_nodes,omitempty"`
+	AddLinks  []Link      `json:"add_links,omitempty"`
 	DropPairs []Pair      `json:"drop_pairs,omitempty"`
 	AddDemand *Demand     `json:"add_demand,omitempty"`
-}
-
-// FromDelta converts an in-process replan delta to wire form.
-func FromDelta(d core.Delta) Delta {
-	out := Delta{
-		AddNodes: d.AddNodes,
-		AddLinks: d.AddLinks,
-	}
-	for _, l := range d.LinksDown {
-		out.LinksDown = append(out.LinksDown, int(l))
-	}
-	for _, n := range d.NodesDown {
-		out.NodesDown = append(out.NodesDown, int(n))
-	}
-	for _, s := range d.Scale {
-		out.Scale = append(out.Scale, LinkScale{Link: int(s.Link), Capacity: s.Capacity, Alpha: s.Alpha})
-	}
-	for _, p := range d.DropPairs {
-		out.DropPairs = append(out.DropPairs, Pair{Src: p.Src, Dst: p.Dst})
-	}
-	if d.AddDemand != nil {
-		ad := FromDemand(d.AddDemand)
-		out.AddDemand = &ad
-	}
-	return out
-}
-
-// ToDelta converts a wire delta to the in-process form. ID range
-// checking is left to Planner.Replan, which validates against the live
-// session topology.
-func (d Delta) ToDelta() (core.Delta, error) {
-	out := core.Delta{
-		AddNodes: d.AddNodes,
-		AddLinks: d.AddLinks,
-	}
-	for _, l := range d.LinksDown {
-		out.LinksDown = append(out.LinksDown, topo.LinkID(l))
-	}
-	for _, n := range d.NodesDown {
-		out.NodesDown = append(out.NodesDown, topo.NodeID(n))
-	}
-	for _, s := range d.Scale {
-		out.Scale = append(out.Scale, topo.LinkScale{Link: topo.LinkID(s.Link), Capacity: s.Capacity, Alpha: s.Alpha})
-	}
-	for _, p := range d.DropPairs {
-		out.DropPairs = append(out.DropPairs, core.DemandPair{Src: p.Src, Dst: p.Dst})
-	}
-	if d.AddDemand != nil {
-		ad, err := d.AddDemand.ToDemand()
-		if err != nil {
-			return out, err
-		}
-		out.AddDemand = ad
-	}
-	return out, nil
 }
 
 // Send is one chunk transmission of a wire schedule.
@@ -379,50 +161,6 @@ type Schedule struct {
 	AllowCopy      bool    `json:"allow_copy,omitempty"`
 	EpochsPerChunk []int   `json:"epochs_per_chunk,omitempty"`
 	Sends          []Send  `json:"sends"`
-}
-
-// FromSchedule converts an in-process schedule to wire form.
-func FromSchedule(s *schedule.Schedule) *Schedule {
-	if s == nil {
-		return nil
-	}
-	out := &Schedule{
-		Tau:            s.Tau,
-		NumEpochs:      s.NumEpochs,
-		AllowCopy:      s.AllowCopy,
-		EpochsPerChunk: s.EpochsPerChunk,
-		Sends:          make([]Send, len(s.Sends)),
-	}
-	for i, snd := range s.Sends {
-		out.Sends[i] = Send{
-			Src: snd.Src, Chunk: snd.Chunk, Link: int(snd.Link),
-			Epoch: snd.Epoch, Fraction: snd.Fraction,
-		}
-	}
-	return out
-}
-
-// ToSchedule rebinds a wire schedule to a topology and demand (the
-// session's current snapshots, client side).
-func (s *Schedule) ToSchedule(t *topo.Topology, d *collective.Demand) *schedule.Schedule {
-	if s == nil {
-		return nil
-	}
-	out := &schedule.Schedule{
-		Topo: t, Demand: d,
-		Tau:            s.Tau,
-		NumEpochs:      s.NumEpochs,
-		AllowCopy:      s.AllowCopy,
-		EpochsPerChunk: s.EpochsPerChunk,
-		Sends:          make([]schedule.Send, len(s.Sends)),
-	}
-	for i, snd := range s.Sends {
-		out.Sends[i] = schedule.Send{
-			Src: snd.Src, Chunk: snd.Chunk, Link: topo.LinkID(snd.Link),
-			Epoch: snd.Epoch, Fraction: snd.Fraction,
-		}
-	}
-	return out
 }
 
 // Plan is the wire form of a solved request: provenance, result
@@ -454,75 +192,6 @@ type Plan struct {
 	Schedule *Schedule `json:"schedule,omitempty"`
 }
 
-// FromPlan converts an in-process plan to wire form.
-func FromPlan(p *core.Plan) Plan {
-	out := Plan{
-		Solver:         SolverName(p.Solver),
-		CacheHit:       p.CacheHit,
-		WarmStart:      p.WarmStart,
-		CrashStart:     p.CrashStart,
-		Replanned:      p.Replanned,
-		ReplanFallback: p.ReplanFallback,
-		ReBased:        p.ReBased,
-	}
-	if p.Result != nil {
-		out.Optimal = p.Optimal
-		out.Gap = p.Gap
-		out.Objective = p.Objective
-		out.Epochs = p.Epochs
-		out.Tau = p.Tau
-		out.Rounds = p.Rounds
-		out.Windows = p.Windows
-		out.SolveTimeMs = float64(p.SolveTime) / float64(time.Millisecond)
-		out.Nodes = p.Nodes
-		out.RootIterations = p.RootIterations
-		out.NodeIterations = p.NodeIterations
-		out.Refactorizations = p.Refactorizations
-		out.FTUpdates = p.FTUpdates
-		out.UpdateNnz = p.UpdateNnz
-		out.Schedule = FromSchedule(p.Schedule)
-	}
-	return out
-}
-
-// ToPlan converts a wire plan back to the in-process form, rebinding
-// the schedule to the given topology and demand.
-func (p Plan) ToPlan(t *topo.Topology, d *collective.Demand) (*core.Plan, error) {
-	solver, err := ParseSolver(p.Solver)
-	if err != nil {
-		return nil, err
-	}
-	return &core.Plan{
-		Result: &core.Result{
-			Schedule:         p.Schedule.ToSchedule(t, d),
-			Objective:        p.Objective,
-			Gap:              p.Gap,
-			Optimal:          p.Optimal,
-			SolveTime:        time.Duration(p.SolveTimeMs * float64(time.Millisecond)),
-			Epochs:           p.Epochs,
-			Tau:              p.Tau,
-			Rounds:           p.Rounds,
-			Windows:          p.Windows,
-			Nodes:            p.Nodes,
-			RootIterations:   p.RootIterations,
-			NodeIterations:   p.NodeIterations,
-			Refactorizations: p.Refactorizations,
-			FTUpdates:        p.FTUpdates,
-			UpdateNnz:        p.UpdateNnz,
-			Reused:           p.CacheHit,
-			WarmStarted:      p.WarmStart,
-			CrashStarted:     p.CrashStart,
-		},
-		Solver:         solver,
-		CacheHit:       p.CacheHit,
-		WarmStart:      p.WarmStart,
-		CrashStart:     p.CrashStart,
-		Replanned:      p.Replanned,
-		ReplanFallback: p.ReplanFallback,
-		ReBased:        p.ReBased,
-	}, nil
-}
-
 // Stats is the wire form of a session's cumulative counters. The field
 // set mirrors PlannerStats one for one; the golden test pins the tags.
 type Stats struct {
@@ -545,61 +214,15 @@ type Stats struct {
 	ReBases                  int `json:"rebases"`
 }
 
-// FromStats converts in-process session counters to wire form.
-func FromStats(s core.PlannerStats) Stats {
-	return Stats{
-		Requests:                 s.Requests,
-		ScheduleReplays:          s.ScheduleReplays,
-		WarmStartHits:            s.WarmStartHits,
-		CrashStarts:              s.CrashStarts,
-		ExactBasisHits:           s.ExactBasisHits,
-		TauCacheHits:             s.TauCacheHits,
-		EpochCacheHits:           s.EpochCacheHits,
-		Replans:                  s.Replans,
-		ReplanPivots:             s.ReplanPivots,
-		ReplanIncrementalPivots:  s.ReplanIncrementalPivots,
-		ColdEstimatePivots:       s.ColdEstimatePivots,
-		ReplanFallbacks:          s.ReplanFallbacks,
-		ReplanFallbackStructural: s.ReplanFallbackStructural,
-		ReplanFallbackBudget:     s.ReplanFallbackBudget,
-		ReplanFallbackSour:       s.ReplanFallbackSour,
-		ReplanFallbackNoModel:    s.ReplanFallbackNoModel,
-		ReBases:                  s.ReBases,
-	}
-}
-
-// ToStats converts wire counters back to the in-process form.
-func (s Stats) ToStats() core.PlannerStats {
-	return core.PlannerStats{
-		Requests:                 s.Requests,
-		ScheduleReplays:          s.ScheduleReplays,
-		WarmStartHits:            s.WarmStartHits,
-		CrashStarts:              s.CrashStarts,
-		ExactBasisHits:           s.ExactBasisHits,
-		TauCacheHits:             s.TauCacheHits,
-		EpochCacheHits:           s.EpochCacheHits,
-		Replans:                  s.Replans,
-		ReplanPivots:             s.ReplanPivots,
-		ReplanIncrementalPivots:  s.ReplanIncrementalPivots,
-		ColdEstimatePivots:       s.ColdEstimatePivots,
-		ReplanFallbacks:          s.ReplanFallbacks,
-		ReplanFallbackStructural: s.ReplanFallbackStructural,
-		ReplanFallbackBudget:     s.ReplanFallbackBudget,
-		ReplanFallbackSour:       s.ReplanFallbackSour,
-		ReplanFallbackNoModel:    s.ReplanFallbackNoModel,
-		ReBases:                  s.ReBases,
-	}
-}
-
 // PlanRequest is the body of POST /v1/plan. Exactly one of Topology and
 // SessionID identifies the session: a topology is fingerprinted and
 // mapped to a (possibly new) session; a session ID reuses one directly.
 type PlanRequest struct {
-	Topology  *topo.Topology `json:"topology,omitempty"`
-	SessionID string         `json:"session_id,omitempty"`
-	Demand    Demand         `json:"demand"`
-	Options   *Options       `json:"options,omitempty"`
-	Solver    string         `json:"solver,omitempty"`
+	Topology  *Topology `json:"topology,omitempty"`
+	SessionID string    `json:"session_id,omitempty"`
+	Demand    Demand    `json:"demand"`
+	Options   *Options  `json:"options,omitempty"`
+	Solver    string    `json:"solver,omitempty"`
 }
 
 // PlanResponse is the body of a successful POST /v1/plan.
@@ -620,11 +243,11 @@ type ReplanRequest struct {
 // the client can rebind the returned schedule (and later ones) without
 // replaying the delta locally.
 type ReplanResponse struct {
-	API       string         `json:"api"`
-	SessionID string         `json:"session_id"`
-	Plan      Plan           `json:"plan"`
-	Topology  *topo.Topology `json:"topology,omitempty"`
-	Demand    *Demand        `json:"demand,omitempty"`
+	API       string    `json:"api"`
+	SessionID string    `json:"session_id"`
+	Plan      Plan      `json:"plan"`
+	Topology  *Topology `json:"topology,omitempty"`
+	Demand    *Demand   `json:"demand,omitempty"`
 }
 
 // SessionInfo is one session of GET /v1/sessions.

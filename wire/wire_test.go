@@ -3,18 +3,18 @@ package wire
 // Golden tests pin the v1 wire schema: the JSON below is the contract.
 // If a test here fails because a field was renamed or dropped, that is
 // an API break — revert the rename or bump the wire version, never
-// update the golden to match.
+// update the golden to match. (The tecclvet wirelock analyzer enforces
+// the same contract structurally against schema.lock.json.)
+//
+// This package is stdlib-only by machine-enforced rule, so these tests
+// exercise pure serialization; the conversion round-trips against the
+// in-process types live in internal/wireconv.
 
 import (
 	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
-	"time"
-
-	"teccl/internal/collective"
-	"teccl/internal/core"
-	"teccl/internal/topo"
 )
 
 // mustJSON marshals compactly and fails the test on error.
@@ -89,39 +89,19 @@ func TestGoldenStats(t *testing.T) {
 	}
 }
 
-func TestStatsMirrorsPlannerStats(t *testing.T) {
-	// wire.Stats must track PlannerStats field for field: a counter
-	// added in core without a wire mapping would silently read zero at
-	// every client. Round-trip a struct filled with distinct values and
-	// require every field to survive.
-	var ps core.PlannerStats
-	v := reflect.ValueOf(&ps).Elem()
-	if v.NumField() != reflect.TypeOf(Stats{}).NumField() {
-		t.Fatalf("PlannerStats has %d fields, wire.Stats %d — extend the wire mapping (and the golden)",
-			v.NumField(), reflect.TypeOf(Stats{}).NumField())
-	}
-	for i := 0; i < v.NumField(); i++ {
-		v.Field(i).SetInt(int64(i + 1))
-	}
-	if got := FromStats(ps).ToStats(); got != ps {
-		t.Errorf("PlannerStats round-trip lost counters:\n got: %+v\nwant: %+v", got, ps)
-	}
-}
-
 func TestGoldenPlanRequestAndDelta(t *testing.T) {
-	tt := topo.New("pair")
-	a := tt.AddNode("a", false)
-	b := tt.AddNode("b", false)
-	tt.AddLink(a, b, 1e9, 1e-6)
-
-	d := collective.New(2, 1, 1024)
-	d.Set(0, 0, 1)
-
 	req := PlanRequest{
-		Topology: tt,
-		Demand:   FromDemand(d),
-		Options:  &Options{Epochs: 4, EpochMode: "slowest", TimeLimitMs: 1500},
-		Solver:   "lp",
+		Topology: &Topology{
+			Name:  "pair",
+			Nodes: []Node{{Name: "a"}, {Name: "b"}},
+			Links: []Link{{Src: 0, Dst: 1, Capacity: 1e9, Alpha: 1e-6}},
+		},
+		Demand: Demand{
+			NumNodes: 2, NumChunks: 1, ChunkBytes: 1024,
+			Wants: []Want{{Src: 0, Chunk: 0, Dst: 1}},
+		},
+		Options: &Options{Epochs: 4, EpochMode: "slowest", TimeLimitMs: 1500},
+		Solver:  "lp",
 	}
 	const goldenReq = `{"topology":{"name":"pair",` +
 		`"nodes":[{"name":"a"},{"name":"b"}],` +
@@ -138,10 +118,15 @@ func TestGoldenPlanRequestAndDelta(t *testing.T) {
 		LinksDown: []int{0},
 		NodesDown: []int{1},
 		Scale:     []LinkScale{{Link: 2, Capacity: 0.5}},
+		AddNodes:  []Node{{Name: "c", Switch: true}},
+		AddLinks:  []Link{{Src: 0, Dst: 2, Capacity: 1e9, Alpha: 1e-6}},
 		DropPairs: []Pair{{Src: 0, Dst: 1}},
 	}
 	const goldenDelta = `{"links_down":[0],"nodes_down":[1],` +
-		`"scale":[{"link":2,"capacity":0.5}],"drop_pairs":[{"src":0,"dst":1}]}`
+		`"scale":[{"link":2,"capacity":0.5}],` +
+		`"add_nodes":[{"name":"c","switch":true}],` +
+		`"add_links":[{"src":0,"dst":2,"capacity":1000000000,"alpha":0.000001}],` +
+		`"drop_pairs":[{"src":0,"dst":1}]}`
 	if got := mustJSON(t, ReplanRequest{SessionID: "s1", Delta: delta}); got !=
 		`{"session_id":"s1","delta":`+goldenDelta+`}` {
 		t.Errorf("ReplanRequest JSON drifted:\n got: %s", got)
@@ -167,148 +152,32 @@ func TestGoldenEnvelopes(t *testing.T) {
 	}
 }
 
-func TestDemandRoundTrip(t *testing.T) {
-	tt := topo.DGX1()
-	var gpus []int
-	for _, g := range tt.GPUs() {
-		gpus = append(gpus, int(g))
+func TestGoldenTopologyWithChurn(t *testing.T) {
+	// The Down list carries churn state; its presence is part of the v1
+	// contract (the in-process topo.Topology marshals the same shape —
+	// wireconv's round-trip test pins the two against each other).
+	tt := Topology{
+		Name:  "tri",
+		Nodes: []Node{{Name: "a"}, {Name: "b"}, {Name: "sw", Switch: true}},
+		Links: []Link{
+			{Src: 0, Dst: 1, Capacity: 5e8, Alpha: 2e-6},
+			{Src: 1, Dst: 2, Capacity: 5e8, Alpha: 2e-6},
+		},
+		Down: []int{1},
 	}
-	d := collective.AllToAll(tt.NumNodes(), gpus, 2, 25e3)
-	js := mustJSON(t, FromDemand(d))
-	var w Demand
-	if err := json.Unmarshal([]byte(js), &w); err != nil {
+	const golden = `{"name":"tri",` +
+		`"nodes":[{"name":"a"},{"name":"b"},{"name":"sw","switch":true}],` +
+		`"links":[{"src":0,"dst":1,"capacity":500000000,"alpha":0.000002},` +
+		`{"src":1,"dst":2,"capacity":500000000,"alpha":0.000002}],` +
+		`"down":[1]}`
+	if got := mustJSON(t, tt); got != golden {
+		t.Errorf("Topology JSON drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	var back Topology
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
 		t.Fatal(err)
 	}
-	back, err := w.ToDemand()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Fingerprint() != d.Fingerprint() {
-		t.Fatal("demand fingerprint changed across the wire")
-	}
-}
-
-func TestDemandValidation(t *testing.T) {
-	cases := []Demand{
-		{NumNodes: 0, NumChunks: 1, ChunkBytes: 1},
-		{NumNodes: 2, NumChunks: 1, ChunkBytes: 0},
-		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 2, Chunk: 0, Dst: 0}}},
-		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 0, Chunk: 1, Dst: 1}}},
-		{NumNodes: 2, NumChunks: 1, ChunkBytes: 1, Wants: []Want{{Src: 0, Chunk: 0, Dst: -1}}},
-	}
-	for i, c := range cases {
-		if _, err := c.ToDemand(); err == nil {
-			t.Errorf("case %d: invalid demand accepted", i)
-		}
-	}
-}
-
-func TestOptionsRoundTrip(t *testing.T) {
-	in := core.Options{
-		Epochs: 5, EpochMode: core.SlowestLink, Tau: 2e-6, EpochMultiplier: 2,
-		SwitchMode: core.SwitchNoCopy, NoBuffers: true, BufferLimitChunks: 3,
-		GapLimit: 0.3, TimeLimit: 90 * time.Second, MinimizeMakespan: true,
-		Crash: core.CrashAll, Workers: 4, RoundEpochs: 6, MaxRounds: 12,
-		HorizonWindow: 16, HorizonOverlap: 12, HorizonCertify: 30 * time.Second,
-		AutoEpochMultiplier: true, HorizonCellBudget: 50_000,
-	}
-	w := FromOptions(in)
-	js := mustJSON(t, w)
-	var back Options
-	if err := json.Unmarshal([]byte(js), &back); err != nil {
-		t.Fatal(err)
-	}
-	out, err := back.ToOptions()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Function fields do not travel; compare the serializable rest.
-	in.Priority, out.Priority = nil, nil
-	if !reflect.DeepEqual(in, out) {
-		t.Errorf("options round-trip:\n got: %+v\nwant: %+v", out, in)
-	}
-
-	for _, bad := range []Options{
-		{EpochMode: "medium"}, {SwitchMode: "maybe"}, {Crash: "sometimes"},
-		{Priority: []PriorityWeight{{Weight: 0}}},
-	} {
-		if _, err := bad.ToOptions(); err == nil {
-			t.Errorf("invalid options %+v accepted", bad)
-		}
-	}
-}
-
-func TestParseSolverNames(t *testing.T) {
-	for name, want := range map[string]core.Solver{
-		"": core.SolverAuto, "auto": core.SolverAuto, "lp": core.SolverLP,
-		"milp": core.SolverMILP, "astar": core.SolverAStar, "horizon": core.SolverHorizon,
-	} {
-		got, err := ParseSolver(name)
-		if err != nil || got != want {
-			t.Errorf("ParseSolver(%q) = %v, %v; want %v", name, got, err, want)
-		}
-		if rt, err := ParseSolver(SolverName(want)); err != nil || rt != want {
-			t.Errorf("solver %v does not round-trip through its wire name %q", want, SolverName(want))
-		}
-	}
-	if _, err := ParseSolver("simplex"); err == nil {
-		t.Error("unknown solver name accepted")
-	}
-}
-
-func TestPrioritySampling(t *testing.T) {
-	d := collective.New(3, 1, 1024)
-	d.Set(0, 0, 1)
-	d.Set(0, 0, 2)
-	pri := func(src, chunk, dst int) float64 {
-		if dst == 2 {
-			return 10
-		}
-		return 1
-	}
-	sampled := SamplePriority(pri, d)
-	if len(sampled) != 1 || sampled[0] != (PriorityWeight{Src: 0, Chunk: 0, Dst: 2, Weight: 10}) {
-		t.Fatalf("sampled = %+v, want the single non-neutral triple", sampled)
-	}
-	opt, err := Options{Priority: sampled}.ToOptions()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if opt.Priority(0, 0, 2) != 10 || opt.Priority(0, 0, 1) != 1 {
-		t.Fatal("rebuilt priority function does not match the sample")
-	}
-}
-
-func TestPlanRoundTripThroughCore(t *testing.T) {
-	tt := topo.DGX1()
-	var gpus []int
-	for _, g := range tt.GPUs() {
-		gpus = append(gpus, int(g))
-	}
-	d := collective.AllToAll(tt.NumNodes(), gpus, 1, 25e3)
-	pl := core.NewPlanner(tt, core.PlannerOptions{})
-	defer pl.Close()
-	plan, err := pl.Plan(t.Context(), core.Request{Demand: d})
-	if err != nil {
-		t.Fatal(err)
-	}
-	js := mustJSON(t, FromPlan(plan))
-	var w Plan
-	if err := json.Unmarshal([]byte(js), &w); err != nil {
-		t.Fatal(err)
-	}
-	back, err := w.ToPlan(tt, d)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Objective != plan.Objective || back.Solver != plan.Solver ||
-		back.Optimal != plan.Optimal || back.Epochs != plan.Epochs {
-		t.Fatalf("plan round-trip drifted: %+v vs %+v", back.Result, plan.Result)
-	}
-	if err := back.Schedule.Validate(); err != nil {
-		t.Fatalf("rebound schedule invalid: %v", err)
-	}
-	if back.Schedule.FinishEpoch() != plan.Schedule.FinishEpoch() {
-		t.Fatalf("finish epoch %d != %d", back.Schedule.FinishEpoch(), plan.Schedule.FinishEpoch())
+	if !reflect.DeepEqual(back, tt) {
+		t.Errorf("Topology does not round-trip:\n got: %+v\nwant: %+v", back, tt)
 	}
 }
